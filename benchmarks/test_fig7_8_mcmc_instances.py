@@ -1,0 +1,59 @@
+"""Figures 7 and 8 — RA and EA versus the number M of MCMC instances.
+
+The paper varies M from 400 to 1000: region accuracy stabilises once M
+reaches 800 (enough samples to approximate the region variable's
+distribution), while event accuracy barely changes because the event variable
+only has two labels.
+
+The reproduction sweeps proportionally smaller sample counts (the datasets
+are smaller) and checks that (i) results are valid fractions for every M and
+(ii) the spread of EA across M is no larger than a loose bound — the
+"EA is insensitive to M" observation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import run_mcmc_sweep
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+SAMPLE_COUNTS = (4, 16) if TINY else (4, 8, 16, 32)
+METHODS = ("C2MN/ES", "C2MN") if TINY else ("CMN", "C2MN/ES", "C2MN/SS", "C2MN")
+
+
+def test_fig7_fig8_accuracy_vs_mcmc_instances(benchmark, mall_dataset, config):
+    def run():
+        return run_mcmc_sweep(
+            mall_dataset, sample_counts=SAMPLE_COUNTS, methods=METHODS, config=config
+        )
+
+    sweep = run_once(benchmark, run)
+
+    ra_series = {
+        name: {m: result.scores.region_accuracy for m, result in per_m.items()}
+        for name, per_m in sweep.items()
+    }
+    ea_series = {
+        name: {m: result.scores.event_accuracy for m, result in per_m.items()}
+        for name, per_m in sweep.items()
+    }
+    print_report(
+        "Figure 7 (analogue): region accuracy vs number of MCMC instances M",
+        format_series(ra_series, x_label="M"),
+    )
+    print_report(
+        "Figure 8 (analogue): event accuracy vs number of MCMC instances M",
+        format_series(ea_series, x_label="M"),
+    )
+
+    for name in METHODS:
+        for m in SAMPLE_COUNTS:
+            assert 0.0 <= ra_series[name][m] <= 1.0
+            assert 0.0 <= ea_series[name][m] <= 1.0
+        # Figure 8's observation: EA changes only slightly with M.
+        ea_values = list(ea_series[name].values())
+        assert max(ea_values) - min(ea_values) <= 0.25

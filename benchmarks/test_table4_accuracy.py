@@ -1,0 +1,57 @@
+"""Table IV — labeling accuracy (RA / EA / CA / PA) of all compared methods.
+
+The paper's Table IV compares SMoT, HMM+DC, SAPDV, SAPDA, CMN, the four C2MN
+ablations and the full C2MN on the real dataset, with C2MN best on every
+measure (RA ≈ 0.95, EA ≈ 0.97, PA ≈ 0.89) and the two-step / two-way
+baselines clearly behind the CRF-family methods.
+
+This benchmark trains every method on the same split of the simulated mall
+dataset, prints the same table, and asserts the qualitative ordering:
+C2MN ≥ CMN on combined accuracy, and the C2MN family ≥ the weakest baseline.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report, run_once
+
+from repro.evaluation.experiments import TABLE4_METHODS, run_accuracy_comparison
+from repro.evaluation.reporting import format_table
+
+
+def test_table4_labeling_accuracy(benchmark, mall_dataset, config):
+    def run():
+        return run_accuracy_comparison(
+            mall_dataset, methods=TABLE4_METHODS, config=config
+        )
+
+    results = run_once(benchmark, run)
+    rows = [result.row() for result in results]
+    print_report(
+        "Table IV (analogue): labeling accuracy of the compared methods",
+        format_table(rows, columns=["method", "RA", "EA", "CA", "PA", "train_s", "label_s"]),
+    )
+
+    by_name = {result.method: result.scores for result in results}
+    assert set(by_name) == set(TABLE4_METHODS)
+
+    # Every score is a valid fraction and PA never exceeds RA or EA.
+    for scores in by_name.values():
+        for value in (
+            scores.region_accuracy,
+            scores.event_accuracy,
+            scores.combined_accuracy,
+            scores.perfect_accuracy,
+        ):
+            assert 0.0 <= value <= 1.0
+        assert scores.perfect_accuracy <= min(scores.region_accuracy, scores.event_accuracy) + 1e-9
+
+    # Qualitative shape of the paper's table.
+    c2mn = by_name["C2MN"]
+    cmn = by_name["CMN"]
+    weakest_baseline = min(
+        (by_name[name] for name in ("SMoT", "SAPDV", "SAPDA", "HMM+DC")),
+        key=lambda scores: scores.combined_accuracy,
+    )
+    assert c2mn.combined_accuracy >= cmn.combined_accuracy - 0.05
+    assert c2mn.combined_accuracy >= weakest_baseline.combined_accuracy - 0.02
+    assert c2mn.perfect_accuracy >= weakest_baseline.perfect_accuracy - 0.05

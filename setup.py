@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction is fully offline and has no
+``wheel`` package, so PEP 660 editable installs fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic setuptools develop mode.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Indoor Mobility Semantics Annotation Using
+Coupled Conditional Markov Networks* (Li, Lu, Cheema, Shou, Chen — ICDE 2020).
+
+The package provides:
+
+* an indoor-space substrate (partitions, doors, semantic regions, topology,
+  minimum indoor walking distance) — :mod:`repro.indoor`, :mod:`repro.geometry`;
+* a mobility-data substrate (waypoint simulator, positioning-error model,
+  preprocessing, datasets) — :mod:`repro.mobility`;
+* ST-DBSCAN spatio-temporal clustering — :mod:`repro.clustering`;
+* the paper's contribution: the coupled conditional Markov network, its
+  feature functions and the alternate learning algorithm — :mod:`repro.crf`
+  with the public API in :mod:`repro.core`;
+* the compared baselines (SMoT, HMM+DC, SAPDV, SAPDA) — :mod:`repro.baselines`;
+* semantics-oriented queries (TkPRQ, TkFRPQ) — :mod:`repro.queries`;
+* the evaluation harness reproducing every table and figure of Section V —
+  :mod:`repro.evaluation` and the ``benchmarks/`` directory of the repository.
+
+Quick start::
+
+    from repro.core import C2MNAnnotator, C2MNConfig
+    from repro.indoor import build_mall_space
+    from repro.mobility.dataset import generate_dataset, train_test_split
+
+    space = build_mall_space(floors=2, shops_per_side=6)
+    dataset = generate_dataset(space, objects=12, duration=1800.0)
+    train, test = train_test_split(dataset)
+
+    annotator = C2MNAnnotator(space, config=C2MNConfig.fast())
+    annotator.fit(train.sequences)
+    print(annotator.annotate(test.sequences[0].sequence))
+"""
+
+from repro.core import C2MNAnnotator, C2MNConfig, make_annotator, make_variant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "C2MNAnnotator",
+    "C2MNConfig",
+    "make_annotator",
+    "make_variant",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Downstream analytics over annotated m-semantics.
+
+The paper motivates m-semantics with mall-analytics scenarios: estimating a
+shop's conversion rate (stays vs passes), finding popular regions, and mining
+movement patterns between regions.  This subpackage provides those analyses
+as library functions over annotated (or ground-truth) m-semantics sequences,
+so the queries of :mod:`repro.queries` and the reports built here share one
+data model.
+"""
+
+from repro.analytics.behaviour import (
+    ConversionStats,
+    conversion_rates,
+    dwell_time_statistics,
+    region_transition_counts,
+    top_transitions,
+)
+from repro.analytics.crossval import CrossValidationResult, cross_validate
+
+__all__ = [
+    "ConversionStats",
+    "conversion_rates",
+    "dwell_time_statistics",
+    "region_transition_counts",
+    "top_transitions",
+    "CrossValidationResult",
+    "cross_validate",
+]

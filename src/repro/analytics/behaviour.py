@@ -1,0 +1,129 @@
+"""Behaviour analytics: conversion rates, dwell times and region transitions.
+
+All functions take ``semantics_per_object`` — an iterable with one m-semantics
+sequence per object, i.e. exactly what :meth:`C2MNAnnotator.annotate_many`
+returns or what :func:`repro.evaluation.harness.ground_truth_semantics`
+produces from labeled data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mobility.records import EVENT_STAY, MSemantics
+
+
+@dataclass(frozen=True)
+class ConversionStats:
+    """Stay/pass statistics of one region (the shop-owner scenario of the intro)."""
+
+    region_id: int
+    stays: int
+    passes: int
+
+    @property
+    def visits(self) -> int:
+        return self.stays + self.passes
+
+    @property
+    def conversion_rate(self) -> float:
+        """Fraction of visits that were stays (0.0 for unvisited regions)."""
+        return self.stays / self.visits if self.visits else 0.0
+
+
+def conversion_rates(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+    *,
+    min_visits: int = 1,
+) -> List[ConversionStats]:
+    """Per-region stay/pass counts, sorted by conversion rate (descending).
+
+    Parameters
+    ----------
+    semantics_per_object:
+        One m-semantics sequence per object.
+    min_visits:
+        Regions with fewer total visits are dropped (noise suppression).
+    """
+    stays: Counter = Counter()
+    passes: Counter = Counter()
+    for semantics in semantics_per_object:
+        for ms in semantics:
+            if ms.event == EVENT_STAY:
+                stays[ms.region_id] += 1
+            else:
+                passes[ms.region_id] += 1
+    stats = [
+        ConversionStats(region_id=region, stays=stays[region], passes=passes[region])
+        for region in set(stays) | set(passes)
+    ]
+    stats = [entry for entry in stats if entry.visits >= min_visits]
+    stats.sort(key=lambda entry: (-entry.conversion_rate, entry.region_id))
+    return stats
+
+
+def dwell_time_statistics(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+) -> Dict[int, Dict[str, float]]:
+    """Per-region dwell-time statistics over stay m-semantics.
+
+    Returns a mapping ``region_id → {"visits", "total", "mean", "max"}`` with
+    durations in seconds.  Only stay entries contribute; passes have no dwell.
+    """
+    durations: Dict[int, List[float]] = defaultdict(list)
+    for semantics in semantics_per_object:
+        for ms in semantics:
+            if ms.event == EVENT_STAY:
+                durations[ms.region_id].append(ms.duration)
+    result: Dict[int, Dict[str, float]] = {}
+    for region, values in durations.items():
+        total = sum(values)
+        result[region] = {
+            "visits": float(len(values)),
+            "total": total,
+            "mean": total / len(values),
+            "max": max(values),
+        }
+    return result
+
+
+def region_transition_counts(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+    *,
+    stays_only: bool = True,
+) -> Counter:
+    """Count ordered region transitions along each object's m-semantics sequence.
+
+    With ``stays_only`` (default) only the sequence of *stayed* regions is
+    considered — the "visited A then B" pattern used by frequent-pattern
+    mining; consecutive duplicates are collapsed so lingering in one region
+    does not inflate self transitions.
+    """
+    counts: Counter = Counter()
+    for semantics in semantics_per_object:
+        visited: List[int] = []
+        for ms in semantics:
+            if stays_only and ms.event != EVENT_STAY:
+                continue
+            if visited and visited[-1] == ms.region_id:
+                continue
+            visited.append(ms.region_id)
+        for source, target in zip(visited, visited[1:]):
+            counts[(source, target)] += 1
+    return counts
+
+
+def top_transitions(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+    *,
+    k: int = 10,
+    stays_only: bool = True,
+) -> List[Tuple[Tuple[int, int], int]]:
+    """The ``k`` most frequent ordered region transitions (ties broken by ids)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    counts = region_transition_counts(semantics_per_object, stays_only=stays_only)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]

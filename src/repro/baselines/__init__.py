@@ -1,0 +1,27 @@
+"""Baseline annotation methods compared against C2MN (Section V-A).
+
+* :mod:`repro.baselines.smot` — SMoT [2]: a speed threshold separates stay
+  from pass, nearest-neighbour regions label the representative locations.
+* :mod:`repro.baselines.hmm_dc` — HMM+DC: an HMM over semantic regions
+  (grid-cell observations, Viterbi decoding) plus ST-DBSCAN for events.
+* :mod:`repro.baselines.sap` — SAP [26]: the layered semantic annotation
+  platform with dynamic-velocity (SAPDV) or density-area (SAPDA)
+  segmentation, HMM region labeling for stay segments and nearest-region
+  labeling for pass segments.
+
+All baselines share the :class:`~repro.baselines.base.BaselineAnnotator`
+interface (``fit`` / ``predict_labels`` / ``annotate``) so the evaluation
+harness treats them exactly like the C2MN-family annotators.
+"""
+
+from repro.baselines.base import BaselineAnnotator
+from repro.baselines.smot import SMoTAnnotator
+from repro.baselines.hmm_dc import HMMDCAnnotator
+from repro.baselines.sap import SAPAnnotator
+
+__all__ = [
+    "BaselineAnnotator",
+    "SMoTAnnotator",
+    "HMMDCAnnotator",
+    "SAPAnnotator",
+]

@@ -1,0 +1,193 @@
+"""HMM+DC baseline (Section V-A, previously used in the TRIPS system [12]).
+
+Region labeling uses a hidden Markov model whose hidden states are the
+semantic regions and whose observations are grid cells of the floorplan:
+
+* emission probabilities ``P(cell | region)`` and transition probabilities
+  ``P(region' | region)`` are estimated by frequency counting on the training
+  data with Laplace smoothing;
+* unseen-region priors fall back to the spatial containment of the cell;
+* the most-likely region sequence is decoded with the Viterbi algorithm.
+
+Event labeling is the *DC* part: ST-DBSCAN clustering of the p-sequence where
+core and border points are regarded as stay and noise points as pass.
+
+The two labelings are produced independently ("two-way"), which is exactly
+the structural weakness the paper's coupled model addresses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.stdbscan import DENSITY_NOISE, STDBSCAN
+from repro.core.config import C2MNConfig
+from repro.baselines.base import BaselineAnnotator
+from repro.geometry.point import IndoorPoint
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningSequence,
+)
+
+GridCell = Tuple[int, int, int]  # (floor, ix, iy)
+
+
+class HMMDCAnnotator(BaselineAnnotator):
+    """HMM over regions (Viterbi) for region labels + ST-DBSCAN for event labels."""
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        config: Optional[C2MNConfig] = None,
+        cell_size: float = 10.0,
+        smoothing: float = 0.5,
+    ):
+        super().__init__(space, config=config, name="HMM+DC")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.cell_size = cell_size
+        self.smoothing = smoothing
+        cfg = self.config
+        self._clusterer = STDBSCAN(
+            eps_spatial=cfg.eps_spatial,
+            eps_temporal=cfg.eps_temporal,
+            min_points=cfg.min_points,
+        )
+        self._region_ids: List[int] = [region.region_id for region in space.regions]
+        self._emissions: Dict[int, Dict[GridCell, float]] = {}
+        self._transitions: Dict[int, Dict[int, float]] = {}
+        self._initial: Dict[int, float] = {}
+
+    # --------------------------------------------------------------- training
+    def _fit(self, training_sequences: Sequence[LabeledSequence]) -> None:
+        emission_counts: Dict[int, Dict[GridCell, float]] = defaultdict(lambda: defaultdict(float))
+        transition_counts: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+        initial_counts: Dict[int, float] = defaultdict(float)
+        for labeled in training_sequences:
+            previous_region: Optional[int] = None
+            for record, region, _ in labeled.iter_labeled_records():
+                cell = self._cell_of(record.location)
+                emission_counts[region][cell] += 1.0
+                if previous_region is None:
+                    initial_counts[region] += 1.0
+                else:
+                    transition_counts[previous_region][region] += 1.0
+                previous_region = region
+        self._emissions = {r: dict(cells) for r, cells in emission_counts.items()}
+        self._transitions = {r: dict(next_counts) for r, next_counts in transition_counts.items()}
+        self._initial = dict(initial_counts)
+
+    # -------------------------------------------------------------- inference
+    def predict_labels(self, sequence: PositioningSequence) -> Tuple[List[int], List[str]]:
+        regions = self._viterbi(sequence)
+        events = self._density_events(sequence)
+        return regions, events
+
+    # ----------------------------------------------------------- event labels
+    def _density_events(self, sequence: PositioningSequence) -> List[str]:
+        labels = self._clusterer.density_labels(sequence)
+        return [
+            EVENT_PASS if label == DENSITY_NOISE else EVENT_STAY for label in labels
+        ]
+
+    # ---------------------------------------------------------- region labels
+    def _viterbi(self, sequence: PositioningSequence) -> List[int]:
+        records = sequence.records
+        n = len(records)
+        # Restrict the state space per step to nearby candidate regions so the
+        # decoding stays tractable for venues with hundreds of regions.
+        candidate_sets: List[List[int]] = []
+        for record in records:
+            candidates = self._space.candidate_regions(
+                record.location,
+                radius=self.config.candidate_radius,
+                max_candidates=self.config.max_candidates,
+            )
+            ids = [region.region_id for region in candidates]
+            if not ids:
+                nearest = self._space.nearest_region(record.location)
+                ids = [nearest.region_id] if nearest is not None else [self._region_ids[0]]
+            candidate_sets.append(ids)
+
+        log_prob: List[Dict[int, float]] = [dict() for _ in range(n)]
+        back: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+        for state in candidate_sets[0]:
+            log_prob[0][state] = self._log_initial(state) + self._log_emission(
+                state, records[0].location
+            )
+            back[0][state] = None
+        for t in range(1, n):
+            for state in candidate_sets[t]:
+                best_prev: Optional[int] = None
+                best_score = -math.inf
+                for prev in candidate_sets[t - 1]:
+                    score = log_prob[t - 1][prev] + self._log_transition(prev, state)
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev
+                log_prob[t][state] = best_score + self._log_emission(
+                    state, records[t].location
+                )
+                back[t][state] = best_prev
+        # Backtrack.
+        last_state = max(log_prob[n - 1], key=log_prob[n - 1].get)
+        path = [last_state]
+        for t in range(n - 1, 0, -1):
+            previous = back[t][path[-1]]
+            path.append(previous if previous is not None else candidate_sets[t - 1][0])
+        path.reverse()
+        return path
+
+    def _log_initial(self, region: int) -> float:
+        total = sum(self._initial.values())
+        count = self._initial.get(region, 0.0)
+        return math.log(
+            (count + self.smoothing) / (total + self.smoothing * max(1, len(self._region_ids)))
+        )
+
+    def _log_transition(self, region_from: int, region_to: int) -> float:
+        row = self._transitions.get(region_from, {})
+        total = sum(row.values())
+        count = row.get(region_to, 0.0)
+        # Self transitions get a mild structural boost when unseen, since an
+        # object usually lingers around one region across consecutive records.
+        structural = 1.0 if region_from == region_to else 0.0
+        return math.log(
+            (count + structural + self.smoothing)
+            / (total + 1.0 + self.smoothing * max(1, len(self._region_ids)))
+        )
+
+    def _log_emission(self, region: int, location: IndoorPoint) -> float:
+        cell = self._cell_of(location)
+        row = self._emissions.get(region, {})
+        total = sum(row.values())
+        count = row.get(cell, 0.0)
+        # Structural prior: a cell inside or near the region is plausible even
+        # when unseen in the training data.
+        region_obj = self._space.region(region)
+        structural = 0.0
+        if region_obj.floor == location.floor:
+            distance = region_obj.distance_to(location)
+            if distance <= 0.0:
+                structural = 2.0
+            elif distance <= self.cell_size:
+                structural = 1.0
+        return math.log(
+            (count + structural + self.smoothing)
+            / (total + 2.0 + self.smoothing * 100.0)
+        )
+
+    def _cell_of(self, location: IndoorPoint) -> GridCell:
+        return (
+            location.floor,
+            int(location.x // self.cell_size),
+            int(location.y // self.cell_size),
+        )

@@ -1,0 +1,246 @@
+"""SAP baseline (Yan et al. [26]): the layered semantic annotation platform.
+
+SAP works in two sequential steps:
+
+1. **Segmentation** of the p-sequence into stay (stop) and pass (move)
+   segments.  Two segmentation algorithms from the original platform are
+   provided, selected by the ``segmentation`` argument:
+
+   * ``"velocity"`` (SAPDV) — dynamic-velocity-based: a record belongs to a
+     stop when its speed is below a dynamic threshold computed as a fraction
+     of the sequence's average speed;
+   * ``"density"`` (SAPDA) — density-area-based: ST-DBSCAN clusters with a
+     bounded spatial extent become stop segments, everything else is a move.
+
+2. **Annotation**: each *stay* segment is labeled with one region via a small
+   HMM whose observation probability is the overlap between the segment's
+   location distribution (a Gaussian around the segment centroid, approximated
+   by the uncertainty disk) and the region; each record of a *pass* segment
+   is labeled with its nearest region.
+
+As in the paper, the two steps are strictly sequential: segmentation errors
+propagate into the region annotation and there is no feedback from region
+labels to event labels.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.stdbscan import DENSITY_NOISE, STDBSCAN
+from repro.core.config import C2MNConfig
+from repro.baselines.base import BaselineAnnotator
+from repro.geometry.circle import Circle, circle_polygon_intersection_area
+from repro.geometry.point import IndoorPoint, Point
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningSequence,
+)
+
+SEGMENTATION_MODES = ("velocity", "density")
+
+
+class SAPAnnotator(BaselineAnnotator):
+    """Two-step segment-then-annotate baseline with two segmentation modes."""
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        config: Optional[C2MNConfig] = None,
+        segmentation: str = "density",
+        velocity_fraction: float = 0.5,
+        max_stop_extent: float = 25.0,
+    ):
+        if segmentation not in SEGMENTATION_MODES:
+            raise ValueError(
+                f"segmentation must be one of {SEGMENTATION_MODES}, got {segmentation!r}"
+            )
+        name = "SAPDV" if segmentation == "velocity" else "SAPDA"
+        super().__init__(space, config=config, name=name)
+        self.segmentation = segmentation
+        self.velocity_fraction = velocity_fraction
+        self.max_stop_extent = max_stop_extent
+        cfg = self.config
+        self._clusterer = STDBSCAN(
+            eps_spatial=cfg.eps_spatial,
+            eps_temporal=cfg.eps_temporal,
+            min_points=cfg.min_points,
+        )
+        self._region_transition_counts: Dict[int, Dict[int, float]] = {}
+        self._region_visit_counts: Dict[int, float] = {}
+
+    # --------------------------------------------------------------- training
+    def _fit(self, training_sequences: Sequence[LabeledSequence]) -> None:
+        """Count region visit and transition frequencies for the stay-segment HMM."""
+        transitions: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+        visits: Dict[int, float] = defaultdict(float)
+        for labeled in training_sequences:
+            previous: Optional[int] = None
+            for _, region, event in labeled.iter_labeled_records():
+                if event != EVENT_STAY:
+                    previous = None
+                    continue
+                visits[region] += 1.0
+                if previous is not None and previous != region:
+                    transitions[previous][region] += 1.0
+                previous = region
+        self._region_transition_counts = {r: dict(row) for r, row in transitions.items()}
+        self._region_visit_counts = dict(visits)
+
+    # -------------------------------------------------------------- inference
+    def predict_labels(self, sequence: PositioningSequence) -> Tuple[List[int], List[str]]:
+        events = self._segment_events(sequence)
+        regions = self._annotate_regions(sequence, events)
+        return regions, events
+
+    # ------------------------------------------------------------ step 1: seg
+    def _segment_events(self, sequence: PositioningSequence) -> List[str]:
+        if self.segmentation == "velocity":
+            return self._velocity_segmentation(sequence)
+        return self._density_segmentation(sequence)
+
+    def _velocity_segmentation(self, sequence: PositioningSequence) -> List[str]:
+        records = sequence.records
+        n = len(records)
+        if n == 1:
+            return [EVENT_STAY]
+        speeds: List[float] = []
+        for i in range(n - 1):
+            speeds.append(records[i].speed_to(records[i + 1]))
+        average = sum(speeds) / len(speeds) if speeds else 0.0
+        threshold = max(1e-6, self.velocity_fraction * average)
+        events: List[str] = []
+        for i in range(n):
+            neighbours: List[float] = []
+            if i > 0:
+                neighbours.append(speeds[i - 1])
+            if i < n - 1:
+                neighbours.append(speeds[i])
+            speed = sum(neighbours) / len(neighbours) if neighbours else 0.0
+            events.append(EVENT_STAY if speed < threshold else EVENT_PASS)
+        return events
+
+    def _density_segmentation(self, sequence: PositioningSequence) -> List[str]:
+        result = self._clusterer.fit(sequence)
+        events = [
+            EVENT_PASS if label == DENSITY_NOISE else EVENT_STAY
+            for label in result.density_labels
+        ]
+        # Density-*area*: clusters whose spatial extent is too large to be a
+        # genuine stop (e.g. a slow walk along a corridor) are demoted to pass.
+        for cluster_id in range(result.n_clusters):
+            member_indexes = result.records_in_cluster(cluster_id)
+            if len(member_indexes) < 2:
+                continue
+            xs = [sequence[i].x for i in member_indexes]
+            ys = [sequence[i].y for i in member_indexes]
+            extent = max(max(xs) - min(xs), max(ys) - min(ys))
+            if extent > self.max_stop_extent:
+                for i in member_indexes:
+                    events[i] = EVENT_PASS
+        return events
+
+    # ------------------------------------------------------- step 2: annotate
+    def _annotate_regions(
+        self, sequence: PositioningSequence, events: Sequence[str]
+    ) -> List[int]:
+        records = sequence.records
+        n = len(records)
+        regions: List[int] = [-1] * n
+        segments = self._contiguous_segments(events)
+
+        previous_stay_region: Optional[int] = None
+        for start, end, event in segments:
+            if event == EVENT_STAY:
+                region = self._label_stay_segment(sequence, start, end, previous_stay_region)
+                for i in range(start, end + 1):
+                    regions[i] = region
+                previous_stay_region = region
+            else:
+                for i in range(start, end + 1):
+                    nearest = self._space.nearest_region(records[i].location)
+                    regions[i] = nearest.region_id if nearest is not None else -1
+        return regions
+
+    @staticmethod
+    def _contiguous_segments(events: Sequence[str]) -> List[Tuple[int, int, str]]:
+        segments: List[Tuple[int, int, str]] = []
+        if not events:
+            return segments
+        start = 0
+        for i in range(1, len(events)):
+            if events[i] != events[start]:
+                segments.append((start, i - 1, events[start]))
+                start = i
+        segments.append((start, len(events) - 1, events[start]))
+        return segments
+
+    def _label_stay_segment(
+        self,
+        sequence: PositioningSequence,
+        start: int,
+        end: int,
+        previous_region: Optional[int],
+    ) -> int:
+        """Pick the region maximising observation overlap times transition prior."""
+        records = sequence.records[start : end + 1]
+        centroid_x = sum(r.x for r in records) / len(records)
+        centroid_y = sum(r.y for r in records) / len(records)
+        floor = _majority_floor(records)
+        centroid = IndoorPoint(centroid_x, centroid_y, floor)
+        spread = max(
+            5.0,
+            max(
+                (math.hypot(r.x - centroid_x, r.y - centroid_y) for r in records),
+                default=5.0,
+            ),
+        )
+        candidates = self._space.candidate_regions(
+            centroid, radius=max(spread, self.config.candidate_radius),
+            max_candidates=self.config.max_candidates,
+        )
+        if not candidates:
+            nearest = self._space.nearest_region(centroid)
+            return nearest.region_id if nearest is not None else -1
+        circle = Circle(Point(centroid_x, centroid_y), spread)
+        best_region = candidates[0].region_id
+        best_score = -math.inf
+        for region in candidates:
+            if region.floor != floor:
+                overlap = 0.0
+            else:
+                overlap = sum(
+                    circle_polygon_intersection_area(circle, geometry)
+                    for geometry in region.geometries
+                ) / circle.area
+            score = math.log(overlap + 1e-6) + self._log_transition_prior(
+                previous_region, region.region_id
+            )
+            if score > best_score:
+                best_score = score
+                best_region = region.region_id
+        return best_region
+
+    def _log_transition_prior(self, previous: Optional[int], region: int) -> float:
+        visits = self._region_visit_counts
+        total_visits = sum(visits.values())
+        prior = (visits.get(region, 0.0) + 1.0) / (total_visits + max(1, len(visits) or 1))
+        if previous is None:
+            return math.log(prior)
+        row = self._region_transition_counts.get(previous, {})
+        total = sum(row.values())
+        transition = (row.get(region, 0.0) + 1.0) / (total + 10.0)
+        return math.log(prior) + math.log(transition)
+
+
+def _majority_floor(records) -> int:
+    counts: Dict[int, int] = defaultdict(int)
+    for record in records:
+        counts[record.floor] += 1
+    return max(counts, key=counts.get)

@@ -1,0 +1,123 @@
+"""SMoT baseline (Alvares et al. [2]).
+
+SMoT distinguishes stops (stay) from moves (pass) with a *speed threshold*:
+a record whose apparent speed with respect to its neighbours is below the
+threshold belongs to a stop, otherwise to a move.  Records are then labeled
+with their nearest semantic region.  Short stop runs (fewer than
+``min_stop_records`` records) are demoted back to pass, mirroring SMoT's
+minimum-duration requirement for a stop inside a candidate region.
+
+The speed threshold can be calibrated from training data (the median of the
+speed distribution split by ground-truth event) or used with its default.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import C2MNConfig
+from repro.baselines.base import BaselineAnnotator
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningSequence,
+)
+
+
+class SMoTAnnotator(BaselineAnnotator):
+    """Speed-threshold stop/move detection plus nearest-region labeling."""
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        config: Optional[C2MNConfig] = None,
+        speed_threshold: float = 0.5,
+        min_stop_records: int = 3,
+    ):
+        super().__init__(space, config=config, name="SMoT")
+        if speed_threshold <= 0:
+            raise ValueError("speed_threshold must be positive")
+        if min_stop_records < 1:
+            raise ValueError("min_stop_records must be at least 1")
+        self.speed_threshold = speed_threshold
+        self.min_stop_records = min_stop_records
+
+    # --------------------------------------------------------------- training
+    def _fit(self, training_sequences: Sequence[LabeledSequence]) -> None:
+        """Calibrate the speed threshold between the stay and pass speed medians."""
+        stay_speeds: List[float] = []
+        pass_speeds: List[float] = []
+        for labeled in training_sequences:
+            records = labeled.sequence.records
+            for i in range(len(records) - 1):
+                speed = records[i].speed_to(records[i + 1])
+                if labeled.event_labels[i] == EVENT_STAY:
+                    stay_speeds.append(speed)
+                else:
+                    pass_speeds.append(speed)
+        if stay_speeds and pass_speeds:
+            stay_median = _median(stay_speeds)
+            pass_median = _median(pass_speeds)
+            if pass_median > stay_median:
+                self.speed_threshold = (stay_median + pass_median) / 2.0
+
+    # -------------------------------------------------------------- inference
+    def predict_labels(self, sequence: PositioningSequence) -> Tuple[List[int], List[str]]:
+        records = sequence.records
+        n = len(records)
+        speeds = self._record_speeds(sequence)
+        events = [
+            EVENT_STAY if speeds[i] < self.speed_threshold else EVENT_PASS
+            for i in range(n)
+        ]
+        self._demote_short_stops(events)
+        regions: List[int] = []
+        for record in records:
+            nearest = self._space.nearest_region(record.location)
+            regions.append(nearest.region_id if nearest is not None else -1)
+        return regions, events
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _record_speeds(sequence: PositioningSequence) -> List[float]:
+        """Per-record speed: mean of the speeds to the previous and next record."""
+        records = sequence.records
+        n = len(records)
+        if n == 1:
+            return [0.0]
+        speeds: List[float] = []
+        for i in range(n):
+            parts: List[float] = []
+            if i > 0:
+                parts.append(records[i - 1].speed_to(records[i]))
+            if i < n - 1:
+                parts.append(records[i].speed_to(records[i + 1]))
+            speeds.append(sum(parts) / len(parts) if parts else 0.0)
+        return speeds
+
+    def _demote_short_stops(self, events: List[str]) -> None:
+        """Turn stay runs shorter than ``min_stop_records`` back into pass."""
+        n = len(events)
+        i = 0
+        while i < n:
+            if events[i] != EVENT_STAY:
+                i += 1
+                continue
+            j = i
+            while j < n and events[j] == EVENT_STAY:
+                j += 1
+            if j - i < self.min_stop_records:
+                for k in range(i, j):
+                    events[k] = EVENT_PASS
+            i = j
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,17 @@
+"""Spatio-temporal clustering used by the event features and baselines."""
+
+from repro.clustering.stdbscan import (
+    DENSITY_BORDER,
+    DENSITY_CORE,
+    DENSITY_NOISE,
+    STDBSCAN,
+    STDBSCANResult,
+)
+
+__all__ = [
+    "DENSITY_BORDER",
+    "DENSITY_CORE",
+    "DENSITY_NOISE",
+    "STDBSCAN",
+    "STDBSCANResult",
+]

@@ -1,0 +1,38 @@
+"""Public API of the reproduction: configuration, annotator and variants.
+
+Typical usage::
+
+    from repro.core import C2MNAnnotator, C2MNConfig
+    from repro.indoor import build_mall_space
+    from repro.mobility.dataset import generate_dataset, train_test_split
+
+    space = build_mall_space(floors=2, shops_per_side=6)
+    dataset = generate_dataset(space, objects=12, duration=1800.0)
+    train, test = train_test_split(dataset)
+
+    annotator = C2MNAnnotator(space, config=C2MNConfig.fast())
+    annotator.fit(train.sequences)
+    semantics = annotator.annotate(test.sequences[0].sequence)
+"""
+
+from repro.core.config import C2MNConfig
+from repro.core.annotator import C2MNAnnotator
+from repro.core.merge import merge_labeled_sequence
+from repro.core.variants import (
+    VARIANT_NAMES,
+    make_annotator,
+    make_c2mn,
+    make_cmn,
+    make_variant,
+)
+
+__all__ = [
+    "C2MNConfig",
+    "C2MNAnnotator",
+    "merge_labeled_sequence",
+    "VARIANT_NAMES",
+    "make_annotator",
+    "make_c2mn",
+    "make_cmn",
+    "make_variant",
+]

@@ -1,0 +1,144 @@
+"""The public annotator API: train a C2MN and annotate p-sequences.
+
+:class:`C2MNAnnotator` wires together the substrate pieces — the indoor space,
+the distance oracle, the feature extractor, the C2MN model, the alternate
+learner and the label-and-merge step — behind a scikit-learn-like
+``fit`` / ``predict`` interface:
+
+* :meth:`C2MNAnnotator.fit` learns the template weights from labeled
+  sequences (Section IV).
+* :meth:`C2MNAnnotator.predict_labels` returns record-level region and event
+  labels for an unseen p-sequence (the *labeling* step of Figure 2).
+* :meth:`C2MNAnnotator.annotate` additionally merges the labels into
+  m-semantics (the *annotation* step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import C2MNConfig
+from repro.core.merge import merge_record_labels
+from repro.crf.features import FeatureExtractor, SequenceData
+from repro.crf.inference import decode_icm, initial_events, initial_regions
+from repro.crf.learning import AlternateLearner, TrainingReport
+from repro.crf.model import C2MNModel
+from repro.indoor.distance import IndoorDistanceOracle
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
+
+
+class C2MNAnnotator:
+    """End-to-end m-semantics annotation with a coupled conditional Markov network."""
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        config: Optional[C2MNConfig] = None,
+        oracle: Optional[IndoorDistanceOracle] = None,
+        name: str = "C2MN",
+    ):
+        self.name = name
+        self._space = space
+        self._config = config if config is not None else C2MNConfig()
+        self._oracle = oracle if oracle is not None else IndoorDistanceOracle(space)
+        self._extractor = FeatureExtractor(space, self._config, oracle=self._oracle)
+        self._model = C2MNModel(self._extractor)
+        self._report: Optional[TrainingReport] = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def space(self) -> IndoorSpace:
+        return self._space
+
+    @property
+    def config(self) -> C2MNConfig:
+        return self._config
+
+    @property
+    def model(self) -> C2MNModel:
+        return self._model
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._report is not None
+
+    @property
+    def training_report(self) -> Optional[TrainingReport]:
+        return self._report
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._model.weights
+
+    # -------------------------------------------------------------- training
+    def fit(self, training_sequences: Sequence[LabeledSequence]) -> TrainingReport:
+        """Learn the template weights from fully labeled sequences."""
+        if not training_sequences:
+            raise ValueError("fit requires at least one labeled training sequence")
+        prepared = [
+            self._extractor.prepare(
+                labeled.sequence,
+                true_regions=labeled.region_labels,
+                true_events=labeled.event_labels,
+            )
+            for labeled in training_sequences
+        ]
+        learner = AlternateLearner(self._model)
+        self._report = learner.fit(prepared)
+        return self._report
+
+    # ------------------------------------------------------------- inference
+    def predict_labels(
+        self, sequence: PositioningSequence
+    ) -> Tuple[List[int], List[str]]:
+        """Return the decoded region and event labels of one p-sequence."""
+        data = self._extractor.prepare(sequence)
+        return decode_icm(self._model, data)
+
+    def predict_labeled_sequence(self, sequence: PositioningSequence) -> LabeledSequence:
+        """Return the decoded labels wrapped in a :class:`LabeledSequence`."""
+        regions, events = self.predict_labels(sequence)
+        return LabeledSequence(
+            sequence=sequence,
+            region_labels=regions,
+            event_labels=events,
+            object_id=sequence.object_id,
+        )
+
+    def annotate(
+        self,
+        sequence: PositioningSequence,
+        *,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[MSemantics]:
+        """Label the sequence and merge the labels into m-semantics (Figure 2)."""
+        regions, events = self.predict_labels(sequence)
+        return merge_record_labels(
+            sequence, regions, events, region_grouping=region_grouping
+        )
+
+    def annotate_many(
+        self, sequences: Sequence[PositioningSequence]
+    ) -> List[List[MSemantics]]:
+        """Annotate a collection of p-sequences."""
+        return [self.annotate(sequence) for sequence in sequences]
+
+    # ------------------------------------------------------------- utilities
+    def baseline_labels(
+        self, sequence: PositioningSequence
+    ) -> Tuple[List[int], List[str]]:
+        """Return the cheap initialisations (nearest region + ST-DBSCAN events).
+
+        Useful as a sanity baseline and as the starting point the decoder
+        refines; exposed for diagnostics and tests.
+        """
+        data = self._extractor.prepare(sequence)
+        return initial_regions(data), initial_events(data)
+
+    def prepare(self, sequence: PositioningSequence) -> SequenceData:
+        """Expose the prepared (label-independent) view of a sequence."""
+        return self._extractor.prepare(sequence)

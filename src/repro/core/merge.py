@@ -1,0 +1,73 @@
+"""Label-and-merge: turning record-level labels into m-semantics.
+
+Figure 2 of the paper: once every positioning record carries a region label
+and an event label, consecutive records with identical region *and* event
+labels are merged into one m-semantics whose time period spans the run.
+
+The merge can also be performed at a coarser region granularity ("in a large
+mall we can construct m-semantics according to different shops or different
+business areas"): :func:`merge_labeled_sequence` accepts an optional
+``region_grouping`` mapping that projects region ids onto group ids before
+merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.mobility.records import (
+    LabeledSequence,
+    MSemantics,
+    PositioningSequence,
+    merge_labels_to_semantics,
+)
+
+
+def merge_labeled_sequence(
+    labeled: LabeledSequence,
+    *,
+    region_grouping: Optional[Dict[int, int]] = None,
+) -> List[MSemantics]:
+    """Merge a labeled sequence into its m-semantics sequence.
+
+    Parameters
+    ----------
+    labeled:
+        The record-level labels produced by a model (or the ground truth).
+    region_grouping:
+        Optional mapping ``region_id → group_id``.  When given, records are
+        merged at the group granularity (e.g. business areas instead of
+        shops); the resulting m-semantics carry the group id as their region.
+
+    Returns
+    -------
+    list of MSemantics
+        Time-ordered and non-overlapping (Definition 3).
+    """
+    if region_grouping is None:
+        return merge_labels_to_semantics(labeled)
+    projected = LabeledSequence(
+        sequence=labeled.sequence,
+        region_labels=[
+            region_grouping.get(region, region) for region in labeled.region_labels
+        ],
+        event_labels=list(labeled.event_labels),
+        object_id=labeled.object_id,
+    )
+    return merge_labels_to_semantics(projected)
+
+
+def merge_record_labels(
+    sequence: PositioningSequence,
+    region_labels: Sequence[int],
+    event_labels: Sequence[str],
+    *,
+    region_grouping: Optional[Dict[int, int]] = None,
+) -> List[MSemantics]:
+    """Convenience wrapper building the :class:`LabeledSequence` inline."""
+    labeled = LabeledSequence(
+        sequence=sequence,
+        region_labels=list(region_labels),
+        event_labels=list(event_labels),
+    )
+    return merge_labeled_sequence(labeled, region_grouping=region_grouping)

@@ -1,0 +1,121 @@
+"""Factories for the C2MN structural variants compared in Section V-A.
+
+The paper evaluates, besides the full model:
+
+* **CMN** — both segmentation clique categories removed; regions and events
+  become decoupled and are inferred independently.
+* **C2MN/Tran** — transition cliques removed.
+* **C2MN/Syn** — synchronization cliques removed.
+* **C2MN/ES** — event-based segmentation cliques removed.
+* **C2MN/SS** — space-based segmentation cliques removed.
+* **C2MN@R** — the full model but with the *region* variable configured first
+  (nearest-neighbour matching) instead of the event variable.
+
+Every factory returns a ready-to-train :class:`~repro.core.annotator.C2MNAnnotator`
+sharing the same indoor space and (optionally) the same distance oracle so the
+expensive region-distance cache is reused across variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.annotator import C2MNAnnotator
+from repro.core.config import C2MNConfig
+from repro.indoor.distance import IndoorDistanceOracle
+from repro.indoor.floorplan import IndoorSpace
+
+#: Names of all C2MN-family variants, in the order used by the paper's tables.
+VARIANT_NAMES = (
+    "CMN",
+    "C2MN/Tran",
+    "C2MN/Syn",
+    "C2MN/ES",
+    "C2MN/SS",
+    "C2MN",
+)
+
+
+def make_c2mn(
+    space: IndoorSpace,
+    *,
+    config: Optional[C2MNConfig] = None,
+    oracle: Optional[IndoorDistanceOracle] = None,
+) -> C2MNAnnotator:
+    """The full coupled model."""
+    base = config if config is not None else C2MNConfig()
+    return C2MNAnnotator(space, config=base, oracle=oracle, name="C2MN")
+
+
+def make_cmn(
+    space: IndoorSpace,
+    *,
+    config: Optional[C2MNConfig] = None,
+    oracle: Optional[IndoorDistanceOracle] = None,
+) -> C2MNAnnotator:
+    """CMN: no segmentation cliques, regions and events decoupled."""
+    base = config if config is not None else C2MNConfig()
+    decoupled = base.with_structure(
+        use_event_segmentation=False, use_space_segmentation=False
+    )
+    return C2MNAnnotator(space, config=decoupled, oracle=oracle, name="CMN")
+
+
+def make_variant(
+    name: str,
+    space: IndoorSpace,
+    *,
+    config: Optional[C2MNConfig] = None,
+    oracle: Optional[IndoorDistanceOracle] = None,
+) -> C2MNAnnotator:
+    """Build a C2MN-family variant by its paper name.
+
+    Accepted names: ``"C2MN"``, ``"CMN"``, ``"C2MN/Tran"``, ``"C2MN/Syn"``,
+    ``"C2MN/ES"``, ``"C2MN/SS"``, ``"C2MN@R"``.
+    """
+    base = config if config is not None else C2MNConfig()
+    if name == "C2MN":
+        return make_c2mn(space, config=base, oracle=oracle)
+    if name == "CMN":
+        return make_cmn(space, config=base, oracle=oracle)
+    if name == "C2MN/Tran":
+        variant = base.with_structure(use_transition=False)
+    elif name == "C2MN/Syn":
+        variant = base.with_structure(use_synchronization=False)
+    elif name == "C2MN/ES":
+        variant = base.with_structure(use_event_segmentation=False)
+    elif name == "C2MN/SS":
+        variant = base.with_structure(use_space_segmentation=False)
+    elif name == "C2MN@R":
+        variant = base.with_first_configured("region")
+    else:
+        raise ValueError(f"unknown C2MN variant {name!r}")
+    return C2MNAnnotator(space, config=variant, oracle=oracle, name=name)
+
+
+def make_annotator(
+    name: str,
+    space: IndoorSpace,
+    *,
+    config: Optional[C2MNConfig] = None,
+    oracle: Optional[IndoorDistanceOracle] = None,
+):
+    """Build any compared method (C2MN family *or* baseline) by its paper name.
+
+    The baseline names are ``"SMoT"``, ``"HMM+DC"``, ``"SAPDV"`` and
+    ``"SAPDA"``; everything else is delegated to :func:`make_variant`.  The
+    import of the baselines is local to avoid a circular dependency at module
+    import time.
+    """
+    from repro.baselines import HMMDCAnnotator, SAPAnnotator, SMoTAnnotator
+
+    base = config if config is not None else C2MNConfig()
+    if name == "SMoT":
+        return SMoTAnnotator(space, config=base)
+    if name == "HMM+DC":
+        return HMMDCAnnotator(space, config=base)
+    if name == "SAPDV":
+        return SAPAnnotator(space, config=base, segmentation="velocity")
+    if name == "SAPDA":
+        return SAPAnnotator(space, config=base, segmentation="density")
+    return make_variant(name, space, config=base, oracle=oracle)

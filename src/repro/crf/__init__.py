@@ -1,0 +1,39 @@
+"""The coupled conditional Markov network (C2MN) engine.
+
+* :mod:`repro.crf.cliques` — clique templates, the shared weight-vector
+  layout and segment (maximal equal-label run) utilities.
+* :mod:`repro.crf.features` — the eight feature functions of Table II and
+  the per-sequence preparation (candidate regions, density labels, speeds).
+* :mod:`repro.crf.model` — the C2MN model: local scores, local conditional
+  distributions and feature vectors for pseudo-likelihood learning.
+* :mod:`repro.crf.inference` — ICM decoding and Gibbs sampling over the
+  coupled label sequences.
+* :mod:`repro.crf.learning` — the alternate learning algorithm
+  (Algorithm 1): pseudo-likelihood, L-BFGS and companion-variable
+  re-configuration from Gibbs samples.
+"""
+
+from repro.crf.cliques import (
+    CliqueTemplates,
+    WeightLayout,
+    segments_of_labels,
+    segment_containing,
+)
+from repro.crf.features import FeatureExtractor, SequenceData
+from repro.crf.model import C2MNModel
+from repro.crf.inference import decode_icm, gibbs_sample_variable
+from repro.crf.learning import AlternateLearner, TrainingReport
+
+__all__ = [
+    "CliqueTemplates",
+    "WeightLayout",
+    "segments_of_labels",
+    "segment_containing",
+    "FeatureExtractor",
+    "SequenceData",
+    "C2MNModel",
+    "decode_icm",
+    "gibbs_sample_variable",
+    "AlternateLearner",
+    "TrainingReport",
+]

@@ -1,0 +1,136 @@
+"""Clique templates, weight layout and segment utilities.
+
+Section III-A of the paper defines four clique categories, each instantiated
+for the region variable R and the event variable E (Table II):
+
+====================  =============================  =============================
+Clique category       Region-relevant template       Event-relevant template
+====================  =============================  =============================
+Matching              ``fsm(θi, ri)``                ``fem(θi, ei)``
+Transition            ``fst(ri, ri+1)``              ``fet(ei, ei+1)``
+Synchronization       ``fsc(θi, θi+1, ri, ri+1)``    ``fec(θi, θi+1, ei, ei+1)``
+Segmentation          ``fes(c_es)`` (3 features)     ``fss(c_ss)`` (3 features)
+====================  =============================  =============================
+
+With parameter sharing every template owns one weight (three for the
+segmentation templates), giving a 12-dimensional shared weight vector.
+:class:`WeightLayout` fixes the index ranges once so the model, the learner
+and the tests all agree on the layout.
+
+Segmentation cliques are *maximal runs* of equal labels of the other
+variable: an event-based segmentation ``c_es`` spans a maximal run of equal
+event labels, a space-based segmentation ``c_ss`` spans a maximal run of
+equal region labels.  :func:`segments_of_labels` and
+:func:`segment_containing` compute those runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Total number of shared weights (one per scalar feature component).
+N_WEIGHTS = 12
+
+
+@dataclass(frozen=True)
+class WeightLayout:
+    """Index layout of the shared 12-dimensional weight vector."""
+
+    spatial_matching: int = 0
+    event_matching: int = 1
+    space_transition: int = 2
+    event_transition: int = 3
+    spatial_consistency: int = 4
+    event_consistency: int = 5
+    event_segmentation: Tuple[int, int, int] = (6, 7, 8)
+    space_segmentation: Tuple[int, int, int] = (9, 10, 11)
+
+    @property
+    def size(self) -> int:
+        return N_WEIGHTS
+
+    @property
+    def region_relevant(self) -> Tuple[int, ...]:
+        """Weight indexes of the region-relevant templates (Table II, left column)."""
+        return (
+            self.spatial_matching,
+            self.space_transition,
+            self.spatial_consistency,
+            *self.event_segmentation,
+        )
+
+    @property
+    def event_relevant(self) -> Tuple[int, ...]:
+        """Weight indexes of the event-relevant templates (Table II, right column)."""
+        return (
+            self.event_matching,
+            self.event_transition,
+            self.event_consistency,
+            *self.space_segmentation,
+        )
+
+    def indexes_for(self, variable: str) -> Tuple[int, ...]:
+        """Return the weight indexes relevant to ``'region'`` or ``'event'``."""
+        if variable == "region":
+            return self.region_relevant
+        if variable == "event":
+            return self.event_relevant
+        raise ValueError(f"unknown variable {variable!r}")
+
+    def initial_weights(self, value: float = 0.1) -> np.ndarray:
+        """Return a fresh weight vector filled with ``value``."""
+        return np.full(self.size, value, dtype=float)
+
+
+@dataclass(frozen=True)
+class CliqueTemplates:
+    """Which clique categories are active (the structural variants of Section V-A)."""
+
+    transition: bool = True
+    synchronization: bool = True
+    event_segmentation: bool = True
+    space_segmentation: bool = True
+
+    @property
+    def coupled(self) -> bool:
+        """True if regions and events are coupled through any segmentation clique."""
+        return self.event_segmentation or self.space_segmentation
+
+
+def segments_of_labels(labels: Sequence) -> List[Tuple[int, int]]:
+    """Return the maximal runs ``(start, end)`` (inclusive) of equal labels.
+
+    >>> segments_of_labels(["a", "a", "b", "a"])
+    [(0, 1), (2, 2), (3, 3)]
+    """
+    segments: List[Tuple[int, int]] = []
+    if not labels:
+        return segments
+    start = 0
+    for i in range(1, len(labels)):
+        if labels[i] != labels[start]:
+            segments.append((start, i - 1))
+            start = i
+    segments.append((start, len(labels) - 1))
+    return segments
+
+
+def segment_containing(labels: Sequence, index: int) -> Tuple[int, int]:
+    """Return the maximal equal-label run ``(start, end)`` containing ``index``.
+
+    Only the labels around ``index`` are examined so the cost is proportional
+    to the run length, not the sequence length.
+    """
+    if index < 0 or index >= len(labels):
+        raise IndexError(f"index {index} out of range for {len(labels)} labels")
+    value = labels[index]
+    start = index
+    while start > 0 and labels[start - 1] == value:
+        start -= 1
+    end = index
+    while end + 1 < len(labels) and labels[end + 1] == value:
+        end += 1
+    return start, end

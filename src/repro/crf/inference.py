@@ -1,0 +1,146 @@
+"""Inference over C2MN: initialisation, ICM decoding and Gibbs sampling.
+
+Two inference routines are needed:
+
+* **Decoding** an unseen sequence into the most-likely region and event
+  labels.  We use iterated conditional modes (ICM): starting from the cheap
+  initialisations the paper also uses (nearest-neighbour regions and
+  ST-DBSCAN events), nodes are repeatedly set to the argmax of their local
+  conditional until a sweep makes no change.  Because the model's local
+  conditionals already contain the coupling (segmentation cliques), ICM
+  performs the *joint* labeling of regions and events.
+* **Gibbs sampling** one target variable with the other fixed, used by the
+  alternate learning algorithm to re-configure the companion variable from M
+  samples (Algorithm 1, lines 5–8 and 24–26).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.stdbscan import DENSITY_NOISE
+from repro.crf.features import SequenceData
+from repro.crf.model import C2MNModel, EVENT_DOMAIN
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+
+
+def initial_events(data: SequenceData) -> List[str]:
+    """ST-DBSCAN initialisation of the event variable (Algorithm 1, line 1).
+
+    Core and border points are regarded as stay, noise points as pass.
+    """
+    return [
+        EVENT_PASS if density == DENSITY_NOISE else EVENT_STAY
+        for density in data.density_labels
+    ]
+
+
+def initial_regions(data: SequenceData) -> List[int]:
+    """Nearest-neighbour region matching initialisation (the C2MN@R alternative)."""
+    return list(data.nearest_regions)
+
+
+def decode_icm(
+    model: C2MNModel,
+    data: SequenceData,
+    *,
+    max_sweeps: Optional[int] = None,
+    init_regions: Optional[Sequence[int]] = None,
+    init_events: Optional[Sequence[str]] = None,
+) -> Tuple[List[int], List[str]]:
+    """Jointly decode the region and event sequences with ICM.
+
+    Each sweep first updates every region node, then every event node, each to
+    the argmax of its local conditional given the current configuration of
+    everything else.  Sweeps stop when nothing changes or ``max_sweeps`` is
+    reached.
+    """
+    sweeps = max_sweeps if max_sweeps is not None else model.extractor.config.icm_sweeps
+    regions = list(init_regions) if init_regions is not None else initial_regions(data)
+    events = list(init_events) if init_events is not None else initial_events(data)
+    n = len(data)
+    for _ in range(sweeps):
+        changed = False
+        for i in range(n):
+            best = model.best_label(data, regions, events, i, "region")
+            if best != regions[i]:
+                regions[i] = best
+                changed = True
+        for i in range(n):
+            best = model.best_label(data, regions, events, i, "event")
+            if best != events[i]:
+                events[i] = best
+                changed = True
+        if not changed:
+            break
+    return regions, events
+
+
+def gibbs_sample_variable(
+    model: C2MNModel,
+    data: SequenceData,
+    regions: Sequence[int],
+    events: Sequence[str],
+    *,
+    variable: str,
+    n_samples: int,
+    rng: random.Random,
+    burn_in: int = 1,
+) -> List[List]:
+    """Sample ``n_samples`` configurations of one target variable via Gibbs sweeps.
+
+    The other variable stays fixed at the passed configuration.  Each sample is
+    the configuration after one full sweep; ``burn_in`` initial sweeps are
+    discarded.
+    """
+    if variable not in ("region", "event"):
+        raise ValueError(f"unknown variable {variable!r}")
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    current_regions = list(regions)
+    current_events = list(events)
+    n = len(data)
+    samples: List[List] = []
+    total_sweeps = burn_in + n_samples
+    for sweep in range(total_sweeps):
+        for i in range(n):
+            values, probabilities, _ = model.local_distribution(
+                data, current_regions, current_events, i, variable
+            )
+            choice = _sample_from(values, probabilities, rng)
+            if variable == "region":
+                current_regions[i] = choice
+            else:
+                current_events[i] = choice
+        if sweep >= burn_in:
+            samples.append(
+                list(current_regions) if variable == "region" else list(current_events)
+            )
+    return samples
+
+
+def consensus_configuration(samples: Sequence[Sequence]) -> List:
+    """Per-node majority vote over sampled configurations (Algorithm 1, line 25)."""
+    if not samples:
+        raise ValueError("cannot take a consensus of zero samples")
+    length = len(samples[0])
+    result = []
+    for position in range(length):
+        votes = Counter(sample[position] for sample in samples)
+        result.append(votes.most_common(1)[0][0])
+    return result
+
+
+def _sample_from(values: Sequence, probabilities: np.ndarray, rng: random.Random):
+    """Draw one value according to ``probabilities`` using the given RNG."""
+    threshold = rng.random()
+    cumulative = 0.0
+    for value, probability in zip(values, probabilities):
+        cumulative += float(probability)
+        if threshold <= cumulative:
+            return value
+    return values[-1]

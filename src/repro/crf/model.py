@@ -1,0 +1,303 @@
+"""The C2MN model: local scores, conditionals and feature vectors.
+
+The model follows Section III of the paper.  With parameter sharing
+(Section II-B) every clique template owns one weight (three for the
+segmentation templates), so the model state is a single 12-dimensional weight
+vector plus the set of active clique categories.
+
+The quantities needed by both learning (pseudo-likelihood, Section IV) and
+inference (ICM / Gibbs) are *local*: the feature contributions of all cliques
+containing one target node, given the labels of its Markov blanket.  Those
+are exposed as :meth:`C2MNModel.region_feature_vector` and
+:meth:`C2MNModel.event_feature_vector`; scores are dot products with the
+weight vector and local conditionals are softmaxes over the node's label
+domain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crf.cliques import CliqueTemplates, WeightLayout, segment_containing, segments_of_labels
+from repro.crf.features import FeatureExtractor, SequenceData
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+
+EVENT_DOMAIN: Tuple[str, str] = (EVENT_STAY, EVENT_PASS)
+
+
+class C2MNModel:
+    """A coupled conditional Markov network with shared template weights."""
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        *,
+        templates: Optional[CliqueTemplates] = None,
+        weights: Optional[np.ndarray] = None,
+        layout: Optional[WeightLayout] = None,
+    ):
+        self._extractor = extractor
+        config = extractor.config
+        self._templates = templates if templates is not None else CliqueTemplates(
+            transition=config.use_transition,
+            synchronization=config.use_synchronization,
+            event_segmentation=config.use_event_segmentation,
+            space_segmentation=config.use_space_segmentation,
+        )
+        self._layout = layout if layout is not None else WeightLayout()
+        if weights is None:
+            self._weights = self._layout.initial_weights()
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (self._layout.size,):
+                raise ValueError(
+                    f"weights must have shape ({self._layout.size},), got {weights.shape}"
+                )
+            self._weights = weights.copy()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def extractor(self) -> FeatureExtractor:
+        return self._extractor
+
+    @property
+    def templates(self) -> CliqueTemplates:
+        return self._templates
+
+    @property
+    def layout(self) -> WeightLayout:
+        return self._layout
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    @weights.setter
+    def weights(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        if value.shape != (self._layout.size,):
+            raise ValueError(
+                f"weights must have shape ({self._layout.size},), got {value.shape}"
+            )
+        self._weights = value.copy()
+
+    @property
+    def is_coupled(self) -> bool:
+        """True when segmentation cliques couple the two target variables."""
+        return self._templates.coupled
+
+    # --------------------------------------------------- node feature vectors
+    def region_feature_vector(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+        index: int,
+        value: int,
+    ) -> np.ndarray:
+        """Features of all cliques containing region node ``index`` set to ``value``.
+
+        ``regions`` provides the labels of the neighbouring region nodes and
+        ``events`` the full (fixed) event configuration that defines the
+        event-based segmentation cliques.
+        """
+        layout = self._layout
+        vec = np.zeros(layout.size, dtype=float)
+        extractor = self._extractor
+        n = len(data)
+
+        vec[layout.spatial_matching] = extractor.spatial_matching(data, index, value)
+
+        if self._templates.transition:
+            if index > 0:
+                vec[layout.space_transition] += extractor.space_transition(
+                    regions[index - 1], value, elapsed=data.elapsed_steps[index - 1]
+                )
+            if index < n - 1:
+                vec[layout.space_transition] += extractor.space_transition(
+                    value, regions[index + 1], elapsed=data.elapsed_steps[index]
+                )
+
+        if self._templates.synchronization:
+            if index > 0:
+                vec[layout.spatial_consistency] += extractor.spatial_consistency(
+                    data, index - 1, regions[index - 1], value
+                )
+            if index < n - 1:
+                vec[layout.spatial_consistency] += extractor.spatial_consistency(
+                    data, index, value, regions[index + 1]
+                )
+
+        if self._templates.event_segmentation:
+            start, end = segment_containing(events, index)
+            features = extractor.event_segmentation(
+                data, start, end, _patched(regions, index, value), events[index]
+            )
+            es = layout.event_segmentation
+            vec[es[0] : es[-1] + 1] += features
+        return vec
+
+    def event_feature_vector(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+        index: int,
+        value: str,
+    ) -> np.ndarray:
+        """Features of all cliques containing event node ``index`` set to ``value``."""
+        layout = self._layout
+        vec = np.zeros(layout.size, dtype=float)
+        extractor = self._extractor
+        n = len(data)
+
+        vec[layout.event_matching] = extractor.event_matching(data, index, value)
+
+        if self._templates.transition:
+            if index > 0:
+                vec[layout.event_transition] += extractor.event_transition(
+                    events[index - 1], value
+                )
+            if index < n - 1:
+                vec[layout.event_transition] += extractor.event_transition(
+                    value, events[index + 1]
+                )
+
+        if self._templates.synchronization:
+            if index > 0:
+                vec[layout.event_consistency] += extractor.event_consistency(
+                    data, index - 1, events[index - 1], value
+                )
+            if index < n - 1:
+                vec[layout.event_consistency] += extractor.event_consistency(
+                    data, index, value, events[index + 1]
+                )
+
+        if self._templates.space_segmentation:
+            start, end = segment_containing(regions, index)
+            features = extractor.space_segmentation(
+                data, start, end, _patched(events, index, value)
+            )
+            ss = layout.space_segmentation
+            vec[ss[0] : ss[-1] + 1] += features
+        return vec
+
+    # ------------------------------------------------------ local conditional
+    def local_distribution(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+        index: int,
+        variable: str,
+    ) -> Tuple[List, np.ndarray, np.ndarray]:
+        """Return ``(values, probabilities, feature_matrix)`` for one target node.
+
+        ``variable`` is ``"region"`` or ``"event"``; the label domain is the
+        record's candidate region set or ``(stay, pass)`` respectively.
+        """
+        if variable == "region":
+            values: List = list(data.candidates[index])
+            vectors = np.stack(
+                [
+                    self.region_feature_vector(data, regions, events, index, value)
+                    for value in values
+                ]
+            )
+        elif variable == "event":
+            values = list(EVENT_DOMAIN)
+            vectors = np.stack(
+                [
+                    self.event_feature_vector(data, regions, events, index, value)
+                    for value in values
+                ]
+            )
+        else:
+            raise ValueError(f"unknown variable {variable!r}")
+        scores = vectors @ self._weights
+        scores -= scores.max()
+        exp_scores = np.exp(scores)
+        probabilities = exp_scores / exp_scores.sum()
+        return values, probabilities, vectors
+
+    def best_label(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+        index: int,
+        variable: str,
+    ):
+        """Return the argmax label of the local conditional at one node."""
+        values, probabilities, _ = self.local_distribution(
+            data, regions, events, index, variable
+        )
+        return values[int(np.argmax(probabilities))]
+
+    # --------------------------------------------------- whole-sequence score
+    def configuration_score(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+    ) -> float:
+        """Unnormalised log-potential ``w·f(P, R, E)`` of a full configuration.
+
+        Useful for diagnostics and tests (e.g. checking that the ground-truth
+        configuration scores higher than a corrupted one after training).
+        """
+        return float(self._weights @ self.configuration_features(data, regions, events))
+
+    def configuration_features(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+    ) -> np.ndarray:
+        """Summed template features ``f(P, R, E)`` of a full configuration."""
+        layout = self._layout
+        extractor = self._extractor
+        n = len(data)
+        vec = np.zeros(layout.size, dtype=float)
+        for i in range(n):
+            vec[layout.spatial_matching] += extractor.spatial_matching(data, i, regions[i])
+            vec[layout.event_matching] += extractor.event_matching(data, i, events[i])
+        if self._templates.transition or self._templates.synchronization:
+            for i in range(n - 1):
+                if self._templates.transition:
+                    vec[layout.space_transition] += extractor.space_transition(
+                        regions[i], regions[i + 1], elapsed=data.elapsed_steps[i]
+                    )
+                    vec[layout.event_transition] += extractor.event_transition(
+                        events[i], events[i + 1]
+                    )
+                if self._templates.synchronization:
+                    vec[layout.spatial_consistency] += extractor.spatial_consistency(
+                        data, i, regions[i], regions[i + 1]
+                    )
+                    vec[layout.event_consistency] += extractor.event_consistency(
+                        data, i, events[i], events[i + 1]
+                    )
+        if self._templates.event_segmentation:
+            es = layout.event_segmentation
+            for start, end in segments_of_labels(list(events)):
+                vec[es[0] : es[-1] + 1] += extractor.event_segmentation(
+                    data, start, end, regions, events[start]
+                )
+        if self._templates.space_segmentation:
+            ss = layout.space_segmentation
+            for start, end in segments_of_labels(list(regions)):
+                vec[ss[0] : ss[-1] + 1] += extractor.space_segmentation(
+                    data, start, end, events
+                )
+        return vec
+
+
+def _patched(labels: Sequence, index: int, value) -> List:
+    """Return a copy of ``labels`` with position ``index`` replaced by ``value``."""
+    patched = list(labels)
+    patched[index] = value
+    return patched

@@ -1,0 +1,25 @@
+"""Evaluation: metrics, the experiment harness and per-figure experiments.
+
+* :mod:`repro.evaluation.metrics` — labeling accuracy metrics RA, EA, CA and
+  PA (Section V-A).
+* :mod:`repro.evaluation.harness` — train/evaluate one method on one split
+  and collect accuracies, query answers and timings.
+* :mod:`repro.evaluation.experiments` — one function per paper table/figure
+  that runs the corresponding sweep and returns structured results.
+* :mod:`repro.evaluation.reporting` — plain-text table formatting for the
+  benchmark harness output (the "same rows/series the paper reports").
+"""
+
+from repro.evaluation.metrics import AccuracyScores, evaluate_labels, score_sequences
+from repro.evaluation.harness import EvaluationResult, MethodEvaluator
+from repro.evaluation.reporting import format_table, format_series
+
+__all__ = [
+    "AccuracyScores",
+    "evaluate_labels",
+    "score_sequences",
+    "EvaluationResult",
+    "MethodEvaluator",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,120 @@
+"""Labeling accuracy metrics of Section V-A.
+
+* **Region accuracy (RA)** — fraction of records with the correct region label.
+* **Event accuracy (EA)** — fraction of records with the correct event label.
+* **Combined accuracy (CA)** — ``λ·RA + (1−λ)·EA`` with λ = 0.7 in the paper
+  ("RA's requirement is stricter than EA's").
+* **Perfect accuracy (PA)** — fraction of records with *both* labels correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.mobility.records import LabeledSequence
+
+DEFAULT_LAMBDA = 0.7
+
+
+@dataclass(frozen=True)
+class AccuracyScores:
+    """The four labeling accuracy measures plus the record count they cover."""
+
+    region_accuracy: float
+    event_accuracy: float
+    combined_accuracy: float
+    perfect_accuracy: float
+    records: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "RA": self.region_accuracy,
+            "EA": self.event_accuracy,
+            "CA": self.combined_accuracy,
+            "PA": self.perfect_accuracy,
+            "records": self.records,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AccuracyScores(RA={self.region_accuracy:.4f}, EA={self.event_accuracy:.4f}, "
+            f"CA={self.combined_accuracy:.4f}, PA={self.perfect_accuracy:.4f}, "
+            f"records={self.records})"
+        )
+
+
+def evaluate_labels(
+    predicted_regions: Sequence[int],
+    predicted_events: Sequence[str],
+    true_regions: Sequence[int],
+    true_events: Sequence[str],
+    *,
+    tradeoff: float = DEFAULT_LAMBDA,
+) -> AccuracyScores:
+    """Score one sequence's predicted labels against the ground truth."""
+    n = len(true_regions)
+    if not (len(predicted_regions) == len(predicted_events) == len(true_events) == n):
+        raise ValueError("predicted and true label lists must all have the same length")
+    if n == 0:
+        return AccuracyScores(0.0, 0.0, 0.0, 0.0, 0)
+    if not 0.0 <= tradeoff <= 1.0:
+        raise ValueError("tradeoff must be in [0, 1]")
+    region_hits = 0
+    event_hits = 0
+    both_hits = 0
+    for pr, pe, tr, te in zip(predicted_regions, predicted_events, true_regions, true_events):
+        region_ok = pr == tr
+        event_ok = pe == te
+        region_hits += int(region_ok)
+        event_hits += int(event_ok)
+        both_hits += int(region_ok and event_ok)
+    region_accuracy = region_hits / n
+    event_accuracy = event_hits / n
+    return AccuracyScores(
+        region_accuracy=region_accuracy,
+        event_accuracy=event_accuracy,
+        combined_accuracy=tradeoff * region_accuracy + (1.0 - tradeoff) * event_accuracy,
+        perfect_accuracy=both_hits / n,
+        records=n,
+    )
+
+
+def score_sequences(
+    predictions: Iterable[LabeledSequence],
+    truths: Iterable[LabeledSequence],
+    *,
+    tradeoff: float = DEFAULT_LAMBDA,
+) -> AccuracyScores:
+    """Aggregate record-level accuracy over many sequences (micro average)."""
+    region_hits = 0
+    event_hits = 0
+    both_hits = 0
+    total = 0
+    for predicted, truth in zip(predictions, truths):
+        if len(predicted) != len(truth):
+            raise ValueError(
+                "prediction and ground truth must label the same records "
+                f"({len(predicted)} vs {len(truth)})"
+            )
+        for (pr, pe), (tr, te) in zip(
+            zip(predicted.region_labels, predicted.event_labels),
+            zip(truth.region_labels, truth.event_labels),
+        ):
+            region_ok = pr == tr
+            event_ok = pe == te
+            region_hits += int(region_ok)
+            event_hits += int(event_ok)
+            both_hits += int(region_ok and event_ok)
+            total += 1
+    if total == 0:
+        return AccuracyScores(0.0, 0.0, 0.0, 0.0, 0)
+    region_accuracy = region_hits / total
+    event_accuracy = event_hits / total
+    return AccuracyScores(
+        region_accuracy=region_accuracy,
+        event_accuracy=event_accuracy,
+        combined_accuracy=tradeoff * region_accuracy + (1.0 - tradeoff) * event_accuracy,
+        perfect_accuracy=both_hits / total,
+        records=total,
+    )

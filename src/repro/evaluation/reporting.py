@@ -1,0 +1,85 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same rows and series as the paper's tables
+and figures; these helpers turn lists of dict rows (or x→y series) into
+aligned text tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format a list of dict rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title line printed above the table.
+    float_format:
+        Format applied to float cells.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    rendered = [[cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[Number, Number]],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format ``{series name → {x → y}}`` as one table with one column per series.
+
+    This matches the figure format of the paper: the x axis values become rows
+    and each compared method becomes a column.
+    """
+    xs: List[Number] = sorted({x for values in series.values() for x in values})
+    rows: List[Dict[str, object]] = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values.get(x)
+        rows.append(row)
+    return format_table(
+        rows,
+        columns=[x_label, *series.keys()],
+        title=title,
+        float_format=float_format,
+    )

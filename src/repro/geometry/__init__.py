@@ -1,0 +1,37 @@
+"""Geometric primitives used by the indoor-space substrate.
+
+The paper's feature functions need a handful of planar-geometry operations:
+
+* Euclidean distances between observed locations (:mod:`repro.geometry.point`).
+* Polygonal indoor partitions and semantic regions with area, centroid,
+  containment and clipping operations (:mod:`repro.geometry.polygon`).
+* The intersection area between a circular *uncertainty region* and a
+  polygonal semantic region, used by the spatial matching feature ``fsm``
+  (:mod:`repro.geometry.circle`).
+* A lightweight R-tree for indexing partitions and semantic regions so that
+  candidate regions for a location estimate can be retrieved without a linear
+  scan (:mod:`repro.geometry.rtree`).
+
+Everything is implemented with plain Python and numpy; there is no dependency
+on shapely or libspatialindex so the package runs in a fully offline
+environment.
+"""
+
+from repro.geometry.point import Point, IndoorPoint, euclidean, squared_euclidean
+from repro.geometry.polygon import BoundingBox, Polygon, Rectangle
+from repro.geometry.circle import Circle, circle_polygon_intersection_area
+from repro.geometry.rtree import RTree, RTreeEntry
+
+__all__ = [
+    "Point",
+    "IndoorPoint",
+    "euclidean",
+    "squared_euclidean",
+    "BoundingBox",
+    "Polygon",
+    "Rectangle",
+    "Circle",
+    "circle_polygon_intersection_area",
+    "RTree",
+    "RTreeEntry",
+]

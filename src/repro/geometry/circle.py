@@ -1,0 +1,153 @@
+"""Circles and circle/polygon intersection areas.
+
+The spatial matching feature ``fsm`` (Equation 3 in the paper) needs the area
+of the intersection between a circular uncertainty region ``UR(l, v)`` and a
+polygonal semantic region.  An exact circle/polygon clipping routine is
+surprisingly fiddly; since the feature only needs a well-behaved, monotone
+estimate of the overlap fraction we use Monte-Carlo-free deterministic grid
+integration over the circle's bounding box, which is accurate to a fraction of
+a percent for the grid resolutions used and is fully deterministic (important
+for reproducible experiments and tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon, Rectangle
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle with a centre and a radius."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("circle radius must be positive")
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        return self.center.squared_distance_to(point) <= self.radius * self.radius
+
+    def intersects_bbox(self, bbox: BoundingBox) -> bool:
+        return bbox.distance_to_point(self.center) <= self.radius
+
+
+def circle_rectangle_intersection_area(circle: Circle, rect: Rectangle) -> float:
+    """Exact area of intersection between a circle and an axis-aligned rectangle.
+
+    Uses the standard decomposition of the rectangle into four axis-aligned
+    quadrant boxes relative to the circle centre and the analytic formula for
+    the area of a circle inside a corner-anchored box.
+    """
+
+    def corner_area(w: float, h: float, r: float) -> float:
+        """Area of circle (radius r, centre at origin) within [0,w] x [0,h], w,h >= 0."""
+        if w <= 0 or h <= 0:
+            return 0.0
+        w = min(w, r)
+        h = min(h, r)
+        if w * w + h * h <= r * r:
+            return w * h
+        # Area under the circular arc within the box.
+        a = _segment_area_under_chord(r, w)
+        b = _segment_area_under_chord(r, h)
+        quarter = math.pi * r * r / 4.0
+        return quarter - a - b
+
+    cx, cy = circle.center.x, circle.center.y
+    r = circle.radius
+    x1, x2 = rect.min_x - cx, rect.max_x - cx
+    y1, y2 = rect.min_y - cy, rect.max_y - cy
+
+    def signed_corner(x: float, y: float) -> float:
+        sign = 1.0
+        if x < 0:
+            x, sign = -x, -sign
+        if y < 0:
+            y, sign = -y, -sign
+        return sign * corner_area(x, y, r)
+
+    return (
+        signed_corner(x2, y2)
+        - signed_corner(x1, y2)
+        - signed_corner(x2, y1)
+        + signed_corner(x1, y1)
+    )
+
+
+def _segment_area_under_chord(r: float, d: float) -> float:
+    """Area of the circular segment beyond the chord at distance ``d`` from the centre,
+    restricted to one quadrant (used by the rectangle intersection formula)."""
+    if d >= r:
+        return 0.0
+    theta = math.acos(d / r)
+    return 0.5 * r * r * theta - 0.5 * d * math.sqrt(r * r - d * d)
+
+
+def circle_polygon_intersection_area(
+    circle: Circle, polygon: Polygon, *, resolution: int = 24
+) -> float:
+    """Approximate the intersection area between ``circle`` and ``polygon``.
+
+    For axis-aligned :class:`Rectangle` polygons the exact analytic formula is
+    used.  For general polygons a deterministic grid integration over the
+    circle's bounding box is performed with ``resolution x resolution`` cells.
+
+    Parameters
+    ----------
+    circle:
+        The uncertainty region.
+    polygon:
+        The semantic region or partition geometry.
+    resolution:
+        Grid resolution per axis for the general-polygon fallback.  24 gives a
+        relative error well below 1% for the region sizes used in experiments.
+    """
+    if isinstance(polygon, Rectangle):
+        return max(0.0, circle_rectangle_intersection_area(circle, polygon))
+
+    bbox = circle.bounding_box
+    if not bbox.intersects(polygon.bounding_box):
+        return 0.0
+    cell_w = bbox.width / resolution
+    cell_h = bbox.height / resolution
+    cell_area = cell_w * cell_h
+    covered = 0
+    for ix in range(resolution):
+        x = bbox.min_x + (ix + 0.5) * cell_w
+        for iy in range(resolution):
+            y = bbox.min_y + (iy + 0.5) * cell_h
+            sample = Point(x, y)
+            if circle.contains_point(sample) and polygon.contains_point(sample):
+                covered += 1
+    return covered * cell_area
+
+
+def overlap_fraction(circle: Circle, polygon: Polygon, *, resolution: int = 24) -> float:
+    """Return ``area(circle ∩ polygon) / area(circle)`` clipped to ``[0, 1]``.
+
+    This is precisely the spatial matching feature ``fsm`` of the paper
+    (Equation 3), exposed here so tests can exercise the geometric part in
+    isolation from the CRF feature machinery.
+    """
+    inter = circle_polygon_intersection_area(circle, polygon, resolution=resolution)
+    frac = inter / circle.area
+    return min(1.0, max(0.0, frac))

@@ -1,0 +1,129 @@
+"""Planar and indoor (floor-aware) points.
+
+Indoor positioning systems report a location as a triplet ``(x, y, floor)``
+(Section II-A of the paper).  :class:`Point` models the planar part and
+:class:`IndoorPoint` adds the floor number.  Both are immutable value objects
+so they can be used as dictionary keys and members of sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2D point with float coordinates."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Return the squared Euclidean distance to ``other``."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, order=True)
+class IndoorPoint:
+    """A 2D point annotated with the floor it lies on.
+
+    The floor is an integer index; floor 0 is the ground floor.  Distances
+    between points on different floors are not defined at this level — the
+    topology layer (:mod:`repro.indoor.distance`) accounts for staircase
+    travel when computing the minimum indoor walking distance.
+    """
+
+    x: float
+    y: float
+    floor: int = 0
+
+    @property
+    def planar(self) -> Point:
+        """Return the planar projection (drops the floor)."""
+        return Point(self.x, self.y)
+
+    def distance_to(self, other: "IndoorPoint") -> float:
+        """Return the planar Euclidean distance, ignoring floor changes.
+
+        Raises
+        ------
+        ValueError
+            If the two points are on different floors; callers that need a
+            cross-floor distance should use the topology layer instead.
+        """
+        if self.floor != other.floor:
+            raise ValueError(
+                f"planar distance undefined across floors {self.floor} and {other.floor}"
+            )
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def planar_distance_to(self, other: "IndoorPoint") -> float:
+        """Return the planar Euclidean distance even across floors.
+
+        This is the distance used by the event consistency feature ``fec``
+        which only cares about apparent speed between consecutive reports.
+        """
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float, int]:
+        """Return ``(x, y, floor)``."""
+        return (self.x, self.y, self.floor)
+
+    def with_floor(self, floor: int) -> "IndoorPoint":
+        """Return a copy of this point on a different floor."""
+        return IndoorPoint(self.x, self.y, floor)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.floor
+
+
+def euclidean(a: Iterable[float], b: Iterable[float]) -> float:
+    """Euclidean distance between two equal-length coordinate iterables."""
+    return math.sqrt(squared_euclidean(a, b))
+
+
+def squared_euclidean(a: Iterable[float], b: Iterable[float]) -> float:
+    """Squared Euclidean distance between two coordinate iterables."""
+    total = 0.0
+    for ai, bi in zip(a, b):
+        diff = ai - bi
+        total += diff * diff
+    return total
+
+
+def centroid_of(points: Iterable[Point]) -> Point:
+    """Return the centroid (mean position) of a non-empty point collection."""
+    xs = []
+    ys = []
+    for point in points:
+        xs.append(point.x)
+        ys.append(point.y)
+    if not xs:
+        raise ValueError("centroid_of requires at least one point")
+    return Point(sum(xs) / len(xs), sum(ys) / len(ys))

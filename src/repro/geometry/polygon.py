@@ -1,0 +1,304 @@
+"""Polygons, rectangles and bounding boxes.
+
+Indoor partitions and semantic regions are modelled as simple (non
+self-intersecting) polygons.  The floorplan builders in
+:mod:`repro.indoor.builders` only produce axis-aligned rectangles, but the
+feature functions and the spatial index work with arbitrary convex or concave
+simple polygons, so user-provided floorplans are not restricted to grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned bounding box ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, point: Point) -> bool:
+        """Return True if ``point`` lies inside or on the boundary."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Return True if the two boxes overlap (boundaries touching counts)."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Return the smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a box grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area increase needed to also cover ``other`` (R-tree heuristic)."""
+        return self.union(other).area - self.area
+
+    def distance_to_point(self, point: Point) -> float:
+        """Minimum Euclidean distance from the box to ``point`` (0 if inside)."""
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return math.hypot(dx, dy)
+
+
+class Polygon:
+    """A simple polygon defined by an ordered list of vertices.
+
+    Vertices may be given in either orientation; areas are always reported as
+    positive values.  The polygon is closed implicitly (the last vertex
+    connects back to the first).
+    """
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+        self._vertices: Tuple[Point, ...] = tuple(vertices)
+        self._bbox = BoundingBox(
+            min(p.x for p in vertices),
+            min(p.y for p in vertices),
+            max(p.x for p in vertices),
+            max(p.y for p in vertices),
+        )
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        return self._vertices
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    @property
+    def area(self) -> float:
+        """Return the (positive) area via the shoelace formula."""
+        total = 0.0
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2.0
+
+    @property
+    def centroid(self) -> Point:
+        """Return the area centroid; falls back to vertex mean for degenerate polygons."""
+        verts = self._vertices
+        n = len(verts)
+        signed_area = 0.0
+        cx = 0.0
+        cy = 0.0
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            cross = a.x * b.y - b.x * a.y
+            signed_area += cross
+            cx += (a.x + b.x) * cross
+            cy += (a.y + b.y) * cross
+        if abs(signed_area) < 1e-12:
+            return Point(
+                sum(p.x for p in verts) / n,
+                sum(p.y for p in verts) / n,
+            )
+        signed_area *= 0.5
+        return Point(cx / (6.0 * signed_area), cy / (6.0 * signed_area))
+
+    def contains_point(self, point: Point, *, include_boundary: bool = True) -> bool:
+        """Ray-casting point-in-polygon test."""
+        if not self._bbox.contains_point(point):
+            return False
+        if include_boundary and self._point_on_boundary(point):
+            return True
+        inside = False
+        verts = self._vertices
+        n = len(verts)
+        j = n - 1
+        for i in range(n):
+            pi, pj = verts[i], verts[j]
+            intersects = (pi.y > point.y) != (pj.y > point.y)
+            if intersects:
+                x_cross = (pj.x - pi.x) * (point.y - pi.y) / (pj.y - pi.y) + pi.x
+                if point.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def _point_on_boundary(self, point: Point, tol: float = 1e-9) -> bool:
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if _point_on_segment(point, a, b, tol):
+                return True
+        return False
+
+    def edges(self) -> List[Tuple[Point, Point]]:
+        """Return the list of directed edges ``(v_i, v_{i+1})``."""
+        verts = self._vertices
+        n = len(verts)
+        return [(verts[i], verts[(i + 1) % n]) for i in range(n)]
+
+    def distance_to_point(self, point: Point) -> float:
+        """Euclidean distance from ``point`` to the polygon (0 if inside)."""
+        if self.contains_point(point):
+            return 0.0
+        return min(_point_segment_distance(point, a, b) for a, b in self.edges())
+
+    def closest_point_to(self, point: Point) -> Point:
+        """Return the polygon point closest to ``point`` (itself if inside)."""
+        if self.contains_point(point):
+            return point
+        best: Point | None = None
+        best_dist = math.inf
+        for a, b in self.edges():
+            candidate = _project_on_segment(point, a, b)
+            dist = candidate.distance_to(point)
+            if dist < best_dist:
+                best = candidate
+                best_dist = dist
+        assert best is not None
+        return best
+
+    def sample_grid_points(self, per_side: int = 3) -> List[Point]:
+        """Return interior sample points on a regular grid.
+
+        Used to approximate the expected point-to-point distance between two
+        regions in the space transition feature ``fst``.  Points that fall
+        outside the polygon (for concave shapes) are skipped; the centroid is
+        always included as a fallback so the result is never empty.
+        """
+        bbox = self._bbox
+        samples: List[Point] = []
+        if per_side >= 1:
+            for ix in range(per_side):
+                for iy in range(per_side):
+                    x = bbox.min_x + (ix + 0.5) * bbox.width / per_side
+                    y = bbox.min_y + (iy + 0.5) * bbox.height / per_side
+                    candidate = Point(x, y)
+                    if self.contains_point(candidate):
+                        samples.append(candidate)
+        if not samples:
+            samples.append(self.centroid)
+        return samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Polygon({len(self._vertices)} vertices, area={self.area:.2f})"
+
+
+class Rectangle(Polygon):
+    """An axis-aligned rectangle, the common case for indoor partitions."""
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float):
+        if min_x >= max_x or min_y >= max_y:
+            raise ValueError("rectangle must have positive width and height")
+        super().__init__(
+            [
+                Point(min_x, min_y),
+                Point(max_x, min_y),
+                Point(max_x, max_y),
+                Point(min_x, max_y),
+            ]
+        )
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def contains_point(self, point: Point, *, include_boundary: bool = True) -> bool:
+        if include_boundary:
+            return (
+                self.min_x <= point.x <= self.max_x
+                and self.min_y <= point.y <= self.max_y
+            )
+        return self.min_x < point.x < self.max_x and self.min_y < point.y < self.max_y
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Rectangle(({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y}))"
+        )
+
+
+def _point_on_segment(p: Point, a: Point, b: Point, tol: float) -> bool:
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if abs(cross) > tol:
+        return False
+    dot = (p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)
+    if dot < -tol:
+        return False
+    squared_len = (b.x - a.x) ** 2 + (b.y - a.y) ** 2
+    return dot <= squared_len + tol
+
+
+def _project_on_segment(p: Point, a: Point, b: Point) -> Point:
+    """Return the point on segment ``ab`` closest to ``p``."""
+    ax, ay = a.x, a.y
+    bx, by = b.x, b.y
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return a
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / length_sq
+    t = max(0.0, min(1.0, t))
+    return Point(ax + t * dx, ay + t * dy)
+
+
+def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    return p.distance_to(_project_on_segment(p, a, b))

@@ -1,0 +1,254 @@
+"""A small in-memory R-tree for indexing indoor partitions and regions.
+
+The paper keeps "an R-tree to index all partitions and their corresponding
+semantic regions" (Section V-B1) so feature extraction can quickly find the
+candidate regions around a location estimate.  This is a classic quadratic
+split R-tree; it supports bounding-box queries, point queries and
+nearest-neighbour search, which is all the annotation pipeline needs.
+
+The implementation favours clarity over raw speed: floorplans have a few
+thousand partitions at most, and queries are dominated by the CRF inference
+anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf entry: a bounding box plus an arbitrary payload object."""
+
+    bbox: BoundingBox
+    payload: Any
+
+
+@dataclass
+class _Node:
+    is_leaf: bool
+    entries: List[Any] = field(default_factory=list)  # RTreeEntry or _Node
+    bbox: Optional[BoundingBox] = None
+
+    def recompute_bbox(self) -> None:
+        boxes = [
+            entry.bbox for entry in self.entries if entry.bbox is not None
+        ]
+        if not boxes:
+            self.bbox = None
+            return
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        self.bbox = box
+
+
+class RTree:
+    """A quadratic-split R-tree over :class:`RTreeEntry` items."""
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None):
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max_entries = max_entries
+        self._min_entries = min_entries or max(2, max_entries // 2)
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root_bbox(self) -> Optional[BoundingBox]:
+        return self._root.bbox
+
+    # ------------------------------------------------------------------ build
+    def insert(self, bbox: BoundingBox, payload: Any) -> None:
+        """Insert one entry."""
+        entry = RTreeEntry(bbox, payload)
+        leaf = self._choose_leaf(self._root, entry)
+        leaf.entries.append(entry)
+        self._adjust(leaf, entry.bbox)
+        if len(leaf.entries) > self._max_entries:
+            self._split_and_propagate(leaf)
+        self._size += 1
+
+    def bulk_load(self, entries: Iterable[Tuple[BoundingBox, Any]]) -> None:
+        """Insert many entries (simple repeated insertion)."""
+        for bbox, payload in entries:
+            self.insert(bbox, payload)
+
+    # ---------------------------------------------------------------- queries
+    def query_bbox(self, bbox: BoundingBox) -> List[Any]:
+        """Return payloads whose bounding boxes intersect ``bbox``."""
+        results: List[Any] = []
+        self._search(self._root, bbox, results)
+        return results
+
+    def query_point(self, point: Point, *, margin: float = 0.0) -> List[Any]:
+        """Return payloads whose boxes contain ``point`` (optionally expanded)."""
+        probe = BoundingBox(point.x, point.y, point.x, point.y)
+        if margin > 0.0:
+            probe = probe.expanded(margin)
+        return self.query_bbox(probe)
+
+    def nearest(self, point: Point, k: int = 1) -> List[Any]:
+        """Return the payloads of the ``k`` entries nearest to ``point``.
+
+        Distance is measured from the point to the entry's bounding box, which
+        is exact for the axis-aligned rectangles produced by the floorplan
+        builders.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        counter = itertools.count()
+        heap: List[Tuple[float, int, Any]] = []
+        if self._root.bbox is None:
+            return []
+        heapq.heappush(heap, (0.0, next(counter), self._root))
+        results: List[Any] = []
+        while heap and len(results) < k:
+            dist, _, item = heapq.heappop(heap)
+            if isinstance(item, _Node):
+                for entry in item.entries:
+                    if entry.bbox is None:
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (entry.bbox.distance_to_point(point), next(counter), entry),
+                    )
+            elif isinstance(item, RTreeEntry):
+                results.append(item.payload)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected heap item {item!r}")
+        return results
+
+    def all_payloads(self) -> List[Any]:
+        """Return every stored payload (order unspecified)."""
+        results: List[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if isinstance(entry, _Node):
+                    stack.append(entry)
+                else:
+                    results.append(entry.payload)
+        return results
+
+    # -------------------------------------------------------------- internals
+    def _choose_leaf(self, node: _Node, entry: RTreeEntry) -> _Node:
+        while not node.is_leaf:
+            best_child: Optional[_Node] = None
+            best_enlargement = float("inf")
+            best_area = float("inf")
+            for child in node.entries:
+                child_bbox = child.bbox or entry.bbox
+                enlargement = child_bbox.enlargement(entry.bbox)
+                area = child_bbox.area
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_child = child
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best_child is not None
+            node = best_child
+        return node
+
+    def _adjust(self, node: _Node, bbox: BoundingBox) -> None:
+        if node.bbox is None:
+            node.bbox = bbox
+        else:
+            node.bbox = node.bbox.union(bbox)
+        parent = self._find_parent(self._root, node)
+        while parent is not None:
+            parent.recompute_bbox()
+            parent = self._find_parent(self._root, parent)
+
+    def _find_parent(self, current: _Node, target: _Node) -> Optional[_Node]:
+        if current is target or current.is_leaf:
+            return None
+        for entry in current.entries:
+            if entry is target:
+                return current
+        for entry in current.entries:
+            if isinstance(entry, _Node):
+                found = self._find_parent(entry, target)
+                if found is not None:
+                    return found
+        return None
+
+    def _split_and_propagate(self, node: _Node) -> None:
+        sibling = self._split(node)
+        parent = self._find_parent(self._root, node)
+        if parent is None:
+            new_root = _Node(is_leaf=False, entries=[node, sibling])
+            new_root.recompute_bbox()
+            self._root = new_root
+            return
+        parent.entries.append(sibling)
+        parent.recompute_bbox()
+        if len(parent.entries) > self._max_entries:
+            self._split_and_propagate(parent)
+
+    def _split(self, node: _Node) -> _Node:
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        bbox_a = group_a[0].bbox
+        bbox_b = group_b[0].bbox
+        while remaining:
+            # Guarantee the minimum fill of each group.
+            if len(group_a) + len(remaining) == self._min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            entry = remaining.pop()
+            grow_a = bbox_a.enlargement(entry.bbox)
+            grow_b = bbox_b.enlargement(entry.bbox)
+            if grow_a <= grow_b:
+                group_a.append(entry)
+                bbox_a = bbox_a.union(entry.bbox)
+            else:
+                group_b.append(entry)
+                bbox_b = bbox_b.union(entry.bbox)
+        node.entries = group_a
+        node.recompute_bbox()
+        sibling = _Node(is_leaf=node.is_leaf, entries=group_b)
+        sibling.recompute_bbox()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[Any]) -> Tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].bbox.union(entries[j].bbox)
+                waste = union.area - entries[i].bbox.area - entries[j].bbox.area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    def _search(self, node: _Node, bbox: BoundingBox, out: List[Any]) -> None:
+        if node.bbox is None or not node.bbox.intersects(bbox):
+            return
+        for entry in node.entries:
+            if isinstance(entry, _Node):
+                self._search(entry, bbox, out)
+            else:
+                if entry.bbox.intersects(bbox):
+                    out.append(entry.payload)

@@ -1,0 +1,35 @@
+"""Indoor space substrate: partitions, doors, semantic regions and topology.
+
+This subpackage implements the indoor-space model the paper relies on:
+
+* :mod:`repro.indoor.entities` — partitions (rooms/hallways), doors,
+  staircases and semantic regions.
+* :mod:`repro.indoor.floorplan` — the :class:`IndoorSpace` container with
+  per-floor spatial indexes and point/region lookups.
+* :mod:`repro.indoor.topology` — the accessibility base graph over doors
+  (Lu et al., ICDE 2012 [17]) with precomputed door-to-door shortest paths.
+* :mod:`repro.indoor.distance` — the minimum indoor walking distance (MIWD)
+  and cached expected region-to-region distances used by the ``fst`` and
+  ``fsc`` feature functions.
+* :mod:`repro.indoor.builders` — deterministic floorplan generators: a
+  multi-floor shopping mall (stand-in for the Hangzhou mall of Section V-B)
+  and a Vita-like office building (Section V-C).
+"""
+
+from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
+from repro.indoor.floorplan import IndoorSpace
+from repro.indoor.topology import AccessibilityGraph
+from repro.indoor.distance import IndoorDistanceOracle
+from repro.indoor.builders import build_mall_space, build_office_building
+
+__all__ = [
+    "Door",
+    "Partition",
+    "SemanticRegion",
+    "Staircase",
+    "IndoorSpace",
+    "AccessibilityGraph",
+    "IndoorDistanceOracle",
+    "build_mall_space",
+    "build_office_building",
+]

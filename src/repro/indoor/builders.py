@@ -1,0 +1,401 @@
+"""Deterministic floorplan builders.
+
+Two venues are needed to reproduce the paper's evaluation:
+
+* **A multi-floor shopping mall** (stand-in for the seven-floor Hangzhou mall
+  of Section V-B).  Each floor is a rectangular slab with a central hallway
+  loop and shops along both sides; every shop is one partition and one
+  semantic region; staircases connect consecutive floors at both ends.
+* **A Vita-like office building** (Section V-C uses the Vita simulator to
+  generate a ten-floor building with 1,410 partitions, 2,200 doors and 423
+  semantic regions).  Our builder produces the same style of venue: rooms
+  along double-loaded corridors, a configurable fraction of rooms promoted to
+  semantic regions, and staircases at the corridor ends.
+
+Both builders are fully deterministic given their arguments so experiments are
+reproducible without storing floorplan files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
+from repro.indoor.floorplan import IndoorSpace
+
+
+@dataclass
+class _FloorLayout:
+    """Book-keeping produced while laying out one floor."""
+
+    hallway_partition_ids: List[int]
+    shop_partition_ids: List[int]
+
+
+def build_mall_space(
+    *,
+    floors: int = 7,
+    shops_per_side: int = 15,
+    shop_width: float = 8.0,
+    shop_depth: float = 12.0,
+    hallway_width: float = 6.0,
+    name: str = "grand-mall",
+) -> IndoorSpace:
+    """Build a multi-floor shopping mall.
+
+    Layout per floor (plan view)::
+
+        +-------------------------------------------+
+        |  shop | shop | shop | ... | shop | shop   |   north shops
+        +-------------------------------------------+
+        |                 hallway                   |
+        +-------------------------------------------+
+        |  shop | shop | shop | ... | shop | shop   |   south shops
+        +-------------------------------------------+
+
+    Every shop is one partition and one semantic region with a door opening
+    onto the hallway.  The hallway is split into segments (one per shop column)
+    so the accessibility graph has realistic granularity.  The default
+    arguments give ``7 * 2 * 15 = 210`` shops, close to the paper's 202
+    semantic regions.
+
+    Returns
+    -------
+    IndoorSpace
+        The assembled venue.
+    """
+    if floors < 1:
+        raise ValueError("a mall needs at least one floor")
+    if shops_per_side < 1:
+        raise ValueError("need at least one shop per side")
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    first_hallway_per_floor: List[Tuple[int, int]] = []  # (first, last) hallway pid
+
+    for floor in range(floors):
+        layout = _build_mall_floor(
+            floor=floor,
+            shops_per_side=shops_per_side,
+            shop_width=shop_width,
+            shop_depth=shop_depth,
+            hallway_width=hallway_width,
+            partitions=partitions,
+            doors=doors,
+            regions=regions,
+            next_partition=next_partition,
+            next_door=next_door,
+            next_region=next_region,
+        )
+        first_hallway_per_floor.append(
+            (layout.hallway_partition_ids[0], layout.hallway_partition_ids[-1])
+        )
+
+    # Staircases at both ends of the hallway between consecutive floors.
+    hallway_y = shop_depth + hallway_width / 2.0
+    mall_length = shops_per_side * shop_width
+    for floor in range(floors - 1):
+        lower_first, lower_last = first_hallway_per_floor[floor]
+        upper_first, upper_last = first_hallway_per_floor[floor + 1]
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(shop_width / 2.0, hallway_y, floor),
+                location_upper=IndoorPoint(shop_width / 2.0, hallway_y, floor + 1),
+                partition_lower=lower_first,
+                partition_upper=upper_first,
+                travel_distance=12.0,
+            )
+        )
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(mall_length - shop_width / 2.0, hallway_y, floor),
+                location_upper=IndoorPoint(mall_length - shop_width / 2.0, hallway_y, floor + 1),
+                partition_lower=lower_last,
+                partition_upper=upper_last,
+                travel_distance=12.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+def _build_mall_floor(
+    *,
+    floor: int,
+    shops_per_side: int,
+    shop_width: float,
+    shop_depth: float,
+    hallway_width: float,
+    partitions: List[Partition],
+    doors: List[Door],
+    regions: List[SemanticRegion],
+    next_partition: "_IdAllocator",
+    next_door: "_IdAllocator",
+    next_region: "_IdAllocator",
+) -> _FloorLayout:
+    hallway_min_y = shop_depth
+    hallway_max_y = shop_depth + hallway_width
+    north_min_y = hallway_max_y
+    north_max_y = hallway_max_y + shop_depth
+
+    hallway_ids: List[int] = []
+    shop_ids: List[int] = []
+
+    # Hallway segments, one per shop column, chained left to right.
+    for column in range(shops_per_side):
+        min_x = column * shop_width
+        max_x = (column + 1) * shop_width
+        pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=pid,
+                geometry=Rectangle(min_x, hallway_min_y, max_x, hallway_max_y),
+                floor=floor,
+                kind="hallway",
+            )
+        )
+        hallway_ids.append(pid)
+        if column > 0:
+            # Virtual door between consecutive hallway segments.
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(min_x, (hallway_min_y + hallway_max_y) / 2.0, floor),
+                    partition_ids=(hallway_ids[column - 1], pid),
+                )
+            )
+
+    # Shops on both sides, each with one door onto its hallway segment.
+    for column in range(shops_per_side):
+        min_x = column * shop_width
+        max_x = (column + 1) * shop_width
+        door_x = (min_x + max_x) / 2.0
+        hallway_pid = hallway_ids[column]
+
+        south_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=south_pid,
+                geometry=Rectangle(min_x, 0.0, max_x, shop_depth),
+                floor=floor,
+                kind="shop",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=next_door(),
+                location=IndoorPoint(door_x, hallway_min_y, floor),
+                partition_ids=(south_pid, hallway_pid),
+            )
+        )
+        regions.append(
+            SemanticRegion(
+                region_id=next_region(),
+                name=f"F{floor}-S{column:02d}",
+                partition_ids=(south_pid,),
+                floor=floor,
+                category=_shop_category(column),
+            )
+        )
+        shop_ids.append(south_pid)
+
+        north_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=north_pid,
+                geometry=Rectangle(min_x, north_min_y, max_x, north_max_y),
+                floor=floor,
+                kind="shop",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=next_door(),
+                location=IndoorPoint(door_x, hallway_max_y, floor),
+                partition_ids=(north_pid, hallway_pid),
+            )
+        )
+        regions.append(
+            SemanticRegion(
+                region_id=next_region(),
+                name=f"F{floor}-N{column:02d}",
+                partition_ids=(north_pid,),
+                floor=floor,
+                category=_shop_category(column + shops_per_side),
+            )
+        )
+        shop_ids.append(north_pid)
+
+    return _FloorLayout(hallway_partition_ids=hallway_ids, shop_partition_ids=shop_ids)
+
+
+def build_office_building(
+    *,
+    floors: int = 10,
+    rooms_per_side: int = 12,
+    room_width: float = 6.0,
+    room_depth: float = 8.0,
+    corridor_width: float = 3.0,
+    region_fraction: float = 0.6,
+    seed: int = 7,
+    name: str = "vita-building",
+) -> IndoorSpace:
+    """Build a Vita-like multi-floor office building.
+
+    Rooms line both sides of a central corridor; a deterministic pseudo-random
+    subset (``region_fraction``) of the rooms is promoted to semantic regions,
+    mirroring the paper's synthetic setup where "423 semantic regions were
+    decided upon the partitions at random".  Staircases connect consecutive
+    floors at the corridor ends.
+    """
+    if not 0.0 < region_fraction <= 1.0:
+        raise ValueError("region_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    corridor_ends: List[Tuple[int, int]] = []
+
+    for floor in range(floors):
+        corridor_min_y = room_depth
+        corridor_max_y = room_depth + corridor_width
+        corridor_ids: List[int] = []
+        for column in range(rooms_per_side):
+            min_x = column * room_width
+            max_x = (column + 1) * room_width
+            pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=pid,
+                    geometry=Rectangle(min_x, corridor_min_y, max_x, corridor_max_y),
+                    floor=floor,
+                    kind="hallway",
+                )
+            )
+            corridor_ids.append(pid)
+            if column > 0:
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(
+                            min_x, (corridor_min_y + corridor_max_y) / 2.0, floor
+                        ),
+                        partition_ids=(corridor_ids[column - 1], pid),
+                    )
+                )
+        for column in range(rooms_per_side):
+            min_x = column * room_width
+            max_x = (column + 1) * room_width
+            door_x = (min_x + max_x) / 2.0
+            corridor_pid = corridor_ids[column]
+            for side, (low_y, high_y, door_y) in enumerate(
+                (
+                    (0.0, room_depth, corridor_min_y),
+                    (corridor_max_y, corridor_max_y + room_depth, corridor_max_y),
+                )
+            ):
+                pid = next_partition()
+                partitions.append(
+                    Partition(
+                        partition_id=pid,
+                        geometry=Rectangle(min_x, low_y, max_x, high_y),
+                        floor=floor,
+                        kind="room",
+                    )
+                )
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(door_x, door_y, floor),
+                        partition_ids=(pid, corridor_pid),
+                    )
+                )
+                if rng.random() < region_fraction:
+                    regions.append(
+                        SemanticRegion(
+                            region_id=next_region(),
+                            name=f"F{floor}-R{column:02d}-{'NS'[side]}",
+                            partition_ids=(pid,),
+                            floor=floor,
+                            category="office",
+                        )
+                    )
+        corridor_ends.append((corridor_ids[0], corridor_ids[-1]))
+
+    corridor_y = room_depth + corridor_width / 2.0
+    building_length = rooms_per_side * room_width
+    for floor in range(floors - 1):
+        lower_first, lower_last = corridor_ends[floor]
+        upper_first, upper_last = corridor_ends[floor + 1]
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(room_width / 2.0, corridor_y, floor),
+                location_upper=IndoorPoint(room_width / 2.0, corridor_y, floor + 1),
+                partition_lower=lower_first,
+                partition_upper=upper_first,
+                travel_distance=10.0,
+            )
+        )
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(building_length - room_width / 2.0, corridor_y, floor),
+                location_upper=IndoorPoint(building_length - room_width / 2.0, corridor_y, floor + 1),
+                partition_lower=lower_last,
+                partition_upper=upper_last,
+                travel_distance=10.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+_SHOP_CATEGORIES = (
+    "fashion",
+    "food",
+    "electronics",
+    "sports",
+    "books",
+    "beauty",
+    "toys",
+    "home",
+)
+
+
+def _shop_category(index: int) -> str:
+    return _SHOP_CATEGORIES[index % len(_SHOP_CATEGORIES)]
+
+
+class _IdAllocator:
+    """A tiny monotonically increasing id generator."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value

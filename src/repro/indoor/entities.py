@@ -1,0 +1,191 @@
+"""Indoor entities: partitions, doors, staircases and semantic regions.
+
+Following Section II-A of the paper, an indoor space is divided into
+*partitions* (rooms and hallway segments) connected by *doors*.  A *semantic
+region* (a shop, a cashier, a gate, ...) consists of one or more partitions
+and carries application-level semantics.  Regions never overlap.  Staircases
+connect partitions on adjacent floors and are modelled as special doors with a
+vertical travel cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.geometry.point import IndoorPoint, Point
+from repro.geometry.polygon import Polygon
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An indoor partition: a room or a hallway segment on one floor.
+
+    Attributes
+    ----------
+    partition_id:
+        Unique identifier within the indoor space.
+    geometry:
+        Planar footprint of the partition.
+    floor:
+        Floor index the partition lies on.
+    kind:
+        Free-form category, e.g. ``"room"``, ``"hallway"`` or ``"staircase"``.
+        Only used by the floorplan builders and reporting; the model itself
+        does not depend on it.
+    """
+
+    partition_id: int
+    geometry: Polygon
+    floor: int = 0
+    kind: str = "room"
+
+    @property
+    def area(self) -> float:
+        return self.geometry.area
+
+    @property
+    def centroid(self) -> IndoorPoint:
+        c = self.geometry.centroid
+        return IndoorPoint(c.x, c.y, self.floor)
+
+    def contains(self, point: IndoorPoint) -> bool:
+        """Return True if ``point`` is on this floor and inside the footprint."""
+        return point.floor == self.floor and self.geometry.contains_point(point.planar)
+
+
+@dataclass(frozen=True)
+class Door:
+    """A door connecting exactly two partitions (or a partition and outdoors).
+
+    Doors are the nodes of the accessibility base graph; indoor walking paths
+    are sequences of doors.  A door has a point location on a floor.
+    """
+
+    door_id: int
+    location: IndoorPoint
+    partition_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.partition_ids) <= 2:
+            raise ValueError(
+                f"door {self.door_id} must connect one or two partitions, "
+                f"got {self.partition_ids}"
+            )
+
+    @property
+    def floor(self) -> int:
+        return self.location.floor
+
+    def connects(self, partition_id: int) -> bool:
+        return partition_id in self.partition_ids
+
+    def other_partition(self, partition_id: int) -> Optional[int]:
+        """Return the partition on the other side, or None for exterior doors."""
+        if partition_id not in self.partition_ids:
+            raise ValueError(f"door {self.door_id} does not touch partition {partition_id}")
+        for pid in self.partition_ids:
+            if pid != partition_id:
+                return pid
+        return None
+
+
+@dataclass(frozen=True)
+class Staircase:
+    """A staircase (or elevator) connecting two partitions on adjacent floors.
+
+    The ``travel_distance`` is the walking-distance cost charged by the
+    topology layer for moving between the two connected floors.
+    """
+
+    staircase_id: int
+    location_lower: IndoorPoint
+    location_upper: IndoorPoint
+    partition_lower: int
+    partition_upper: int
+    travel_distance: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.location_upper.floor <= self.location_lower.floor:
+            raise ValueError("upper end of a staircase must be on a higher floor")
+        if self.travel_distance <= 0:
+            raise ValueError("staircase travel distance must be positive")
+
+
+@dataclass
+class SemanticRegion:
+    """A semantic region: one or more partitions with a name and semantics.
+
+    The paper's examples are shops, food courts and service desks in a mall.
+    Regions are the *where* part of an m-semantics triplet and the label space
+    of the region variable R.
+    """
+
+    region_id: int
+    name: str
+    partition_ids: Tuple[int, ...]
+    floor: int = 0
+    category: str = "generic"
+    geometries: List[Polygon] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.partition_ids:
+            raise ValueError(f"semantic region {self.name!r} has no partitions")
+
+    @property
+    def area(self) -> float:
+        return sum(geometry.area for geometry in self.geometries)
+
+    @property
+    def centroid(self) -> IndoorPoint:
+        """Area-weighted centroid across the region's partition geometries."""
+        if not self.geometries:
+            raise ValueError(f"region {self.name!r} has no geometry attached")
+        total_area = 0.0
+        cx = 0.0
+        cy = 0.0
+        for geometry in self.geometries:
+            area = geometry.area
+            centroid = geometry.centroid
+            total_area += area
+            cx += centroid.x * area
+            cy += centroid.y * area
+        if total_area <= 0:
+            first = self.geometries[0].centroid
+            return IndoorPoint(first.x, first.y, self.floor)
+        return IndoorPoint(cx / total_area, cy / total_area, self.floor)
+
+    def contains(self, point: IndoorPoint) -> bool:
+        """Return True if the point lies on the region's floor and inside it."""
+        if point.floor != self.floor:
+            return False
+        planar = point.planar
+        return any(geometry.contains_point(planar) for geometry in self.geometries)
+
+    def distance_to(self, point: IndoorPoint) -> float:
+        """Planar distance from a same-floor point to the region (inf otherwise)."""
+        if point.floor != self.floor:
+            return float("inf")
+        planar = point.planar
+        return min(geometry.distance_to_point(planar) for geometry in self.geometries)
+
+    def sample_points(self, per_side: int = 2) -> List[IndoorPoint]:
+        """Return representative interior points used for expected-distance estimates."""
+        points: List[IndoorPoint] = []
+        for geometry in self.geometries:
+            for sample in geometry.sample_grid_points(per_side):
+                points.append(IndoorPoint(sample.x, sample.y, self.floor))
+        if not points:
+            points.append(self.centroid)
+        return points
+
+    def __hash__(self) -> int:
+        return hash(self.region_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SemanticRegion):
+            return NotImplemented
+        return self.region_id == other.region_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SemanticRegion({self.region_id}, {self.name!r}, floor={self.floor})"

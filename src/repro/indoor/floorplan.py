@@ -1,0 +1,257 @@
+"""The :class:`IndoorSpace` container.
+
+``IndoorSpace`` glues together partitions, doors, staircases and semantic
+regions and exposes the lookups the rest of the library needs:
+
+* which partition / semantic region contains a point;
+* the candidate semantic regions around an uncertain location estimate
+  (spatial-index query used to restrict the CRF label space);
+* the doors of a partition (used by the MIWD computation).
+
+Per-floor R-trees index partitions and regions so lookups stay fast even for
+floorplans with thousands of partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import IndoorPoint, Point
+from repro.geometry.polygon import BoundingBox
+from repro.geometry.rtree import RTree
+from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
+
+
+class IndoorSpace:
+    """An indoor venue: partitions, doors, staircases and semantic regions."""
+
+    def __init__(
+        self,
+        partitions: Iterable[Partition],
+        doors: Iterable[Door],
+        regions: Iterable[SemanticRegion],
+        staircases: Iterable[Staircase] = (),
+        name: str = "indoor-space",
+    ):
+        self.name = name
+        self._partitions: Dict[int, Partition] = {}
+        for partition in partitions:
+            if partition.partition_id in self._partitions:
+                raise ValueError(f"duplicate partition id {partition.partition_id}")
+            self._partitions[partition.partition_id] = partition
+
+        self._doors: Dict[int, Door] = {}
+        self._doors_by_partition: Dict[int, List[Door]] = {}
+        for door in doors:
+            if door.door_id in self._doors:
+                raise ValueError(f"duplicate door id {door.door_id}")
+            for pid in door.partition_ids:
+                if pid not in self._partitions:
+                    raise ValueError(
+                        f"door {door.door_id} references unknown partition {pid}"
+                    )
+                self._doors_by_partition.setdefault(pid, []).append(door)
+            self._doors[door.door_id] = door
+
+        self._staircases: List[Staircase] = list(staircases)
+        for staircase in self._staircases:
+            for pid in (staircase.partition_lower, staircase.partition_upper):
+                if pid not in self._partitions:
+                    raise ValueError(
+                        f"staircase {staircase.staircase_id} references unknown partition {pid}"
+                    )
+
+        self._regions: Dict[int, SemanticRegion] = {}
+        self._region_of_partition: Dict[int, int] = {}
+        for region in regions:
+            if region.region_id in self._regions:
+                raise ValueError(f"duplicate region id {region.region_id}")
+            resolved_geometries = []
+            for pid in region.partition_ids:
+                if pid not in self._partitions:
+                    raise ValueError(
+                        f"region {region.name!r} references unknown partition {pid}"
+                    )
+                if pid in self._region_of_partition:
+                    raise ValueError(
+                        f"partition {pid} belongs to two semantic regions; regions must not overlap"
+                    )
+                self._region_of_partition[pid] = region.region_id
+                resolved_geometries.append(self._partitions[pid].geometry)
+            if not region.geometries:
+                region.geometries = resolved_geometries
+            self._regions[region.region_id] = region
+
+        self._partition_index: Dict[int, RTree] = {}
+        self._region_index: Dict[int, RTree] = {}
+        self._build_indexes()
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def partitions(self) -> List[Partition]:
+        return list(self._partitions.values())
+
+    @property
+    def doors(self) -> List[Door]:
+        return list(self._doors.values())
+
+    @property
+    def staircases(self) -> List[Staircase]:
+        return list(self._staircases)
+
+    @property
+    def regions(self) -> List[SemanticRegion]:
+        return list(self._regions.values())
+
+    @property
+    def region_ids(self) -> List[int]:
+        return list(self._regions.keys())
+
+    @property
+    def floors(self) -> List[int]:
+        return sorted({partition.floor for partition in self._partitions.values()})
+
+    def partition(self, partition_id: int) -> Partition:
+        return self._partitions[partition_id]
+
+    def door(self, door_id: int) -> Door:
+        return self._doors[door_id]
+
+    def region(self, region_id: int) -> SemanticRegion:
+        return self._regions[region_id]
+
+    def has_region(self, region_id: int) -> bool:
+        return region_id in self._regions
+
+    def doors_of_partition(self, partition_id: int) -> List[Door]:
+        """Return all doors touching the given partition."""
+        return list(self._doors_by_partition.get(partition_id, []))
+
+    def region_of_partition(self, partition_id: int) -> Optional[SemanticRegion]:
+        """Return the semantic region the partition belongs to, if any."""
+        region_id = self._region_of_partition.get(partition_id)
+        return self._regions[region_id] if region_id is not None else None
+
+    # ---------------------------------------------------------------- lookups
+    def partition_at(self, point: IndoorPoint) -> Optional[Partition]:
+        """Return the partition containing ``point``, or None if outside all."""
+        index = self._partition_index.get(point.floor)
+        if index is None:
+            return None
+        for partition in index.query_point(point.planar):
+            if partition.contains(point):
+                return partition
+        return None
+
+    def nearest_partition(self, point: IndoorPoint) -> Optional[Partition]:
+        """Return the containing partition, or the nearest one on the same floor."""
+        containing = self.partition_at(point)
+        if containing is not None:
+            return containing
+        index = self._partition_index.get(point.floor)
+        if index is None:
+            return None
+        nearest = index.nearest(point.planar, k=1)
+        return nearest[0] if nearest else None
+
+    def region_at(self, point: IndoorPoint) -> Optional[SemanticRegion]:
+        """Return the semantic region containing ``point``, if any."""
+        index = self._region_index.get(point.floor)
+        if index is None:
+            return None
+        for region in index.query_point(point.planar):
+            if region.contains(point):
+                return region
+        return None
+
+    def nearest_region(self, point: IndoorPoint) -> Optional[SemanticRegion]:
+        """Return the containing region, or the nearest region on the same floor.
+
+        Falls back to the globally nearest region (any floor, by centroid
+        distance with a per-floor penalty) when the point's floor has no
+        regions at all — this can happen for corrupted records with a false
+        floor value.
+        """
+        containing = self.region_at(point)
+        if containing is not None:
+            return containing
+        index = self._region_index.get(point.floor)
+        if index is not None:
+            nearest = index.nearest(point.planar, k=1)
+            if nearest:
+                return nearest[0]
+        return self._nearest_region_any_floor(point)
+
+    def candidate_regions(
+        self, point: IndoorPoint, *, radius: float = 20.0, max_candidates: int = 8
+    ) -> List[SemanticRegion]:
+        """Return semantic regions near an uncertain location estimate.
+
+        The candidates are drawn from the point's reported floor first (box
+        query expanded by ``radius``, topped up with nearest-neighbour search).
+        When the reported floor has no regions — e.g. a false floor value in a
+        corrupted record — regions from adjacent floors are considered so the
+        label space is never empty.
+        """
+        results: List[SemanticRegion] = []
+        seen: set[int] = set()
+        index = self._region_index.get(point.floor)
+        if index is not None:
+            box = BoundingBox(point.x, point.y, point.x, point.y).expanded(radius)
+            for region in index.query_bbox(box):
+                if region.region_id not in seen:
+                    seen.add(region.region_id)
+                    results.append(region)
+            if len(results) < max_candidates:
+                for region in index.nearest(point.planar, k=max_candidates):
+                    if region.region_id not in seen:
+                        seen.add(region.region_id)
+                        results.append(region)
+        if not results:
+            fallback = self._nearest_region_any_floor(point)
+            if fallback is not None:
+                results.append(fallback)
+        results.sort(key=lambda region: region.distance_to(point) if region.floor == point.floor else float("inf"))
+        return results[:max_candidates]
+
+    def _nearest_region_any_floor(self, point: IndoorPoint) -> Optional[SemanticRegion]:
+        best: Optional[SemanticRegion] = None
+        best_score = float("inf")
+        for region in self._regions.values():
+            centroid = region.centroid
+            planar = centroid.planar.distance_to(point.planar)
+            floor_penalty = abs(region.floor - point.floor) * 50.0
+            score = planar + floor_penalty
+            if score < best_score:
+                best_score = score
+                best = region
+        return best
+
+    # -------------------------------------------------------------- internals
+    def _build_indexes(self) -> None:
+        for partition in self._partitions.values():
+            index = self._partition_index.setdefault(partition.floor, RTree())
+            index.insert(partition.geometry.bounding_box, partition)
+        for region in self._regions.values():
+            index = self._region_index.setdefault(region.floor, RTree())
+            for geometry in region.geometries:
+                index.insert(geometry.bounding_box, region)
+
+    # -------------------------------------------------------------- reporting
+    def summary(self) -> Dict[str, float]:
+        """Return basic statistics of the venue (used by Table III/V reports)."""
+        return {
+            "partitions": len(self._partitions),
+            "doors": len(self._doors),
+            "staircases": len(self._staircases),
+            "regions": len(self._regions),
+            "floors": len(self.floors),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.summary()
+        return (
+            f"IndoorSpace({self.name!r}, floors={stats['floors']}, "
+            f"partitions={stats['partitions']}, doors={stats['doors']}, "
+            f"regions={stats['regions']})"
+        )

@@ -1,0 +1,138 @@
+"""Accessibility base graph over doors with precomputed shortest distances.
+
+Following Lu et al. [17] (reference [17] of the paper), indoor walking paths
+are sequences of doors: to get from partition A to partition B one must leave
+A through one of its doors, traverse intermediate partitions door-to-door, and
+finally enter B.  The *accessibility base graph* has one node per door and an
+edge between two doors whenever they touch the same partition; the edge weight
+is the intra-partition Euclidean distance between the two door locations.
+Staircases add inter-floor edges with their configured travel distance.
+
+The paper precomputes the shortest indoor distances between all doors
+(Section V-B1, "The shortest indoor distances between doors were pre-computed
+to speed up computations on MIWD").  We do the same with Dijkstra from every
+door, memoised lazily so small floorplans in unit tests do not pay the full
+all-pairs cost up front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.indoor.entities import Door, Staircase
+from repro.indoor.floorplan import IndoorSpace
+
+
+class AccessibilityGraph:
+    """Door-to-door accessibility graph with shortest-distance queries."""
+
+    def __init__(self, space: IndoorSpace, *, precompute_all_pairs: bool = False):
+        self._space = space
+        self._graph = nx.Graph()
+        self._distances: Dict[int, Dict[int, float]] = {}
+        self._build()
+        if precompute_all_pairs:
+            self.precompute_all_pairs()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (nodes are door ids)."""
+        return self._graph
+
+    @property
+    def number_of_doors(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def number_of_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        space = self._space
+        for door in space.doors:
+            self._graph.add_node(door.door_id, door=door)
+        # Intra-partition edges: doors sharing a partition are mutually reachable
+        # by walking across that partition.
+        for partition in space.partitions:
+            doors = space.doors_of_partition(partition.partition_id)
+            for i in range(len(doors)):
+                for j in range(i + 1, len(doors)):
+                    a, b = doors[i], doors[j]
+                    weight = a.location.planar.distance_to(b.location.planar)
+                    self._add_edge(a.door_id, b.door_id, weight)
+        # Staircase edges: connect the nearest door on each end's partition with
+        # the staircase travel distance plus the walk to/from the staircase.
+        for staircase in space.staircases:
+            self._add_staircase(staircase)
+
+    def _add_staircase(self, staircase: Staircase) -> None:
+        space = self._space
+        lower_doors = space.doors_of_partition(staircase.partition_lower)
+        upper_doors = space.doors_of_partition(staircase.partition_upper)
+        if not lower_doors or not upper_doors:
+            return
+        for lower in lower_doors:
+            for upper in upper_doors:
+                walk_lower = lower.location.planar.distance_to(
+                    staircase.location_lower.planar
+                )
+                walk_upper = upper.location.planar.distance_to(
+                    staircase.location_upper.planar
+                )
+                weight = walk_lower + staircase.travel_distance + walk_upper
+                self._add_edge(lower.door_id, upper.door_id, weight)
+
+    def _add_edge(self, a: int, b: int, weight: float) -> None:
+        if self._graph.has_edge(a, b):
+            if self._graph[a][b]["weight"] <= weight:
+                return
+        self._graph.add_edge(a, b, weight=weight)
+
+    # ---------------------------------------------------------------- queries
+    def precompute_all_pairs(self) -> None:
+        """Run Dijkstra from every door and cache the distance maps."""
+        for door_id in self._graph.nodes:
+            self._ensure_source(door_id)
+
+    def door_distance(self, door_a: int, door_b: int) -> float:
+        """Shortest walking distance between two doors (inf if disconnected)."""
+        if door_a == door_b:
+            return 0.0
+        self._ensure_source(door_a)
+        return self._distances[door_a].get(door_b, float("inf"))
+
+    def distances_from(self, door_id: int) -> Dict[int, float]:
+        """Return the full distance map from one door (cached)."""
+        self._ensure_source(door_id)
+        return dict(self._distances[door_id])
+
+    def shortest_door_path(self, door_a: int, door_b: int) -> Optional[List[int]]:
+        """Return the door-id path between two doors, or None if disconnected."""
+        try:
+            return nx.dijkstra_path(self._graph, door_a, door_b, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def is_connected(self) -> bool:
+        """Return True if every door can reach every other door."""
+        if self._graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def memory_entries(self) -> int:
+        """Number of cached door-to-door distances (reported in Table III/V analogues)."""
+        return sum(len(row) for row in self._distances.values())
+
+    # -------------------------------------------------------------- internals
+    def _ensure_source(self, door_id: int) -> None:
+        if door_id in self._distances:
+            return
+        if door_id not in self._graph:
+            raise KeyError(f"unknown door id {door_id}")
+        lengths = nx.single_source_dijkstra_path_length(
+            self._graph, door_id, weight="weight"
+        )
+        self._distances[door_id] = lengths

@@ -1,0 +1,46 @@
+"""Mobility data substrate: records, simulation, corruption and datasets.
+
+* :mod:`repro.mobility.records` — positioning records, p-sequences,
+  m-semantics and labeled sequences (the data model of Section II).
+* :mod:`repro.mobility.simulator` — a waypoint-model indoor mobility
+  simulator producing per-second ground truth (substitute for the Vita
+  generator [11] and for the proprietary mall Wi-Fi dataset).
+* :mod:`repro.mobility.positioning` — the positioning-error model that turns
+  ground-truth trajectories into noisy, sparsely sampled p-sequences
+  (maximum period T, error μ, false floors, outliers — Section V-C).
+* :mod:`repro.mobility.preprocessing` — p-sequence splitting/filtering
+  (thresholds η and ψ of Section V-B1).
+* :mod:`repro.mobility.dataset` — dataset containers, train/test splits and
+  cross-validation folds.
+"""
+
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    MSemantics,
+    PositioningRecord,
+    PositioningSequence,
+)
+from repro.mobility.simulator import GroundTruthPoint, GroundTruthTrajectory, WaypointSimulator
+from repro.mobility.positioning import PositioningErrorModel
+from repro.mobility.preprocessing import filter_short_sequences, split_on_time_gaps
+from repro.mobility.dataset import AnnotationDataset, train_test_split, k_fold_splits
+
+__all__ = [
+    "EVENT_PASS",
+    "EVENT_STAY",
+    "LabeledSequence",
+    "MSemantics",
+    "PositioningRecord",
+    "PositioningSequence",
+    "GroundTruthPoint",
+    "GroundTruthTrajectory",
+    "WaypointSimulator",
+    "PositioningErrorModel",
+    "filter_short_sequences",
+    "split_on_time_gaps",
+    "AnnotationDataset",
+    "train_test_split",
+    "k_fold_splits",
+]

@@ -1,0 +1,177 @@
+"""Positioning-error model: ground truth → noisy, sparse p-sequences.
+
+Section V-C of the paper generates synthetic datasets from ground-truth
+trajectories as follows:
+
+* after reporting an estimate the object stays silent for at most ``T``
+  seconds (the *maximum positioning period*, controlling temporal sparsity);
+* a location estimate is uniformly within ``μ`` meters of the true location
+  (the *positioning error factor*);
+* with probability 3% the report carries a false floor value (within two
+  floors up or down);
+* with probability 3% the report is an outlier placed 2.5μ–10μ meters from
+  the true location.
+
+:class:`PositioningErrorModel` reproduces exactly this corruption process and
+also produces the per-record ground-truth labels aligned with the generated
+reports, giving the :class:`~repro.mobility.records.LabeledSequence` objects
+used for training and evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import IndoorPoint
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import (
+    LabeledSequence,
+    PositioningRecord,
+    PositioningSequence,
+)
+from repro.mobility.simulator import GroundTruthPoint, GroundTruthTrajectory
+
+
+@dataclass
+class PositioningErrorModel:
+    """Configurable corruption of ground-truth trajectories into p-sequences.
+
+    Parameters
+    ----------
+    max_period:
+        Maximum positioning period ``T`` in seconds; the actual inter-report
+        gap is drawn uniformly from ``[min_period, max_period]``.
+    error:
+        Positioning error factor ``μ`` in meters; regular reports are placed
+        uniformly within a disk of radius ``μ`` around the true location.
+    false_floor_probability:
+        Probability that a report carries a wrong floor (paper: 3%).
+    outlier_probability:
+        Probability that a report is an outlier at 2.5μ–10μ meters (paper: 3%).
+    min_period:
+        Lower bound of the inter-report gap; defaults to 1 second.
+    seed:
+        Seed of the private random generator (deterministic corruption).
+    """
+
+    max_period: float = 5.0
+    error: float = 3.0
+    false_floor_probability: float = 0.03
+    outlier_probability: float = 0.03
+    min_period: float = 1.0
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.max_period < self.min_period or self.min_period <= 0:
+            raise ValueError("periods must satisfy 0 < min_period <= max_period")
+        if self.error < 0:
+            raise ValueError("positioning error must be non-negative")
+        for name in ("false_floor_probability", "outlier_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------- API
+    def corrupt_trajectory(
+        self,
+        trajectory: GroundTruthTrajectory,
+        space: Optional[IndoorSpace] = None,
+    ) -> Optional[LabeledSequence]:
+        """Generate a labeled p-sequence from one ground-truth trajectory.
+
+        Returns None when the trajectory is too short to produce at least two
+        reports.  The ground-truth region/event labels attached to the output
+        are those of the ground-truth sample closest in time to each report
+        (the report's *true* whereabouts, not the noisy estimate).
+        """
+        points = trajectory.points
+        if len(points) < 2:
+            return None
+        records: List[PositioningRecord] = []
+        regions: List[int] = []
+        events: List[str] = []
+        start = points[0].timestamp
+        end = points[-1].timestamp
+        t = start
+        index = 0
+        while t <= end:
+            index = self._advance_index(points, index, t)
+            truth = points[index]
+            location = self._corrupt_location(truth.location, space)
+            records.append(PositioningRecord(location=location, timestamp=t))
+            regions.append(truth.region_id)
+            events.append(truth.event)
+            t += self._rng.uniform(self.min_period, self.max_period)
+        if len(records) < 2:
+            return None
+        sequence = PositioningSequence(records, object_id=trajectory.object_id, sort=False)
+        return LabeledSequence(
+            sequence=sequence,
+            region_labels=regions,
+            event_labels=events,
+            object_id=trajectory.object_id,
+        )
+
+    def corrupt_population(
+        self,
+        trajectories: Sequence[GroundTruthTrajectory],
+        space: Optional[IndoorSpace] = None,
+    ) -> List[LabeledSequence]:
+        """Corrupt many trajectories, skipping those too short to report twice."""
+        results: List[LabeledSequence] = []
+        for trajectory in trajectories:
+            labeled = self.corrupt_trajectory(trajectory, space)
+            if labeled is not None:
+                results.append(labeled)
+        return results
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _advance_index(
+        points: Sequence[GroundTruthPoint], index: int, timestamp: float
+    ) -> int:
+        """Move ``index`` forward to the ground-truth sample closest to ``timestamp``."""
+        n = len(points)
+        while index + 1 < n and points[index + 1].timestamp <= timestamp:
+            index += 1
+        if index + 1 < n:
+            current_gap = abs(points[index].timestamp - timestamp)
+            next_gap = abs(points[index + 1].timestamp - timestamp)
+            if next_gap < current_gap:
+                return index + 1
+        return index
+
+    def _corrupt_location(
+        self, location: IndoorPoint, space: Optional[IndoorSpace]
+    ) -> IndoorPoint:
+        rng = self._rng
+        if rng.random() < self.outlier_probability and self.error > 0:
+            distance = rng.uniform(2.5 * self.error, 10.0 * self.error)
+        else:
+            distance = rng.uniform(0.0, self.error)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        x = location.x + distance * math.cos(angle)
+        y = location.y + distance * math.sin(angle)
+        floor = location.floor
+        if rng.random() < self.false_floor_probability:
+            floor = self._false_floor(floor, space)
+        return IndoorPoint(x, y, floor)
+
+    def _false_floor(self, floor: int, space: Optional[IndoorSpace]) -> int:
+        rng = self._rng
+        offset = rng.choice([-2, -1, 1, 2])
+        candidate = floor + offset
+        if space is not None:
+            floors = space.floors
+            if floors:
+                low, high = min(floors), max(floors)
+                if low == high:
+                    return floor  # single-floor venue: no false floor possible
+                candidate = max(low, min(high, candidate))
+                if candidate == floor:
+                    candidate = floor + (1 if floor < high else -1)
+        return candidate

@@ -1,0 +1,128 @@
+"""P-sequence preprocessing: splitting on long gaps and filtering short sequences.
+
+Section V-B1 of the paper preprocesses the raw mall data in two steps:
+
+i)  a p-sequence with a time gap between consecutive records exceeding a
+    threshold ``η`` (3 minutes in the paper) is split into multiple
+    p-sequences;
+ii) p-sequences whose total duration does not exceed a threshold ``ψ``
+    (30 minutes in the paper) are filtered out.
+
+The same operations are provided here for both plain
+:class:`~repro.mobility.records.PositioningSequence` objects and labeled
+sequences (where the labels are split alongside the records).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.mobility.records import (
+    LabeledSequence,
+    PositioningSequence,
+)
+
+SequenceLike = Union[PositioningSequence, LabeledSequence]
+
+
+def split_on_time_gaps(
+    sequence: SequenceLike, *, max_gap: float
+) -> List[SequenceLike]:
+    """Split a sequence wherever the gap between consecutive records exceeds ``max_gap``.
+
+    Parameters
+    ----------
+    sequence:
+        A positioning sequence or a labeled sequence.
+    max_gap:
+        The threshold ``η`` in seconds.
+
+    Returns
+    -------
+    list
+        The resulting sub-sequences in time order; sub-sequences keep the
+        original ``object_id`` with a ``#k`` suffix when more than one piece
+        is produced.
+    """
+    if max_gap <= 0:
+        raise ValueError("max_gap must be positive")
+    if isinstance(sequence, LabeledSequence):
+        return _split_labeled(sequence, max_gap)
+    return _split_plain(sequence, max_gap)
+
+
+def _segment_boundaries(records, max_gap: float) -> List[int]:
+    """Return the indexes at which a new segment starts (always includes 0)."""
+    boundaries = [0]
+    for i in range(1, len(records)):
+        if records[i].timestamp - records[i - 1].timestamp > max_gap:
+            boundaries.append(i)
+    return boundaries
+
+
+def _split_plain(sequence: PositioningSequence, max_gap: float) -> List[PositioningSequence]:
+    records = sequence.records
+    boundaries = _segment_boundaries(records, max_gap)
+    pieces: List[PositioningSequence] = []
+    for piece_index, start in enumerate(boundaries):
+        end = boundaries[piece_index + 1] if piece_index + 1 < len(boundaries) else len(records)
+        object_id = sequence.object_id
+        if len(boundaries) > 1:
+            object_id = f"{object_id}#{piece_index}"
+        pieces.append(
+            PositioningSequence(records[start:end], object_id=object_id, sort=False)
+        )
+    return pieces
+
+
+def _split_labeled(sequence: LabeledSequence, max_gap: float) -> List[LabeledSequence]:
+    records = sequence.sequence.records
+    boundaries = _segment_boundaries(records, max_gap)
+    pieces: List[LabeledSequence] = []
+    for piece_index, start in enumerate(boundaries):
+        end = boundaries[piece_index + 1] if piece_index + 1 < len(boundaries) else len(records)
+        object_id = sequence.object_id or sequence.sequence.object_id
+        if len(boundaries) > 1:
+            object_id = f"{object_id}#{piece_index}"
+        pieces.append(
+            LabeledSequence(
+                sequence=PositioningSequence(
+                    records[start:end], object_id=object_id, sort=False
+                ),
+                region_labels=list(sequence.region_labels[start:end]),
+                event_labels=list(sequence.event_labels[start:end]),
+                object_id=object_id,
+            )
+        )
+    return pieces
+
+
+def filter_short_sequences(
+    sequences: Sequence[SequenceLike], *, min_duration: float
+) -> List[SequenceLike]:
+    """Drop sequences whose covered time span does not exceed ``min_duration`` (ψ)."""
+    if min_duration < 0:
+        raise ValueError("min_duration must be non-negative")
+    kept: List[SequenceLike] = []
+    for sequence in sequences:
+        duration = (
+            sequence.sequence.duration
+            if isinstance(sequence, LabeledSequence)
+            else sequence.duration
+        )
+        if duration > min_duration:
+            kept.append(sequence)
+    return kept
+
+
+def preprocess(
+    sequences: Sequence[SequenceLike],
+    *,
+    max_gap: float = 180.0,
+    min_duration: float = 1800.0,
+) -> List[SequenceLike]:
+    """Apply the paper's two-step preprocessing (η = 3 min, ψ = 30 min by default)."""
+    split: List[SequenceLike] = []
+    for sequence in sequences:
+        split.extend(split_on_time_gaps(sequence, max_gap=max_gap))
+    return filter_short_sequences(split, min_duration=min_duration)

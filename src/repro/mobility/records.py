@@ -1,0 +1,247 @@
+"""Core data model: positioning records, p-sequences and m-semantics.
+
+This module mirrors the definitions of Section II of the paper:
+
+* **Positioning record** ``θ(l, t)`` — an object was observed at location
+  ``l = (x, y, floor)`` at timestamp ``t`` (Definition preceding Def. 1).
+* **Positioning sequence (p-sequence)** — a time-ordered sequence of records
+  of one object (Definition 1).
+* **Mobility semantics (m-semantics)** ``ms = (region, τ, event)`` — an object
+  did ``event`` in ``region`` during time period ``τ`` (Definition 2).
+* **M-semantics sequence** — a time-ordered, non-overlapping sequence of
+  m-semantics (Definition 3).
+
+Event labels are the two generic indoor patterns of the paper, ``stay`` and
+``pass``.  :class:`LabeledSequence` couples a p-sequence with per-record
+ground-truth (or predicted) region and event labels — the representation used
+throughout training and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import IndoorPoint
+
+EVENT_STAY = "stay"
+EVENT_PASS = "pass"
+EVENTS: Tuple[str, str] = (EVENT_STAY, EVENT_PASS)
+
+
+@dataclass(frozen=True)
+class PositioningRecord:
+    """One positioning report ``θ(l, t)``."""
+
+    location: IndoorPoint
+    timestamp: float
+
+    @property
+    def x(self) -> float:
+        return self.location.x
+
+    @property
+    def y(self) -> float:
+        return self.location.y
+
+    @property
+    def floor(self) -> int:
+        return self.location.floor
+
+    def planar_distance_to(self, other: "PositioningRecord") -> float:
+        """Planar distance between two records' location estimates."""
+        return self.location.planar_distance_to(other.location)
+
+    def speed_to(self, other: "PositioningRecord") -> float:
+        """Apparent speed (m/s) between this record and a later one.
+
+        Returns 0 for non-positive elapsed time, which can happen when two
+        reports carry the same timestamp.
+        """
+        elapsed = other.timestamp - self.timestamp
+        if elapsed <= 0:
+            return 0.0
+        return self.planar_distance_to(other) / elapsed
+
+
+class PositioningSequence:
+    """A time-ordered sequence of positioning records of one object."""
+
+    def __init__(
+        self,
+        records: Sequence[PositioningRecord],
+        *,
+        object_id: str = "object",
+        sort: bool = True,
+    ):
+        if not records:
+            raise ValueError("a positioning sequence cannot be empty")
+        ordered = sorted(records, key=lambda r: r.timestamp) if sort else list(records)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.timestamp < earlier.timestamp:
+                raise ValueError("positioning records must be time-ordered")
+        self._records: Tuple[PositioningRecord, ...] = tuple(ordered)
+        self.object_id = object_id
+
+    # ----------------------------------------------------------- collections
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PositioningRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> PositioningRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Tuple[PositioningRecord, ...]:
+        return self._records
+
+    # -------------------------------------------------------------- temporal
+    @property
+    def start_time(self) -> float:
+        return self._records[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        return self._records[-1].timestamp
+
+    @property
+    def duration(self) -> float:
+        """Total covered time span in seconds."""
+        return self.end_time - self.start_time
+
+    def average_sampling_interval(self) -> float:
+        """Mean gap between consecutive reports (0 for single-record sequences)."""
+        if len(self._records) < 2:
+            return 0.0
+        return self.duration / (len(self._records) - 1)
+
+    def time_slice(self, start: float, end: float) -> "PositioningSequence":
+        """Return the sub-sequence with timestamps in ``[start, end]``.
+
+        Raises ``ValueError`` if the slice would be empty (consistent with the
+        non-empty invariant of p-sequences).
+        """
+        subset = [r for r in self._records if start <= r.timestamp <= end]
+        return PositioningSequence(subset, object_id=self.object_id, sort=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PositioningSequence({self.object_id!r}, n={len(self)}, "
+            f"span={self.duration:.0f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class MSemantics:
+    """A mobility semantics triplet ``(region, [start, end], event)``."""
+
+    region_id: int
+    start_time: float
+    end_time: float
+    event: str
+    record_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENTS:
+            raise ValueError(f"unknown mobility event {self.event!r}")
+        if self.end_time < self.start_time:
+            raise ValueError("m-semantics time period must not be reversed")
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def overlaps(self, other: "MSemantics") -> bool:
+        """Return True if the two time periods overlap (touching endpoints do not count)."""
+        return self.start_time < other.end_time and other.start_time < self.end_time
+
+    def covers_time(self, timestamp: float) -> bool:
+        return self.start_time <= timestamp <= self.end_time
+
+
+@dataclass
+class LabeledSequence:
+    """A p-sequence together with per-record region and event labels.
+
+    Used both for ground truth (training/evaluation) and for model output at
+    the record level before the label-and-merge step.
+    """
+
+    sequence: PositioningSequence
+    region_labels: List[int]
+    event_labels: List[str]
+    object_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.sequence)
+        if len(self.region_labels) != n or len(self.event_labels) != n:
+            raise ValueError(
+                "label lists must match the sequence length "
+                f"({n} records, {len(self.region_labels)} regions, {len(self.event_labels)} events)"
+            )
+        for event in self.event_labels:
+            if event not in EVENTS:
+                raise ValueError(f"unknown mobility event {event!r}")
+        if self.object_id is None:
+            self.object_id = self.sequence.object_id
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def iter_labeled_records(
+        self,
+    ) -> Iterator[Tuple[PositioningRecord, int, str]]:
+        """Yield ``(record, region_id, event)`` triples in time order."""
+        for record, region, event in zip(
+            self.sequence, self.region_labels, self.event_labels
+        ):
+            yield record, region, event
+
+    def stay_fraction(self) -> float:
+        """Fraction of records labeled ``stay`` (a quick dataset statistic)."""
+        if not self.event_labels:
+            return 0.0
+        stays = sum(1 for event in self.event_labels if event == EVENT_STAY)
+        return stays / len(self.event_labels)
+
+    def distinct_regions(self) -> List[int]:
+        """Return the distinct region labels in first-appearance order."""
+        seen: List[int] = []
+        for region in self.region_labels:
+            if region not in seen:
+                seen.append(region)
+        return seen
+
+
+def merge_labels_to_semantics(labeled: LabeledSequence) -> List[MSemantics]:
+    """Label-and-merge (Figure 2): merge runs with equal region *and* event labels.
+
+    Consecutive records that share both the region label and the event label
+    are merged into a single m-semantics whose time period spans from the
+    first to the last record of the run.
+    """
+    semantics: List[MSemantics] = []
+    run_start_idx = 0
+    records = labeled.sequence.records
+    regions = labeled.region_labels
+    events = labeled.event_labels
+    for i in range(1, len(records) + 1):
+        is_boundary = (
+            i == len(records)
+            or regions[i] != regions[run_start_idx]
+            or events[i] != events[run_start_idx]
+        )
+        if is_boundary:
+            semantics.append(
+                MSemantics(
+                    region_id=regions[run_start_idx],
+                    start_time=records[run_start_idx].timestamp,
+                    end_time=records[i - 1].timestamp,
+                    event=events[run_start_idx],
+                    record_count=i - run_start_idx,
+                )
+            )
+            run_start_idx = i
+    return semantics

@@ -1,0 +1,344 @@
+"""Indoor mobility simulator (Vita [11] substitute).
+
+The paper's synthetic experiments use the Vita toolkit to generate indoor
+trajectories: objects follow the random waypoint model, moving between
+semantic regions along pre-planned indoor paths (through doors), staying at a
+destination for a random period, and the simulator records per-second ground
+truth.  Vita is not available as a Python package, so this module implements
+the same behaviour:
+
+* each object repeatedly picks a destination semantic region (uniformly at
+  random, never the current one);
+* the walking path goes from the current point to the door of the current
+  partition, along the shortest door-to-door path, and finally to a point
+  inside the destination region;
+* walking speed is sampled per leg up to ``max_speed`` (default 1.7 m/s as in
+  the paper);
+* after arrival the object *stays* for a random duration between
+  ``min_stay`` and ``max_stay`` (paper: 1 s – 30 min);
+* the ground truth is recorded every second: exact location, the semantic
+  region (destination region while staying, nearest region while passing) and
+  the event label (``stay`` while dwelling, ``pass`` while moving).
+
+The simulator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import IndoorPoint, Point
+from repro.indoor.entities import SemanticRegion
+from repro.indoor.floorplan import IndoorSpace
+from repro.indoor.topology import AccessibilityGraph
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+
+
+@dataclass(frozen=True)
+class GroundTruthPoint:
+    """One per-second ground truth sample."""
+
+    location: IndoorPoint
+    timestamp: float
+    region_id: int
+    event: str
+
+
+@dataclass
+class GroundTruthTrajectory:
+    """The full ground truth of one simulated object."""
+
+    object_id: str
+    points: List[GroundTruthPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def duration(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+    def region_at(self, timestamp: float) -> Optional[int]:
+        """Return the ground-truth region at ``timestamp`` (nearest sample)."""
+        if not self.points:
+            return None
+        best = min(self.points, key=lambda p: abs(p.timestamp - timestamp))
+        return best.region_id
+
+    def stay_visits(self) -> List[Tuple[int, float, float]]:
+        """Return merged ``(region_id, start, end)`` runs where the event is stay."""
+        visits: List[Tuple[int, float, float]] = []
+        current_region: Optional[int] = None
+        start = 0.0
+        end = 0.0
+        for point in self.points:
+            if point.event == EVENT_STAY:
+                if current_region == point.region_id:
+                    end = point.timestamp
+                else:
+                    if current_region is not None:
+                        visits.append((current_region, start, end))
+                    current_region = point.region_id
+                    start = point.timestamp
+                    end = point.timestamp
+            else:
+                if current_region is not None:
+                    visits.append((current_region, start, end))
+                    current_region = None
+        if current_region is not None:
+            visits.append((current_region, start, end))
+        return visits
+
+
+class WaypointSimulator:
+    """Random-waypoint indoor mobility simulator with per-second ground truth."""
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        graph: Optional[AccessibilityGraph] = None,
+        max_speed: float = 1.7,
+        min_speed: float = 0.6,
+        min_stay: float = 30.0,
+        max_stay: float = 1800.0,
+        sample_period: float = 1.0,
+        seed: int = 13,
+    ):
+        if max_speed <= 0 or min_speed <= 0 or min_speed > max_speed:
+            raise ValueError("speeds must satisfy 0 < min_speed <= max_speed")
+        if min_stay < 0 or max_stay < min_stay:
+            raise ValueError("stay durations must satisfy 0 <= min_stay <= max_stay")
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        if not space.regions:
+            raise ValueError("the indoor space has no semantic regions to visit")
+        self._space = space
+        self._graph = graph if graph is not None else AccessibilityGraph(space)
+        self._max_speed = max_speed
+        self._min_speed = min_speed
+        self._min_stay = min_stay
+        self._max_stay = max_stay
+        self._sample_period = sample_period
+        self._rng = random.Random(seed)
+
+    @property
+    def space(self) -> IndoorSpace:
+        return self._space
+
+    # ------------------------------------------------------------------- API
+    def simulate_object(
+        self,
+        object_id: str,
+        *,
+        duration: float,
+        start_time: float = 0.0,
+        start_region: Optional[int] = None,
+    ) -> GroundTruthTrajectory:
+        """Simulate one object for ``duration`` seconds of wall-clock time."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        rng = self._rng
+        regions = self._space.regions
+        current_region = (
+            self._space.region(start_region)
+            if start_region is not None
+            else rng.choice(regions)
+        )
+        current_point = self._point_inside(current_region)
+        trajectory = GroundTruthTrajectory(object_id=object_id)
+        now = start_time
+        end_time = start_time + duration
+
+        # The object starts with a stay at its initial region.
+        now = self._record_stay(trajectory, current_region, current_point, now, end_time)
+        while now < end_time:
+            destination = self._pick_destination(current_region)
+            waypoints = self._plan_path(current_point, current_region, destination)
+            now, current_point = self._record_walk(
+                trajectory, waypoints, now, end_time, destination
+            )
+            if now >= end_time:
+                break
+            current_region = destination
+            now = self._record_stay(trajectory, current_region, current_point, now, end_time)
+        return trajectory
+
+    def simulate_population(
+        self,
+        count: int,
+        *,
+        duration: float,
+        start_time: float = 0.0,
+        lifespan_range: Optional[Tuple[float, float]] = None,
+    ) -> List[GroundTruthTrajectory]:
+        """Simulate ``count`` objects.
+
+        When ``lifespan_range`` is given, each object's active time span is a
+        random sub-interval of ``[start_time, start_time + duration]`` with a
+        length drawn uniformly from the range, mirroring the paper's synthetic
+        setup where object lifespans vary from seconds to the full period.
+        """
+        trajectories: List[GroundTruthTrajectory] = []
+        for index in range(count):
+            if lifespan_range is not None:
+                low, high = lifespan_range
+                lifespan = self._rng.uniform(low, min(high, duration))
+                offset = self._rng.uniform(0.0, max(0.0, duration - lifespan))
+                trajectories.append(
+                    self.simulate_object(
+                        f"obj-{index:04d}",
+                        duration=lifespan,
+                        start_time=start_time + offset,
+                    )
+                )
+            else:
+                trajectories.append(
+                    self.simulate_object(f"obj-{index:04d}", duration=duration, start_time=start_time)
+                )
+        return trajectories
+
+    # ------------------------------------------------------------- internals
+    def _pick_destination(self, current: SemanticRegion) -> SemanticRegion:
+        regions = self._space.regions
+        if len(regions) == 1:
+            return current
+        choice = self._rng.choice(regions)
+        while choice.region_id == current.region_id:
+            choice = self._rng.choice(regions)
+        return choice
+
+    def _point_inside(self, region: SemanticRegion) -> IndoorPoint:
+        """Sample a point inside the region (rejection sampling on the bbox)."""
+        geometry = region.geometries[self._rng.randrange(len(region.geometries))]
+        bbox = geometry.bounding_box
+        for _ in range(32):
+            x = self._rng.uniform(bbox.min_x, bbox.max_x)
+            y = self._rng.uniform(bbox.min_y, bbox.max_y)
+            if geometry.contains_point(Point(x, y)):
+                return IndoorPoint(x, y, region.floor)
+        centroid = region.centroid
+        return centroid
+
+    def _plan_path(
+        self,
+        start: IndoorPoint,
+        start_region: SemanticRegion,
+        destination: SemanticRegion,
+    ) -> List[IndoorPoint]:
+        """Return the waypoint list from ``start`` to a point inside ``destination``."""
+        space = self._space
+        target_point = self._point_inside(destination)
+        start_partition = space.nearest_partition(start)
+        target_partition = space.nearest_partition(target_point)
+        if start_partition is None or target_partition is None:
+            return [start, target_point]
+        if start_partition.partition_id == target_partition.partition_id:
+            return [start, target_point]
+        start_doors = space.doors_of_partition(start_partition.partition_id)
+        target_doors = space.doors_of_partition(target_partition.partition_id)
+        if not start_doors or not target_doors:
+            return [start, target_point]
+        best_path: Optional[List[int]] = None
+        best_cost = math.inf
+        for door_a in start_doors:
+            for door_b in target_doors:
+                middle = self._graph.door_distance(door_a.door_id, door_b.door_id)
+                if middle == math.inf:
+                    continue
+                cost = (
+                    start.planar.distance_to(door_a.location.planar)
+                    + middle
+                    + target_point.planar.distance_to(door_b.location.planar)
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_path = self._graph.shortest_door_path(door_a.door_id, door_b.door_id)
+        waypoints: List[IndoorPoint] = [start]
+        if best_path is not None:
+            for door_id in best_path:
+                waypoints.append(space.door(door_id).location)
+        waypoints.append(target_point)
+        return waypoints
+
+    def _record_stay(
+        self,
+        trajectory: GroundTruthTrajectory,
+        region: SemanticRegion,
+        point: IndoorPoint,
+        now: float,
+        end_time: float,
+    ) -> float:
+        stay_duration = self._rng.uniform(self._min_stay, self._max_stay)
+        stay_end = min(now + stay_duration, end_time)
+        t = now
+        while t <= stay_end:
+            jitter_x = self._rng.uniform(-0.4, 0.4)
+            jitter_y = self._rng.uniform(-0.4, 0.4)
+            trajectory.points.append(
+                GroundTruthPoint(
+                    location=IndoorPoint(point.x + jitter_x, point.y + jitter_y, point.floor),
+                    timestamp=t,
+                    region_id=region.region_id,
+                    event=EVENT_STAY,
+                )
+            )
+            t += self._sample_period
+        return stay_end + self._sample_period
+
+    def _record_walk(
+        self,
+        trajectory: GroundTruthTrajectory,
+        waypoints: Sequence[IndoorPoint],
+        now: float,
+        end_time: float,
+        destination: SemanticRegion,
+    ) -> Tuple[float, IndoorPoint]:
+        """Walk along the waypoints, recording one pass sample per period."""
+        speed = self._rng.uniform(self._min_speed, self._max_speed)
+        current = waypoints[0]
+        t = now
+        for target in list(waypoints[1:]):
+            while t < end_time:
+                remaining = current.planar.distance_to(target.planar)
+                floor_change = target.floor != current.floor
+                step = speed * self._sample_period
+                if remaining <= step and not floor_change:
+                    current = target
+                    break
+                if floor_change:
+                    # Treat the floor change as instantaneous at the staircase door.
+                    current = IndoorPoint(target.x, target.y, target.floor)
+                    break
+                ratio = step / remaining if remaining > 0 else 1.0
+                current = IndoorPoint(
+                    current.x + (target.x - current.x) * ratio,
+                    current.y + (target.y - current.y) * ratio,
+                    current.floor,
+                )
+                region = self._pass_region(current, destination)
+                trajectory.points.append(
+                    GroundTruthPoint(
+                        location=current,
+                        timestamp=t,
+                        region_id=region,
+                        event=EVENT_PASS,
+                    )
+                )
+                t += self._sample_period
+            if t >= end_time:
+                return t, current
+        return t, current
+
+    def _pass_region(self, point: IndoorPoint, destination: SemanticRegion) -> int:
+        """Ground-truth region while passing: the containing or nearest region."""
+        containing = self._space.region_at(point)
+        if containing is not None:
+            return containing.region_id
+        nearest = self._space.nearest_region(point)
+        return nearest.region_id if nearest is not None else destination.region_id

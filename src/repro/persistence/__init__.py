@@ -1,0 +1,33 @@
+"""Persistence: JSON import/export of datasets, annotations and model weights.
+
+A downstream user needs to move data in and out of the library: load their own
+positioning logs, store annotated m-semantics for later analytics, and save a
+trained model's weights so annotation can run without re-training.  All
+formats are plain JSON so they are diff-able and language-neutral.
+"""
+
+from repro.persistence.serializers import (
+    labeled_sequence_from_dict,
+    labeled_sequence_to_dict,
+    load_dataset,
+    load_model_weights,
+    load_semantics,
+    save_dataset,
+    save_model_weights,
+    save_semantics,
+    semantics_from_dicts,
+    semantics_to_dicts,
+)
+
+__all__ = [
+    "labeled_sequence_from_dict",
+    "labeled_sequence_to_dict",
+    "load_dataset",
+    "load_model_weights",
+    "load_semantics",
+    "save_dataset",
+    "save_model_weights",
+    "save_semantics",
+    "semantics_from_dicts",
+    "semantics_to_dicts",
+]

@@ -1,0 +1,150 @@
+"""JSON (de)serialisation of labeled sequences, m-semantics and model weights.
+
+The on-disk formats are intentionally simple:
+
+* **Labeled sequence** — ``{"object_id", "records": [{"x","y","floor","t"}...],
+  "regions": [...], "events": [...]}``; the label lists are optional so the
+  same format also carries unlabeled p-sequences.
+* **Dataset** — ``{"name", "sequences": [<labeled sequence>...]}`` (the indoor
+  space is code, not data — datasets reference it implicitly).
+* **M-semantics** — a list of ``{"region", "start", "end", "event", "records"}``.
+* **Model weights** — ``{"weights": [...12 floats...], "config": {...}}`` where
+  the config dict records the hyper-parameters the weights were trained with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import C2MNConfig
+from repro.geometry.point import IndoorPoint
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.dataset import AnnotationDataset
+from repro.mobility.records import (
+    LabeledSequence,
+    MSemantics,
+    PositioningRecord,
+    PositioningSequence,
+)
+
+PathLike = Union[str, Path]
+
+
+# ------------------------------------------------------------------ sequences
+def labeled_sequence_to_dict(labeled: LabeledSequence) -> Dict:
+    """Convert a labeled sequence into a JSON-serialisable dict."""
+    return {
+        "object_id": labeled.object_id,
+        "records": [
+            {"x": record.x, "y": record.y, "floor": record.floor, "t": record.timestamp}
+            for record in labeled.sequence
+        ],
+        "regions": list(labeled.region_labels),
+        "events": list(labeled.event_labels),
+    }
+
+
+def labeled_sequence_from_dict(payload: Dict) -> LabeledSequence:
+    """Rebuild a labeled sequence from :func:`labeled_sequence_to_dict` output."""
+    records = [
+        PositioningRecord(
+            location=IndoorPoint(entry["x"], entry["y"], int(entry.get("floor", 0))),
+            timestamp=float(entry["t"]),
+        )
+        for entry in payload["records"]
+    ]
+    sequence = PositioningSequence(
+        records, object_id=payload.get("object_id", "object"), sort=False
+    )
+    return LabeledSequence(
+        sequence=sequence,
+        region_labels=[int(region) for region in payload["regions"]],
+        event_labels=list(payload["events"]),
+        object_id=payload.get("object_id"),
+    )
+
+
+def save_dataset(dataset: AnnotationDataset, path: PathLike) -> None:
+    """Write a dataset's sequences (not its indoor space) to a JSON file."""
+    payload = {
+        "name": dataset.name,
+        "sequences": [labeled_sequence_to_dict(labeled) for labeled in dataset.sequences],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_dataset(path: PathLike, space: IndoorSpace) -> AnnotationDataset:
+    """Read a dataset written by :func:`save_dataset`, attaching it to ``space``."""
+    payload = json.loads(Path(path).read_text())
+    sequences = [labeled_sequence_from_dict(entry) for entry in payload["sequences"]]
+    return AnnotationDataset(
+        space=space, sequences=sequences, name=payload.get("name", "dataset")
+    )
+
+
+# ----------------------------------------------------------------- m-semantics
+def semantics_to_dicts(semantics: Sequence[MSemantics]) -> List[Dict]:
+    """Convert an m-semantics sequence to a list of plain dicts."""
+    return [
+        {
+            "region": ms.region_id,
+            "start": ms.start_time,
+            "end": ms.end_time,
+            "event": ms.event,
+            "records": ms.record_count,
+        }
+        for ms in semantics
+    ]
+
+
+def semantics_from_dicts(payload: Sequence[Dict]) -> List[MSemantics]:
+    """Rebuild an m-semantics sequence from :func:`semantics_to_dicts` output."""
+    return [
+        MSemantics(
+            region_id=int(entry["region"]),
+            start_time=float(entry["start"]),
+            end_time=float(entry["end"]),
+            event=entry["event"],
+            record_count=int(entry.get("records", 1)),
+        )
+        for entry in payload
+    ]
+
+
+def save_semantics(semantics: Sequence[MSemantics], path: PathLike) -> None:
+    """Write one object's annotated m-semantics to a JSON file."""
+    Path(path).write_text(json.dumps(semantics_to_dicts(semantics)))
+
+
+def load_semantics(path: PathLike) -> List[MSemantics]:
+    """Read m-semantics written by :func:`save_semantics`."""
+    return semantics_from_dicts(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------- model weights
+def save_model_weights(
+    weights: np.ndarray, path: PathLike, *, config: Optional[C2MNConfig] = None
+) -> None:
+    """Write trained template weights (and optionally their config) to JSON."""
+    payload: Dict = {"weights": [float(value) for value in np.asarray(weights).ravel()]}
+    if config is not None:
+        payload["config"] = dataclasses.asdict(config)
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_model_weights(path: PathLike) -> tuple[np.ndarray, Optional[C2MNConfig]]:
+    """Read weights written by :func:`save_model_weights`.
+
+    Returns the weight vector and the stored configuration (or None when the
+    file carries no config).
+    """
+    payload = json.loads(Path(path).read_text())
+    weights = np.asarray(payload["weights"], dtype=float)
+    config_payload = payload.get("config")
+    config = C2MNConfig(**config_payload) if config_payload else None
+    return weights, config

@@ -1,0 +1,21 @@
+"""Semantics-oriented queries over annotated m-semantics (Section V-B4).
+
+* :mod:`repro.queries.tkprq` — Top-k Popular Region Query: the k regions
+  with the most stay visits within a query time interval.
+* :mod:`repro.queries.tkfrpq` — Top-k Frequent Region Pair Query: the k most
+  frequent pairs of regions visited (stayed at) by the same object.
+* :mod:`repro.queries.precision` — top-k precision of query answers computed
+  from annotated m-semantics against answers computed from the ground truth.
+"""
+
+from repro.queries.tkprq import TkPRQ, count_region_visits
+from repro.queries.tkfrpq import TkFRPQ, count_region_pairs
+from repro.queries.precision import top_k_precision
+
+__all__ = [
+    "TkPRQ",
+    "count_region_visits",
+    "TkFRPQ",
+    "count_region_pairs",
+    "top_k_precision",
+]

@@ -1,0 +1,26 @@
+"""Top-k precision of query answers from annotated vs ground-truth m-semantics.
+
+Section V-B4 measures "the ratio of true top-k regions (or region pairs) in
+the returned top-k results".  This is plain top-k precision between two
+ranked answers treated as sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, TypeVar
+
+T = TypeVar("T")
+
+
+def top_k_precision(predicted: Sequence[T], truth: Sequence[T]) -> float:
+    """Return ``|predicted ∩ truth| / |truth|`` (0.0 when the truth is empty).
+
+    The denominator is the size of the ground-truth answer so that a method
+    returning fewer than k entries (because its annotations produced fewer
+    candidates) is penalised rather than rewarded.
+    """
+    truth_set: Set[T] = set(truth)
+    if not truth_set:
+        return 0.0
+    predicted_set: Set[T] = set(predicted)
+    return len(predicted_set & truth_set) / len(truth_set)

@@ -1,0 +1,81 @@
+"""Top-k Frequent Region Pair Query (TkFRPQ).
+
+Section V-B4: "A Top-k Frequent Region Pair Query (TkFRPQ) finds k most
+frequent pairs of regions from Q x Q that both have been visited by the same
+object."  A pair's frequency is the number of objects that stayed at both of
+its regions within the query interval.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.mobility.records import EVENT_STAY, MSemantics
+
+RegionPair = Tuple[int, int]
+
+
+def count_region_pairs(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    query_regions: Optional[Set[int]] = None,
+) -> Counter:
+    """Count, per unordered region pair, the objects that stayed at both regions."""
+    counts: Counter = Counter()
+    for semantics in semantics_per_object:
+        visited: Set[int] = set()
+        for ms in semantics:
+            if ms.event != EVENT_STAY:
+                continue
+            if query_regions is not None and ms.region_id not in query_regions:
+                continue
+            if start is not None and ms.end_time < start:
+                continue
+            if end is not None and ms.start_time > end:
+                continue
+            visited.add(ms.region_id)
+        for pair in combinations(sorted(visited), 2):
+            counts[pair] += 1
+    return counts
+
+
+class TkFRPQ:
+    """Top-k Frequent Region Pair Query over a collection of annotated objects."""
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        query_regions: Optional[Set[int]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.query_regions = set(query_regions) if query_regions is not None else None
+        self.start = start
+        self.end = end
+
+    def evaluate(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> List[Tuple[RegionPair, int]]:
+        """Return the top-k ``((region_a, region_b), count)`` entries."""
+        counts = count_region_pairs(
+            semantics_per_object,
+            start=self.start,
+            end=self.end,
+            query_regions=self.query_regions,
+        )
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[: self.k]
+
+    def top_pairs(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> List[RegionPair]:
+        """Return only the region pairs of the top-k answer."""
+        return [pair for pair, _ in self.evaluate(semantics_per_object)]

@@ -1,0 +1,83 @@
+"""Top-k Popular Region Query (TkPRQ).
+
+Section V-B4: "A Top-k Popular Region Query (TkPRQ) finds k regions from Q
+that have the most number of visits", where a *visit* is a stay event.  The
+query is evaluated over a set of per-object m-semantics sequences within a
+query time interval ``[start, end]``; an m-semantics contributes a visit to
+its region when it is a stay and its time period intersects the interval.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.mobility.records import EVENT_STAY, MSemantics
+
+
+def count_region_visits(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    query_regions: Optional[Set[int]] = None,
+) -> Counter:
+    """Count stay visits per region within the query interval.
+
+    Consecutive stays at the same region by the same object count as one visit
+    per m-semantics entry, exactly as produced by the label-and-merge step.
+    """
+    counts: Counter = Counter()
+    for semantics in semantics_per_object:
+        for ms in semantics:
+            if ms.event != EVENT_STAY:
+                continue
+            if query_regions is not None and ms.region_id not in query_regions:
+                continue
+            if start is not None and ms.end_time < start:
+                continue
+            if end is not None and ms.start_time > end:
+                continue
+            counts[ms.region_id] += 1
+    return counts
+
+
+class TkPRQ:
+    """Top-k Popular Region Query over a collection of annotated objects."""
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        query_regions: Optional[Set[int]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.query_regions = set(query_regions) if query_regions is not None else None
+        self.start = start
+        self.end = end
+
+    def evaluate(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> List[Tuple[int, int]]:
+        """Return the top-k ``(region_id, visit_count)`` pairs, most visited first.
+
+        Ties are broken by region id so the result is deterministic.
+        """
+        counts = count_region_visits(
+            semantics_per_object,
+            start=self.start,
+            end=self.end,
+            query_regions=self.query_regions,
+        )
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[: self.k]
+
+    def top_regions(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> List[int]:
+        """Return only the region ids of the top-k answer."""
+        return [region for region, _ in self.evaluate(semantics_per_object)]

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (floorplans, datasets, trained annotators) are built once
+per session and reused; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import C2MNAnnotator, C2MNConfig
+from repro.indoor import build_mall_space, build_office_building
+from repro.indoor.distance import IndoorDistanceOracle
+from repro.indoor.topology import AccessibilityGraph
+from repro.mobility.dataset import generate_dataset, train_test_split
+
+
+@pytest.fixture(scope="session")
+def small_space():
+    """A one-floor mall with eight shops — the workhorse venue for unit tests."""
+    return build_mall_space(floors=1, shops_per_side=4)
+
+
+@pytest.fixture(scope="session")
+def two_floor_space():
+    """A two-floor mall with staircases, for topology and cross-floor tests."""
+    return build_mall_space(floors=2, shops_per_side=4)
+
+
+@pytest.fixture(scope="session")
+def office_space():
+    """A small Vita-like office building (synthetic-data venue)."""
+    return build_office_building(floors=2, rooms_per_side=5, region_fraction=0.7)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_space):
+    return AccessibilityGraph(small_space)
+
+
+@pytest.fixture(scope="session")
+def small_oracle(small_space, small_graph):
+    return IndoorDistanceOracle(small_space, small_graph)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_space):
+    """A small labeled dataset over the one-floor mall."""
+    return generate_dataset(
+        small_space,
+        objects=6,
+        duration=1200.0,
+        min_duration=200.0,
+        max_period=8.0,
+        error=4.0,
+        seed=3,
+        name="test-mall",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return train_test_split(small_dataset, train_fraction=0.7, seed=5)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return C2MNConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def fitted_annotator(small_space, small_split, fast_config):
+    """A C2MN annotator trained once on the small dataset's training part."""
+    train, _ = small_split
+    annotator = C2MNAnnotator(small_space, config=fast_config)
+    annotator.fit(train.sequences)
+    return annotator
+
+
+@pytest.fixture(scope="session")
+def office_dataset(office_space):
+    """A small labeled dataset over the office building (synthetic venue)."""
+    return generate_dataset(
+        office_space,
+        objects=6,
+        duration=1200.0,
+        min_duration=200.0,
+        max_period=8.0,
+        error=4.0,
+        seed=9,
+        name="test-office",
+    )

@@ -1,0 +1,114 @@
+"""Tests for behaviour analytics and cross-validation."""
+
+import pytest
+
+from repro.analytics import (
+    ConversionStats,
+    conversion_rates,
+    cross_validate,
+    dwell_time_statistics,
+    region_transition_counts,
+    top_transitions,
+)
+from repro.baselines import SMoTAnnotator
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, MSemantics
+
+
+def _stay(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_STAY)
+
+
+def _pass(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_PASS)
+
+
+@pytest.fixture()
+def crowd():
+    return [
+        [_stay(1, 0, 60), _pass(2, 60, 70), _stay(3, 70, 200)],
+        [_pass(1, 0, 10), _stay(1, 10, 100), _stay(2, 110, 140)],
+        [_stay(3, 0, 30), _pass(2, 30, 40), _stay(1, 40, 90), _stay(3, 100, 160)],
+    ]
+
+
+class TestConversionRates:
+    def test_counts_and_rates(self, crowd):
+        stats = {entry.region_id: entry for entry in conversion_rates(crowd)}
+        assert stats[1].stays == 3 and stats[1].passes == 1
+        assert stats[1].conversion_rate == pytest.approx(0.75)
+        assert stats[2].stays == 1 and stats[2].passes == 2
+        assert stats[2].conversion_rate == pytest.approx(1 / 3)
+        assert stats[3].stays == 3 and stats[3].passes == 0
+        assert stats[3].conversion_rate == 1.0
+
+    def test_sorted_by_rate(self, crowd):
+        rates = [entry.conversion_rate for entry in conversion_rates(crowd)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_min_visits_filter(self, crowd):
+        filtered = conversion_rates(crowd, min_visits=4)
+        assert {entry.region_id for entry in filtered} == {1}
+
+    def test_empty_input(self):
+        assert conversion_rates([]) == []
+
+    def test_conversion_stats_of_unvisited_region(self):
+        assert ConversionStats(region_id=9, stays=0, passes=0).conversion_rate == 0.0
+
+
+class TestDwellTimes:
+    def test_statistics(self, crowd):
+        stats = dwell_time_statistics(crowd)
+        assert stats[1]["visits"] == 3
+        assert stats[1]["total"] == pytest.approx(60 + 90 + 50)
+        assert stats[1]["mean"] == pytest.approx((60 + 90 + 50) / 3)
+        assert stats[1]["max"] == pytest.approx(90)
+        assert 2 in stats and stats[2]["visits"] == 1
+
+    def test_passes_do_not_contribute(self):
+        stats = dwell_time_statistics([[_pass(5, 0, 100)]])
+        assert 5 not in stats
+
+
+class TestTransitions:
+    def test_counts_follow_stay_order(self, crowd):
+        counts = region_transition_counts(crowd)
+        assert counts[(1, 3)] == 2  # objects 0 and 2
+        assert counts[(1, 2)] == 1  # object 1
+        assert counts[(3, 1)] == 1  # object 2
+        assert (2, 3) not in counts
+
+    def test_consecutive_duplicates_collapsed(self):
+        crowd = [[_stay(1, 0, 10), _stay(1, 20, 30), _stay(2, 40, 50)]]
+        counts = region_transition_counts(crowd)
+        assert counts[(1, 2)] == 1
+        assert (1, 1) not in counts
+
+    def test_include_passes(self, crowd):
+        counts = region_transition_counts(crowd, stays_only=False)
+        assert counts[(1, 2)] >= 1
+        assert counts[(2, 3)] >= 1
+
+    def test_top_transitions(self, crowd):
+        top = top_transitions(crowd, k=1)
+        assert top == [((1, 3), 2)]
+        with pytest.raises(ValueError):
+            top_transitions(crowd, k=0)
+
+
+class TestCrossValidation:
+    def test_cross_validate_smot(self, small_space, small_dataset):
+        result = cross_validate(
+            lambda: SMoTAnnotator(small_space),
+            small_dataset,
+            folds=3,
+            seed=5,
+        )
+        assert result.method == "SMoT"
+        assert result.folds == 3
+        summary = result.summary()
+        assert set(summary) == {"RA", "EA", "CA", "PA", "train_s"}
+        for key in ("RA", "EA", "CA", "PA"):
+            assert 0.0 <= summary[key] <= 1.0
+        assert result.std("region_accuracy") >= 0.0
+        assert result.mean("region_accuracy") == pytest.approx(summary["RA"])

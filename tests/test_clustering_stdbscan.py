@@ -1,0 +1,109 @@
+"""Tests for the ST-DBSCAN implementation."""
+
+import pytest
+
+from repro.clustering.stdbscan import (
+    DENSITY_BORDER,
+    DENSITY_CORE,
+    DENSITY_NOISE,
+    STDBSCAN,
+)
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import PositioningRecord, PositioningSequence
+
+
+def _records(points):
+    """points: list of (x, y, t)."""
+    return [PositioningRecord(IndoorPoint(x, y, 0), t) for x, y, t in points]
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            STDBSCAN(eps_spatial=0.0)
+        with pytest.raises(ValueError):
+            STDBSCAN(eps_temporal=0.0)
+        with pytest.raises(ValueError):
+            STDBSCAN(min_points=0)
+
+
+class TestClustering:
+    def test_dense_cluster_is_detected(self):
+        # Six records packed in space and time, plus two isolated ones.
+        packed = [(0.0 + 0.1 * i, 0.0, 10.0 * i) for i in range(6)]
+        isolated = [(100.0, 100.0, 0.0), (200.0, 200.0, 500.0)]
+        records = _records(packed + isolated)
+        result = STDBSCAN(eps_spatial=5.0, eps_temporal=60.0, min_points=3).fit(records)
+        assert result.n_clusters == 1
+        assert result.density_labels[:6].count(DENSITY_NOISE) == 0
+        assert result.density_labels[6] == DENSITY_NOISE
+        assert result.density_labels[7] == DENSITY_NOISE
+
+    def test_core_points_have_dense_neighbourhoods(self):
+        packed = [(0.0, 0.0, 5.0 * i) for i in range(8)]
+        records = _records(packed)
+        result = STDBSCAN(eps_spatial=2.0, eps_temporal=20.0, min_points=4).fit(records)
+        assert DENSITY_CORE in result.density_labels
+
+    def test_temporal_threshold_separates_clusters(self):
+        # Two bursts at the same location but one hour apart.
+        burst_a = [(0.0, 0.0, 10.0 * i) for i in range(5)]
+        burst_b = [(0.0, 0.0, 3600.0 + 10.0 * i) for i in range(5)]
+        records = _records(burst_a + burst_b)
+        result = STDBSCAN(eps_spatial=5.0, eps_temporal=60.0, min_points=3).fit(records)
+        assert result.n_clusters == 2
+        first = {result.cluster_ids[i] for i in range(5)}
+        second = {result.cluster_ids[i] for i in range(5, 10)}
+        assert first.isdisjoint(second)
+
+    def test_spatial_threshold_separates_clusters(self):
+        burst_a = [(0.0, 0.0, 10.0 * i) for i in range(5)]
+        burst_b = [(50.0, 0.0, 10.0 * i) for i in range(5)]
+        records = _records(burst_a + burst_b)
+        result = STDBSCAN(eps_spatial=5.0, eps_temporal=600.0, min_points=3).fit(records)
+        assert result.n_clusters == 2
+
+    def test_all_noise_when_sparse(self):
+        sparse = [(10.0 * i, 0.0, 300.0 * i) for i in range(6)]
+        result = STDBSCAN(eps_spatial=5.0, eps_temporal=60.0, min_points=3).fit(
+            _records(sparse)
+        )
+        assert result.n_clusters == 0
+        assert all(label == DENSITY_NOISE for label in result.density_labels)
+
+    def test_labels_align_with_input_order(self):
+        points = [(0.0, 0.0, 0.0), (100.0, 0.0, 0.0), (0.1, 0.0, 5.0), (0.2, 0.0, 10.0), (0.3, 0.0, 15.0)]
+        result = STDBSCAN(eps_spatial=2.0, eps_temporal=60.0, min_points=3).fit(
+            _records(points)
+        )
+        assert len(result.cluster_ids) == len(points)
+        assert result.density_labels[1] == DENSITY_NOISE
+
+    def test_records_in_cluster(self):
+        packed = [(0.0, 0.0, 5.0 * i) for i in range(5)]
+        result = STDBSCAN(eps_spatial=2.0, eps_temporal=30.0, min_points=3).fit(
+            _records(packed)
+        )
+        members = result.records_in_cluster(0)
+        assert sorted(members) == list(range(5))
+
+    def test_accepts_positioning_sequence(self, small_dataset):
+        sequence = small_dataset.sequences[0].sequence
+        clusterer = STDBSCAN(eps_spatial=8.0, eps_temporal=60.0, min_points=4)
+        labels = clusterer.density_labels(sequence)
+        assert len(labels) == len(sequence)
+        assert set(labels) <= {DENSITY_CORE, DENSITY_BORDER, DENSITY_NOISE}
+
+    def test_stay_records_cluster_on_real_style_data(self, small_dataset):
+        """On simulated data, most stay records should not be classified as noise."""
+        labeled = small_dataset.sequences[0]
+        clusterer = STDBSCAN(eps_spatial=8.0, eps_temporal=60.0, min_points=4)
+        labels = clusterer.density_labels(labeled.sequence)
+        stays = [
+            labels[i]
+            for i, event in enumerate(labeled.event_labels)
+            if event == "stay"
+        ]
+        if stays:
+            noise_fraction = stays.count(DENSITY_NOISE) / len(stays)
+            assert noise_fraction < 0.5

@@ -1,0 +1,169 @@
+"""Tests for the public C2MNAnnotator API, label-and-merge and variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import C2MNAnnotator, C2MNConfig, make_annotator, make_cmn, make_variant
+from repro.core.merge import merge_labeled_sequence, merge_record_labels
+from repro.core.variants import VARIANT_NAMES
+from repro.evaluation.metrics import score_sequences
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, LabeledSequence, MSemantics
+
+
+class TestAnnotatorLifecycle:
+    def test_not_fitted_initially(self, small_space, fast_config):
+        annotator = C2MNAnnotator(small_space, config=fast_config)
+        assert not annotator.is_fitted
+        assert annotator.training_report is None
+
+    def test_fit_requires_sequences(self, small_space, fast_config):
+        annotator = C2MNAnnotator(small_space, config=fast_config)
+        with pytest.raises(ValueError):
+            annotator.fit([])
+
+    def test_fitted_annotator_state(self, fitted_annotator):
+        assert fitted_annotator.is_fitted
+        report = fitted_annotator.training_report
+        assert report is not None and report.iterations >= 1
+        assert fitted_annotator.weights.shape == (12,)
+
+    def test_model_weights_match_report(self, fitted_annotator):
+        assert np.allclose(
+            fitted_annotator.weights, fitted_annotator.training_report.weights
+        )
+
+
+class TestAnnotatorPrediction:
+    def test_predict_labels_shapes(self, fitted_annotator, small_split):
+        _, test = small_split
+        sequence = test.sequences[0].sequence
+        regions, events = fitted_annotator.predict_labels(sequence)
+        assert len(regions) == len(events) == len(sequence)
+        assert set(events) <= {EVENT_STAY, EVENT_PASS}
+
+    def test_predicted_regions_are_valid(self, fitted_annotator, small_space, small_split):
+        _, test = small_split
+        regions, _ = fitted_annotator.predict_labels(test.sequences[0].sequence)
+        valid = set(small_space.region_ids)
+        assert set(regions) <= valid
+
+    def test_predict_labeled_sequence(self, fitted_annotator, small_split):
+        _, test = small_split
+        labeled = fitted_annotator.predict_labeled_sequence(test.sequences[0].sequence)
+        assert isinstance(labeled, LabeledSequence)
+        assert len(labeled) == len(test.sequences[0].sequence)
+
+    def test_annotation_quality_beats_chance(self, fitted_annotator, small_split):
+        """The trained model should label the held-out data far better than chance."""
+        _, test = small_split
+        predictions = [
+            fitted_annotator.predict_labeled_sequence(labeled.sequence)
+            for labeled in test.sequences
+        ]
+        scores = score_sequences(predictions, test.sequences)
+        assert scores.region_accuracy > 0.5
+        assert scores.event_accuracy > 0.6
+        assert scores.perfect_accuracy > 0.3
+
+    def test_annotate_produces_msemantics(self, fitted_annotator, small_split):
+        _, test = small_split
+        semantics = fitted_annotator.annotate(test.sequences[0].sequence)
+        assert semantics
+        assert all(isinstance(ms, MSemantics) for ms in semantics)
+        for earlier, later in zip(semantics, semantics[1:]):
+            assert earlier.end_time <= later.start_time
+
+    def test_annotate_many(self, fitted_annotator, small_split):
+        _, test = small_split
+        results = fitted_annotator.annotate_many(
+            [labeled.sequence for labeled in test.sequences]
+        )
+        assert len(results) == len(test.sequences)
+
+    def test_baseline_labels_helper(self, fitted_annotator, small_split):
+        _, test = small_split
+        regions, events = fitted_annotator.baseline_labels(test.sequences[0].sequence)
+        assert len(regions) == len(events) == len(test.sequences[0].sequence)
+
+    def test_prepare_exposes_sequence_data(self, fitted_annotator, small_split):
+        _, test = small_split
+        data = fitted_annotator.prepare(test.sequences[0].sequence)
+        assert len(data) == len(test.sequences[0].sequence)
+        assert not data.has_ground_truth
+
+
+class TestMerge:
+    def test_merge_labeled_sequence_matches_record_count(self, small_split):
+        train, _ = small_split
+        labeled = train.sequences[0]
+        semantics = merge_labeled_sequence(labeled)
+        assert sum(ms.record_count for ms in semantics) == len(labeled)
+
+    def test_merge_with_region_grouping(self, small_split):
+        train, _ = small_split
+        labeled = train.sequences[0]
+        # Group every region into one business area: merging can only reduce
+        # (or preserve) the number of m-semantics.
+        grouping = {region: 0 for region in set(labeled.region_labels)}
+        grouped = merge_labeled_sequence(labeled, region_grouping=grouping)
+        ungrouped = merge_labeled_sequence(labeled)
+        assert len(grouped) <= len(ungrouped)
+        assert all(ms.region_id == 0 for ms in grouped)
+
+    def test_merge_record_labels_wrapper(self, small_split):
+        train, _ = small_split
+        labeled = train.sequences[0]
+        semantics = merge_record_labels(
+            labeled.sequence, labeled.region_labels, labeled.event_labels
+        )
+        assert semantics == merge_labeled_sequence(labeled)
+
+
+class TestVariants:
+    def test_variant_names_listed(self):
+        assert "C2MN" in VARIANT_NAMES and "CMN" in VARIANT_NAMES
+
+    def test_make_cmn_is_decoupled(self, small_space, fast_config):
+        annotator = make_cmn(small_space, config=fast_config)
+        assert annotator.name == "CMN"
+        assert not annotator.model.is_coupled
+
+    @pytest.mark.parametrize(
+        "name, attribute",
+        [
+            ("C2MN/Tran", "use_transition"),
+            ("C2MN/Syn", "use_synchronization"),
+            ("C2MN/ES", "use_event_segmentation"),
+            ("C2MN/SS", "use_space_segmentation"),
+        ],
+    )
+    def test_structural_variants_disable_one_category(
+        self, small_space, fast_config, name, attribute
+    ):
+        annotator = make_variant(name, small_space, config=fast_config)
+        assert annotator.name == name
+        assert getattr(annotator.config, attribute) is False
+        # All other structure flags stay enabled.
+        for other in (
+            "use_transition",
+            "use_synchronization",
+            "use_event_segmentation",
+            "use_space_segmentation",
+        ):
+            if other != attribute:
+                assert getattr(annotator.config, other) is True
+
+    def test_c2mn_at_r_configures_region_first(self, small_space, fast_config):
+        annotator = make_variant("C2MN@R", small_space, config=fast_config)
+        assert annotator.config.first_configured == "region"
+
+    def test_unknown_variant_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            make_variant("C2MN/Everything", small_space)
+
+    def test_make_annotator_builds_baselines(self, small_space, fast_config):
+        for name in ("SMoT", "HMM+DC", "SAPDV", "SAPDA"):
+            method = make_annotator(name, small_space, config=fast_config)
+            assert method.name == name
+        c2mn = make_annotator("C2MN", small_space, config=fast_config)
+        assert isinstance(c2mn, C2MNAnnotator)

@@ -1,0 +1,98 @@
+"""Tests for the C2MN configuration object."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import C2MNConfig
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        config = C2MNConfig()
+        assert config.alpha == 0.8 and config.beta == 0.6
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"alpha": 0.5, "beta": 0.6},       # beta must be < alpha
+            {"alpha": 1.2},                      # alpha must be < 1
+            {"beta": 0.0},                       # beta must be > 0
+            {"uncertainty_radius": 0.0},
+            {"gamma_st": 1.5},
+            {"gamma_ec": 0.0},
+            {"gamma_sc": -0.1},
+            {"sigma2": 0.0},
+            {"delta": 0.0},
+            {"max_iterations": 0},
+            {"mcmc_samples": 0},
+            {"lbfgs_iterations": 0},
+            {"first_configured": "both"},
+            {"max_candidates": 0},
+            {"icm_sweeps": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            dataclasses.replace(C2MNConfig(), **overrides)
+
+    def test_config_is_frozen(self):
+        config = C2MNConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.alpha = 0.9
+
+
+class TestFactories:
+    def test_paper_real_matches_section_5b1(self):
+        config = C2MNConfig.paper_real()
+        assert config.uncertainty_radius == 15.0
+        assert config.sigma2 == 0.5
+        assert config.max_iterations == 90
+        assert config.mcmc_samples == 800
+        assert (config.eps_spatial, config.eps_temporal, config.min_points) == (8.0, 60.0, 4)
+
+    def test_paper_synthetic_matches_section_5c(self):
+        config = C2MNConfig.paper_synthetic()
+        assert config.uncertainty_radius == 10.0
+        assert config.sigma2 == 0.2
+        assert config.max_iterations == 50
+        assert config.mcmc_samples == 500
+
+    def test_fast_is_small(self):
+        config = C2MNConfig.fast()
+        assert config.max_iterations <= 10
+        assert config.mcmc_samples <= 50
+
+    def test_fast_accepts_overrides(self):
+        config = C2MNConfig.fast(max_iterations=7, seed=1)
+        assert config.max_iterations == 7
+        assert config.seed == 1
+
+
+class TestViews:
+    def test_with_structure_toggles_only_requested_flags(self):
+        config = C2MNConfig().with_structure(use_transition=False)
+        assert not config.use_transition
+        assert config.use_synchronization
+        assert config.use_event_segmentation
+        assert config.use_space_segmentation
+
+    def test_with_structure_preserves_other_parameters(self):
+        base = C2MNConfig.fast(seed=123)
+        variant = base.with_structure(use_space_segmentation=False)
+        assert variant.seed == 123
+        assert variant.max_iterations == base.max_iterations
+
+    def test_with_first_configured(self):
+        config = C2MNConfig().with_first_configured("region")
+        assert config.first_configured == "region"
+        with pytest.raises(ValueError):
+            C2MNConfig().with_first_configured("neither")
+
+    def test_is_coupled(self):
+        assert C2MNConfig().is_coupled
+        assert C2MNConfig().with_structure(use_event_segmentation=False).is_coupled
+        decoupled = C2MNConfig().with_structure(
+            use_event_segmentation=False, use_space_segmentation=False
+        )
+        assert not decoupled.is_coupled

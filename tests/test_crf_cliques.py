@@ -1,0 +1,84 @@
+"""Tests for clique templates, weight layout and segment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.crf.cliques import (
+    N_WEIGHTS,
+    CliqueTemplates,
+    WeightLayout,
+    segment_containing,
+    segments_of_labels,
+)
+
+
+class TestWeightLayout:
+    def test_size(self):
+        assert WeightLayout().size == N_WEIGHTS == 12
+
+    def test_indexes_cover_all_weights_exactly_once(self):
+        layout = WeightLayout()
+        all_indexes = sorted(layout.region_relevant + layout.event_relevant)
+        assert all_indexes == list(range(N_WEIGHTS))
+
+    def test_region_and_event_indexes_disjoint(self):
+        layout = WeightLayout()
+        assert set(layout.region_relevant).isdisjoint(layout.event_relevant)
+
+    def test_indexes_for(self):
+        layout = WeightLayout()
+        assert layout.indexes_for("region") == layout.region_relevant
+        assert layout.indexes_for("event") == layout.event_relevant
+        with pytest.raises(ValueError):
+            layout.indexes_for("both")
+
+    def test_initial_weights(self):
+        weights = WeightLayout().initial_weights(0.25)
+        assert weights.shape == (N_WEIGHTS,)
+        assert np.all(weights == 0.25)
+
+
+class TestCliqueTemplates:
+    def test_default_is_fully_coupled(self):
+        assert CliqueTemplates().coupled
+
+    def test_decoupled_when_no_segmentation(self):
+        templates = CliqueTemplates(event_segmentation=False, space_segmentation=False)
+        assert not templates.coupled
+
+    def test_single_segmentation_category_keeps_coupling(self):
+        assert CliqueTemplates(event_segmentation=False).coupled
+        assert CliqueTemplates(space_segmentation=False).coupled
+
+
+class TestSegments:
+    def test_empty_labels(self):
+        assert segments_of_labels([]) == []
+
+    def test_single_label(self):
+        assert segments_of_labels(["a"]) == [(0, 0)]
+
+    def test_runs(self):
+        assert segments_of_labels(["a", "a", "b", "a"]) == [(0, 1), (2, 2), (3, 3)]
+
+    def test_all_equal(self):
+        assert segments_of_labels([1, 1, 1, 1]) == [(0, 3)]
+
+    def test_segments_partition_the_sequence(self):
+        labels = [1, 1, 2, 2, 2, 3, 1, 1]
+        segments = segments_of_labels(labels)
+        covered = []
+        for start, end in segments:
+            covered.extend(range(start, end + 1))
+        assert covered == list(range(len(labels)))
+
+    def test_segment_containing_matches_segments(self):
+        labels = ["x", "x", "y", "y", "y", "x"]
+        segments = segments_of_labels(labels)
+        for start, end in segments:
+            for i in range(start, end + 1):
+                assert segment_containing(labels, i) == (start, end)
+
+    def test_segment_containing_out_of_range(self):
+        with pytest.raises(IndexError):
+            segment_containing(["a"], 5)

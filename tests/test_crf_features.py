@@ -1,0 +1,221 @@
+"""Tests for the eight feature functions and sequence preparation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.features import FeatureExtractor
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, PositioningRecord, PositioningSequence
+
+
+@pytest.fixture(scope="module")
+def extractor(small_space, small_oracle):
+    return FeatureExtractor(small_space, C2MNConfig.fast(), oracle=small_oracle)
+
+
+@pytest.fixture(scope="module")
+def prepared(extractor, small_dataset):
+    labeled = small_dataset.sequences[0]
+    return extractor.prepare(
+        labeled.sequence,
+        true_regions=labeled.region_labels,
+        true_events=labeled.event_labels,
+    )
+
+
+class TestPreparation:
+    def test_density_labels_aligned(self, prepared):
+        assert len(prepared.density_labels) == len(prepared)
+
+    def test_candidates_nonempty_and_contain_truth(self, prepared):
+        for i, candidates in enumerate(prepared.candidates):
+            assert candidates
+            assert prepared.true_regions[i] in candidates
+
+    def test_candidates_contain_nearest_region(self, prepared):
+        for nearest, candidates in zip(prepared.nearest_regions, prepared.candidates):
+            assert nearest in candidates
+
+    def test_step_arrays_lengths(self, prepared):
+        n = len(prepared)
+        assert len(prepared.planar_steps) == n - 1
+        assert len(prepared.elapsed_steps) == n - 1
+        assert len(prepared.speeds) == n - 1
+        assert len(prepared.turn_flags) == n
+
+    def test_speeds_non_negative(self, prepared):
+        assert all(speed >= 0.0 for speed in prepared.speeds)
+
+    def test_has_ground_truth_flag(self, extractor, prepared, small_dataset):
+        assert prepared.has_ground_truth
+        plain = extractor.prepare(small_dataset.sequences[0].sequence)
+        assert not plain.has_ground_truth
+
+
+class TestMatchingFeatures:
+    def test_fsm_in_unit_interval(self, extractor, prepared):
+        for i in range(min(10, len(prepared))):
+            for region_id in prepared.candidates[i]:
+                value = extractor.spatial_matching(prepared, i, region_id)
+                assert 0.0 <= value <= 1.0
+
+    def test_fsm_higher_for_containing_region(self, extractor, prepared, small_space):
+        """The region containing the estimate should overlap more than a far one."""
+        found = False
+        for i in range(len(prepared)):
+            record = prepared.sequence[i]
+            containing = small_space.region_at(record.location)
+            if containing is None:
+                continue
+            inside = extractor.spatial_matching(prepared, i, containing.region_id)
+            far_region = max(
+                small_space.regions,
+                key=lambda r: r.centroid.planar.distance_to(record.location.planar),
+            )
+            outside = extractor.spatial_matching(prepared, i, far_region.region_id)
+            assert inside >= outside
+            found = True
+            if inside > outside:
+                break
+        assert found
+
+    def test_fsm_cached(self, extractor, prepared):
+        region = prepared.candidates[0][0]
+        first = extractor.spatial_matching(prepared, 0, region)
+        assert (0, region) in prepared.fsm_cache
+        assert extractor.spatial_matching(prepared, 0, region) == first
+
+    def test_fem_values_follow_paper_table(self, extractor, prepared):
+        config = extractor.config
+        for i, density in enumerate(prepared.density_labels):
+            stay_value = extractor.event_matching(prepared, i, EVENT_STAY)
+            pass_value = extractor.event_matching(prepared, i, EVENT_PASS)
+            if density == "core":
+                assert stay_value == 1.0 and pass_value == 0.0
+            elif density == "noise":
+                assert stay_value == 0.0 and pass_value == 1.0
+            else:
+                assert stay_value == config.alpha and pass_value == config.beta
+
+
+class TestTransitionFeatures:
+    def test_fst_equal_regions_is_one(self, extractor, small_space):
+        region = small_space.regions[0].region_id
+        assert extractor.space_transition(region, region) == pytest.approx(1.0)
+
+    def test_fst_decreases_with_distance(self, extractor, small_space):
+        regions = {region.name: region.region_id for region in small_space.regions}
+        near = extractor.space_transition(regions["F0-S00"], regions["F0-N00"])
+        far = extractor.space_transition(regions["F0-S00"], regions["F0-N03"])
+        assert 0.0 < far < near <= 1.0
+
+    def test_fet(self, extractor):
+        assert extractor.event_transition(EVENT_STAY, EVENT_STAY) == 1.0
+        assert extractor.event_transition(EVENT_STAY, EVENT_PASS) == 0.0
+
+
+class TestSynchronizationFeatures:
+    def test_fsc_in_unit_interval(self, extractor, prepared, small_space):
+        ids = [region.region_id for region in small_space.regions[:3]]
+        for i in range(min(5, len(prepared) - 1)):
+            for a in ids:
+                for b in ids:
+                    value = extractor.spatial_consistency(prepared, i, a, b)
+                    assert 0.0 < value <= 1.0
+
+    def test_fsc_prefers_consistent_region_pair(self, extractor, small_space):
+        """A short observed step should favour region pairs that are close."""
+        config = extractor.config
+        records = [
+            PositioningRecord(IndoorPoint(4.0, 6.0, 0), 0.0),
+            PositioningRecord(IndoorPoint(6.0, 6.0, 0), 10.0),
+        ]
+        sequence = PositioningSequence(records)
+        data = extractor.prepare(sequence)
+        regions = {region.name: region.region_id for region in small_space.regions}
+        same = extractor.spatial_consistency(data, 0, regions["F0-S00"], regions["F0-S00"])
+        far = extractor.spatial_consistency(data, 0, regions["F0-S00"], regions["F0-N03"])
+        assert same > far
+
+    def test_fec_speed_zero_prefers_stay(self, extractor):
+        records = [
+            PositioningRecord(IndoorPoint(0.0, 0.0, 0), 0.0),
+            PositioningRecord(IndoorPoint(0.0, 0.0, 0), 30.0),
+        ]
+        data = extractor.prepare(PositioningSequence(records))
+        stay_stay = extractor.event_consistency(data, 0, EVENT_STAY, EVENT_STAY)
+        pass_pass = extractor.event_consistency(data, 0, EVENT_PASS, EVENT_PASS)
+        assert stay_stay == pytest.approx(1.0)
+        assert stay_stay > pass_pass
+
+    def test_fec_high_speed_prefers_pass(self, extractor):
+        records = [
+            PositioningRecord(IndoorPoint(0.0, 0.0, 0), 0.0),
+            PositioningRecord(IndoorPoint(60.0, 0.0, 0), 10.0),
+        ]
+        data = extractor.prepare(PositioningSequence(records))
+        stay_stay = extractor.event_consistency(data, 0, EVENT_STAY, EVENT_STAY)
+        pass_pass = extractor.event_consistency(data, 0, EVENT_PASS, EVENT_PASS)
+        assert pass_pass > stay_stay
+
+
+class TestSegmentationFeatures:
+    def test_fes_returns_three_bounded_components(self, extractor, prepared):
+        regions = list(prepared.true_regions)
+        end = min(6, len(prepared) - 1)
+        features = extractor.event_segmentation(prepared, 0, end, regions, EVENT_STAY)
+        assert features.shape == (3,)
+        assert np.all(np.abs(features) <= 1.0 + 1e-9)
+
+    def test_fes_sign_flips_with_event(self, extractor, prepared):
+        regions = list(prepared.true_regions)
+        end = min(6, len(prepared) - 1)
+        stay = extractor.event_segmentation(prepared, 0, end, regions, EVENT_STAY)
+        pas = extractor.event_segmentation(prepared, 0, end, regions, EVENT_PASS)
+        assert np.allclose(stay, -pas)
+
+    def test_fes_distinct_region_component_increases_with_diversity(self, extractor, prepared):
+        end = min(6, len(prepared) - 1)
+        uniform = [prepared.true_regions[0]] * len(prepared)
+        diverse = list(range(len(prepared)))
+        f_uniform = extractor.event_segmentation(prepared, 0, end, uniform, EVENT_PASS)
+        f_diverse = extractor.event_segmentation(prepared, 0, end, diverse, EVENT_PASS)
+        assert f_diverse[0] > f_uniform[0]
+
+    def test_fss_returns_three_components(self, extractor, prepared):
+        events = list(prepared.true_events)
+        end = min(6, len(prepared) - 1)
+        features = extractor.space_segmentation(prepared, 0, end, events)
+        assert features.shape == (3,)
+
+    def test_fss_penalises_event_changes(self, extractor, prepared):
+        end = min(7, len(prepared) - 1)
+        smooth = [EVENT_STAY] * len(prepared)
+        choppy = [EVENT_STAY if i % 2 == 0 else EVENT_PASS for i in range(len(prepared))]
+        f_smooth = extractor.space_segmentation(prepared, 0, end, smooth)
+        f_choppy = extractor.space_segmentation(prepared, 0, end, choppy)
+        assert f_smooth[0] > f_choppy[0]
+        assert f_smooth[1] > f_choppy[1]
+
+    def test_fss_boundary_pass_indicator(self, extractor, prepared):
+        end = min(4, len(prepared) - 1)
+        events = [EVENT_PASS] + [EVENT_STAY] * (len(prepared) - 2) + [EVENT_PASS]
+        features = extractor.space_segmentation(prepared, 0, end, events)
+        assert features[2] == pytest.approx(0.5 if end != len(prepared) - 1 else 1.0)
+
+    def test_single_record_segment(self, extractor, prepared):
+        regions = list(prepared.true_regions)
+        events = list(prepared.true_events)
+        fes = extractor.event_segmentation(prepared, 0, 0, regions, EVENT_STAY)
+        fss = extractor.space_segmentation(prepared, 0, 0, events)
+        assert fes.shape == (3,) and fss.shape == (3,)
+        assert np.isfinite(fes).all() and np.isfinite(fss).all()
+
+
+class TestCacheStatistics:
+    def test_cache_statistics_keys(self, extractor):
+        stats = extractor.cache_statistics()
+        assert set(stats) == {"fst_cache", "region_distance_cache", "oracle_cache"}

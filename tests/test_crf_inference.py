@@ -1,0 +1,172 @@
+"""Tests for ICM decoding, Gibbs sampling and configuration consensus."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.features import FeatureExtractor
+from repro.crf.inference import (
+    consensus_configuration,
+    decode_icm,
+    gibbs_sample_variable,
+    initial_events,
+    initial_regions,
+)
+from repro.crf.model import C2MNModel, EVENT_DOMAIN
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+
+
+@pytest.fixture(scope="module")
+def extractor(small_space, small_oracle):
+    return FeatureExtractor(small_space, C2MNConfig.fast(), oracle=small_oracle)
+
+
+@pytest.fixture(scope="module")
+def model(extractor):
+    return C2MNModel(extractor)
+
+
+@pytest.fixture(scope="module")
+def prepared(extractor, small_dataset):
+    labeled = small_dataset.sequences[0]
+    return extractor.prepare(
+        labeled.sequence,
+        true_regions=labeled.region_labels,
+        true_events=labeled.event_labels,
+    )
+
+
+class TestInitialisation:
+    def test_initial_events_from_density(self, prepared):
+        events = initial_events(prepared)
+        assert len(events) == len(prepared)
+        for density, event in zip(prepared.density_labels, events):
+            if density == "noise":
+                assert event == EVENT_PASS
+            else:
+                assert event == EVENT_STAY
+
+    def test_initial_regions_are_nearest(self, prepared):
+        regions = initial_regions(prepared)
+        assert regions == prepared.nearest_regions
+
+    def test_initialisations_are_reasonable_on_simulated_data(self, prepared):
+        """The cheap initialisations should already agree with a majority of the truth."""
+        events = initial_events(prepared)
+        regions = initial_regions(prepared)
+        event_hits = sum(1 for a, b in zip(events, prepared.true_events) if a == b)
+        region_hits = sum(1 for a, b in zip(regions, prepared.true_regions) if a == b)
+        assert event_hits / len(prepared) > 0.5
+        assert region_hits / len(prepared) > 0.4
+
+
+class TestICM:
+    def test_decode_shapes_and_domains(self, model, prepared):
+        regions, events = decode_icm(model, prepared)
+        assert len(regions) == len(events) == len(prepared)
+        assert all(event in EVENT_DOMAIN for event in events)
+        for region, candidates in zip(regions, prepared.candidates):
+            assert region in candidates
+
+    def test_decode_is_deterministic(self, model, prepared):
+        first = decode_icm(model, prepared)
+        second = decode_icm(model, prepared)
+        assert first == second
+
+    def test_decode_with_explicit_sweeps(self, model, prepared):
+        regions, events = decode_icm(model, prepared, max_sweeps=1)
+        assert len(regions) == len(prepared)
+
+    def test_decode_with_custom_initialisation(self, model, prepared):
+        init_regions_custom = [prepared.candidates[i][0] for i in range(len(prepared))]
+        init_events_custom = [EVENT_PASS] * len(prepared)
+        regions, events = decode_icm(
+            model,
+            prepared,
+            init_regions=init_regions_custom,
+            init_events=init_events_custom,
+        )
+        assert len(regions) == len(prepared)
+
+
+class TestGibbs:
+    def test_sample_count_and_shapes(self, model, prepared):
+        rng = random.Random(3)
+        samples = gibbs_sample_variable(
+            model,
+            prepared,
+            initial_regions(prepared),
+            initial_events(prepared),
+            variable="event",
+            n_samples=4,
+            rng=rng,
+        )
+        assert len(samples) == 4
+        assert all(len(sample) == len(prepared) for sample in samples)
+        assert all(value in EVENT_DOMAIN for sample in samples for value in sample)
+
+    def test_region_samples_stay_in_candidate_sets(self, model, prepared):
+        rng = random.Random(4)
+        samples = gibbs_sample_variable(
+            model,
+            prepared,
+            initial_regions(prepared),
+            initial_events(prepared),
+            variable="region",
+            n_samples=2,
+            rng=rng,
+        )
+        for sample in samples:
+            for value, candidates in zip(sample, prepared.candidates):
+                assert value in candidates
+
+    def test_sampling_is_seed_deterministic(self, model, prepared):
+        def run(seed):
+            return gibbs_sample_variable(
+                model,
+                prepared,
+                initial_regions(prepared),
+                initial_events(prepared),
+                variable="event",
+                n_samples=3,
+                rng=random.Random(seed),
+            )
+
+        assert run(7) == run(7)
+        assert run(7) != run(8) or True  # different seeds may coincide, no strict assert
+
+    def test_invalid_arguments(self, model, prepared):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            gibbs_sample_variable(
+                model, prepared, [], [], variable="both", n_samples=1, rng=rng
+            )
+        with pytest.raises(ValueError):
+            gibbs_sample_variable(
+                model,
+                prepared,
+                initial_regions(prepared),
+                initial_events(prepared),
+                variable="event",
+                n_samples=0,
+                rng=rng,
+            )
+
+
+class TestConsensus:
+    def test_majority_vote(self):
+        samples = [
+            ["a", "b", "c"],
+            ["a", "b", "d"],
+            ["a", "x", "d"],
+        ]
+        assert consensus_configuration(samples) == ["a", "b", "d"]
+
+    def test_single_sample_is_identity(self):
+        assert consensus_configuration([["x", "y"]]) == ["x", "y"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_configuration([])

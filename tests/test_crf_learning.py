@@ -1,0 +1,131 @@
+"""Tests for the alternate learning algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.features import FeatureExtractor
+from repro.crf.learning import AlternateLearner, TrainingReport
+from repro.crf.model import C2MNModel
+
+
+@pytest.fixture(scope="module")
+def training_data(small_space, small_oracle, small_split):
+    train, _ = small_split
+    extractor = FeatureExtractor(small_space, C2MNConfig.fast(), oracle=small_oracle)
+    return extractor, [
+        extractor.prepare(
+            labeled.sequence,
+            true_regions=labeled.region_labels,
+            true_events=labeled.event_labels,
+        )
+        for labeled in train.sequences
+    ]
+
+
+class TestAlternateLearner:
+    def test_requires_ground_truth(self, training_data, small_dataset):
+        extractor, _ = training_data
+        plain = extractor.prepare(small_dataset.sequences[0].sequence)
+        learner = AlternateLearner(C2MNModel(extractor))
+        with pytest.raises(ValueError):
+            learner.fit([plain])
+
+    def test_requires_nonempty_training_set(self, training_data):
+        extractor, _ = training_data
+        learner = AlternateLearner(C2MNModel(extractor))
+        with pytest.raises(ValueError):
+            learner.fit([])
+
+    def test_fit_returns_report(self, training_data):
+        extractor, prepared = training_data
+        model = C2MNModel(extractor)
+        learner = AlternateLearner(model)
+        report = learner.fit(prepared[:2])
+        assert isinstance(report, TrainingReport)
+        assert report.iterations >= 1
+        assert report.elapsed_seconds > 0.0
+        assert report.weights.shape == (12,)
+        assert np.isfinite(report.weights).all()
+
+    def test_fit_updates_model_weights(self, training_data):
+        extractor, prepared = training_data
+        model = C2MNModel(extractor)
+        initial = model.weights.copy()
+        AlternateLearner(model).fit(prepared[:2])
+        assert not np.allclose(model.weights, initial)
+
+    def test_objective_trace_recorded(self, training_data):
+        extractor, prepared = training_data
+        model = C2MNModel(extractor)
+        report = AlternateLearner(model).fit(prepared[:2])
+        assert len(report.objective_trace) == report.iterations
+        assert all(np.isfinite(value) for value in report.objective_trace)
+
+    def test_respects_max_iterations(self, small_space, small_oracle, small_split):
+        train, _ = small_split
+        config = C2MNConfig.fast(max_iterations=2)
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        prepared = [
+            extractor.prepare(
+                labeled.sequence,
+                true_regions=labeled.region_labels,
+                true_events=labeled.event_labels,
+            )
+            for labeled in train.sequences[:2]
+        ]
+        report = AlternateLearner(C2MNModel(extractor)).fit(prepared)
+        assert report.iterations <= 2
+
+    def test_first_configured_region_variant_trains(self, small_space, small_oracle, small_split):
+        train, _ = small_split
+        config = C2MNConfig.fast(max_iterations=2).with_first_configured("region")
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        prepared = [
+            extractor.prepare(
+                labeled.sequence,
+                true_regions=labeled.region_labels,
+                true_events=labeled.event_labels,
+            )
+            for labeled in train.sequences[:2]
+        ]
+        report = AlternateLearner(C2MNModel(extractor)).fit(prepared)
+        assert report.first_configured == "region"
+        assert np.isfinite(report.weights).all()
+
+    def test_training_is_seed_deterministic(self, small_space, small_oracle, small_split):
+        train, _ = small_split
+
+        def run():
+            config = C2MNConfig.fast(max_iterations=2)
+            extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+            prepared = [
+                extractor.prepare(
+                    labeled.sequence,
+                    true_regions=labeled.region_labels,
+                    true_events=labeled.event_labels,
+                )
+                for labeled in train.sequences[:2]
+            ]
+            return AlternateLearner(C2MNModel(extractor)).fit(prepared).weights
+
+
+        assert np.allclose(run(), run())
+
+    def test_trained_model_prefers_truth_over_far_regions(self, training_data):
+        """After training, the ground-truth region configuration should score
+        higher than assigning every record to a far-away candidate."""
+        extractor, prepared = training_data
+        data = prepared[0]
+        truth_regions = list(data.true_regions)
+        truth_events = list(data.true_events)
+        corrupted_regions = []
+        for truth, candidates in zip(truth_regions, data.candidates):
+            alternatives = [c for c in candidates if c != truth]
+            corrupted_regions.append(alternatives[-1] if alternatives else truth)
+
+        trained = C2MNModel(extractor)
+        AlternateLearner(trained).fit(prepared[:2])
+        good = trained.configuration_score(data, truth_regions, truth_events)
+        bad = trained.configuration_score(data, corrupted_regions, truth_events)
+        assert good > bad

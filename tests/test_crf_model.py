@@ -1,0 +1,186 @@
+"""Tests for the C2MN model: feature vectors, local conditionals, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.cliques import CliqueTemplates, WeightLayout
+from repro.crf.features import FeatureExtractor
+from repro.crf.inference import initial_events, initial_regions
+from repro.crf.model import C2MNModel, EVENT_DOMAIN
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+
+
+@pytest.fixture(scope="module")
+def extractor(small_space, small_oracle):
+    return FeatureExtractor(small_space, C2MNConfig.fast(), oracle=small_oracle)
+
+
+@pytest.fixture(scope="module")
+def model(extractor):
+    return C2MNModel(extractor)
+
+
+@pytest.fixture(scope="module")
+def prepared(extractor, small_dataset):
+    labeled = small_dataset.sequences[0]
+    return extractor.prepare(
+        labeled.sequence,
+        true_regions=labeled.region_labels,
+        true_events=labeled.event_labels,
+    )
+
+
+@pytest.fixture(scope="module")
+def labels(prepared):
+    return list(prepared.true_regions), list(prepared.true_events)
+
+
+class TestModelConstruction:
+    def test_default_weights_shape(self, model):
+        assert model.weights.shape == (12,)
+
+    def test_weights_setter_validates_shape(self, extractor):
+        m = C2MNModel(extractor)
+        with pytest.raises(ValueError):
+            m.weights = np.zeros(5)
+        m.weights = np.arange(12, dtype=float)
+        assert m.weights[3] == 3.0
+
+    def test_weights_are_copied(self, extractor):
+        initial = np.ones(12)
+        m = C2MNModel(extractor, weights=initial)
+        initial[0] = 99.0
+        assert m.weights[0] == 1.0
+
+    def test_templates_follow_config(self, small_space, small_oracle):
+        config = C2MNConfig.fast(use_transition=False, use_space_segmentation=False)
+        m = C2MNModel(FeatureExtractor(small_space, config, oracle=small_oracle))
+        assert not m.templates.transition
+        assert not m.templates.space_segmentation
+        assert m.templates.synchronization
+        assert m.is_coupled  # event segmentation still active
+
+    def test_invalid_weight_shape_rejected_at_init(self, extractor):
+        with pytest.raises(ValueError):
+            C2MNModel(extractor, weights=np.zeros(3))
+
+
+class TestFeatureVectors:
+    def test_region_feature_vector_shape_and_finiteness(self, model, prepared, labels):
+        regions, events = labels
+        vec = model.region_feature_vector(prepared, regions, events, 1, regions[1])
+        assert vec.shape == (12,)
+        assert np.isfinite(vec).all()
+
+    def test_event_feature_vector_shape_and_finiteness(self, model, prepared, labels):
+        regions, events = labels
+        vec = model.event_feature_vector(prepared, regions, events, 1, EVENT_STAY)
+        assert vec.shape == (12,)
+        assert np.isfinite(vec).all()
+
+    def test_region_vector_only_uses_region_relevant_slots(self, model, prepared, labels):
+        regions, events = labels
+        layout = model.layout
+        vec = model.region_feature_vector(prepared, regions, events, 2, regions[2])
+        event_slots = list(layout.event_relevant)
+        assert np.allclose(vec[event_slots], 0.0)
+
+    def test_event_vector_only_uses_event_relevant_slots(self, model, prepared, labels):
+        regions, events = labels
+        layout = model.layout
+        vec = model.event_feature_vector(prepared, regions, events, 2, EVENT_PASS)
+        region_slots = list(layout.region_relevant)
+        assert np.allclose(vec[region_slots], 0.0)
+
+    def test_disabled_templates_leave_zero_slots(self, small_space, small_oracle, small_dataset):
+        config = C2MNConfig.fast(use_transition=False, use_synchronization=False)
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        model = C2MNModel(extractor)
+        labeled = small_dataset.sequences[0]
+        data = extractor.prepare(
+            labeled.sequence,
+            true_regions=labeled.region_labels,
+            true_events=labeled.event_labels,
+        )
+        regions, events = list(data.true_regions), list(data.true_events)
+        layout = model.layout
+        r_vec = model.region_feature_vector(data, regions, events, 1, regions[1])
+        e_vec = model.event_feature_vector(data, regions, events, 1, events[1])
+        assert r_vec[layout.space_transition] == 0.0
+        assert r_vec[layout.spatial_consistency] == 0.0
+        assert e_vec[layout.event_transition] == 0.0
+        assert e_vec[layout.event_consistency] == 0.0
+
+    def test_boundary_nodes_have_no_right_neighbour_contribution(self, model, prepared, labels):
+        regions, events = labels
+        last = len(prepared) - 1
+        vec_last = model.region_feature_vector(prepared, regions, events, last, regions[last])
+        vec_mid = model.region_feature_vector(prepared, regions, events, 1, regions[1])
+        # Transition slot at the last node sums only one pair, so it cannot
+        # exceed the middle node's two-pair sum when regions repeat.
+        assert vec_last[model.layout.space_transition] <= vec_mid[model.layout.space_transition] + 1.0
+
+
+class TestLocalDistribution:
+    def test_region_distribution_is_normalised(self, model, prepared, labels):
+        regions, events = labels
+        values, probabilities, vectors = model.local_distribution(
+            prepared, regions, events, 0, "region"
+        )
+        assert len(values) == len(probabilities) == vectors.shape[0]
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_event_distribution_domain(self, model, prepared, labels):
+        regions, events = labels
+        values, probabilities, _ = model.local_distribution(
+            prepared, regions, events, 0, "event"
+        )
+        assert tuple(values) == EVENT_DOMAIN
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_unknown_variable_rejected(self, model, prepared, labels):
+        regions, events = labels
+        with pytest.raises(ValueError):
+            model.local_distribution(prepared, regions, events, 0, "both")
+
+    def test_best_label_is_in_domain(self, model, prepared, labels):
+        regions, events = labels
+        best_region = model.best_label(prepared, regions, events, 0, "region")
+        best_event = model.best_label(prepared, regions, events, 0, "event")
+        assert best_region in prepared.candidates[0]
+        assert best_event in EVENT_DOMAIN
+
+    def test_weights_change_distribution(self, extractor, prepared, labels):
+        regions, events = labels
+        model_a = C2MNModel(extractor, weights=np.full(12, 0.1))
+        model_b = C2MNModel(extractor, weights=np.full(12, 5.0))
+        _, p_a, _ = model_a.local_distribution(prepared, regions, events, 0, "region")
+        _, p_b, _ = model_b.local_distribution(prepared, regions, events, 0, "region")
+        assert not np.allclose(p_a, p_b)
+
+
+class TestConfigurationScore:
+    def test_score_is_dot_product_of_features(self, model, prepared, labels):
+        regions, events = labels
+        features = model.configuration_features(prepared, regions, events)
+        assert model.configuration_score(prepared, regions, events) == pytest.approx(
+            float(model.weights @ features)
+        )
+
+    def test_features_finite(self, model, prepared, labels):
+        regions, events = labels
+        features = model.configuration_features(prepared, regions, events)
+        assert np.isfinite(features).all()
+
+    def test_truth_scores_at_least_as_high_as_flipped_events(self, model, prepared):
+        """The ground truth should not score worse than the all-events-flipped configuration."""
+        regions_true = list(prepared.true_regions)
+        events_true = list(prepared.true_events)
+        flipped_events = [
+            EVENT_PASS if event == EVENT_STAY else EVENT_STAY for event in events_true
+        ]
+        good = model.configuration_score(prepared, regions_true, events_true)
+        bad = model.configuration_score(prepared, regions_true, flipped_events)
+        assert good >= bad - 1e-6

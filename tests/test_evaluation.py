@@ -1,0 +1,163 @@
+"""Tests for metrics, the evaluation harness and reporting."""
+
+import pytest
+
+from repro.baselines import SMoTAnnotator
+from repro.evaluation.harness import EvaluationResult, MethodEvaluator, ground_truth_semantics
+from repro.evaluation.metrics import AccuracyScores, evaluate_labels, score_sequences
+from repro.evaluation.reporting import format_series, format_table
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningRecord,
+    PositioningSequence,
+)
+
+
+def _labeled(regions, events):
+    records = [
+        PositioningRecord(IndoorPoint(float(i), 0.0, 0), float(i) * 10.0)
+        for i in range(len(regions))
+    ]
+    return LabeledSequence(PositioningSequence(records), list(regions), list(events))
+
+
+class TestEvaluateLabels:
+    def test_all_correct(self):
+        scores = evaluate_labels([1, 2], [EVENT_STAY, EVENT_PASS], [1, 2], [EVENT_STAY, EVENT_PASS])
+        assert scores.region_accuracy == 1.0
+        assert scores.event_accuracy == 1.0
+        assert scores.combined_accuracy == 1.0
+        assert scores.perfect_accuracy == 1.0
+        assert scores.records == 2
+
+    def test_partial_correct_with_lambda(self):
+        scores = evaluate_labels(
+            [1, 9, 3, 4],
+            [EVENT_STAY, EVENT_STAY, EVENT_PASS, EVENT_PASS],
+            [1, 2, 3, 4],
+            [EVENT_STAY, EVENT_STAY, EVENT_STAY, EVENT_PASS],
+            tradeoff=0.7,
+        )
+        assert scores.region_accuracy == pytest.approx(0.75)
+        assert scores.event_accuracy == pytest.approx(0.75)
+        assert scores.combined_accuracy == pytest.approx(0.75)
+        assert scores.perfect_accuracy == pytest.approx(0.5)
+
+    def test_perfect_accuracy_never_exceeds_individual_accuracies(self):
+        scores = evaluate_labels(
+            [1, 2, 9], [EVENT_STAY, EVENT_PASS, EVENT_PASS],
+            [1, 2, 3], [EVENT_PASS, EVENT_PASS, EVENT_PASS],
+        )
+        assert scores.perfect_accuracy <= min(scores.region_accuracy, scores.event_accuracy)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_labels([1], [EVENT_STAY], [1, 2], [EVENT_STAY, EVENT_PASS])
+
+    def test_invalid_tradeoff_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_labels([1], [EVENT_STAY], [1], [EVENT_STAY], tradeoff=1.5)
+
+    def test_empty_input(self):
+        scores = evaluate_labels([], [], [], [])
+        assert scores.records == 0
+        assert scores.combined_accuracy == 0.0
+
+    def test_as_dict(self):
+        scores = evaluate_labels([1], [EVENT_STAY], [1], [EVENT_STAY])
+        assert set(scores.as_dict()) == {"RA", "EA", "CA", "PA", "records"}
+
+
+class TestScoreSequences:
+    def test_micro_average_over_sequences(self):
+        predicted = [_labeled([1, 1], [EVENT_STAY, EVENT_STAY]), _labeled([2], [EVENT_PASS])]
+        truth = [_labeled([1, 2], [EVENT_STAY, EVENT_STAY]), _labeled([2], [EVENT_PASS])]
+        scores = score_sequences(predicted, truth)
+        assert scores.records == 3
+        assert scores.region_accuracy == pytest.approx(2 / 3)
+        assert scores.event_accuracy == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_sequences([_labeled([1], [EVENT_STAY])], [_labeled([1, 2], [EVENT_STAY] * 2)])
+
+    def test_empty(self):
+        assert score_sequences([], []).records == 0
+
+
+class TestMethodEvaluator:
+    def test_evaluate_smot(self, small_space, small_split):
+        train, test = small_split
+        evaluator = MethodEvaluator()
+        result = evaluator.evaluate(SMoTAnnotator(small_space), train.sequences, test.sequences)
+        assert isinstance(result, EvaluationResult)
+        assert result.method == "SMoT"
+        assert result.scores.records > 0
+        assert result.training_seconds >= 0.0
+        assert result.labeling_seconds > 0.0
+        assert len(result.predictions) == len(test.sequences)
+        assert len(result.semantics) == len(test.sequences)
+
+    def test_row_format(self, small_space, small_split):
+        train, test = small_split
+        result = MethodEvaluator().evaluate(
+            SMoTAnnotator(small_space), train.sequences, test.sequences
+        )
+        row = result.row()
+        assert set(row) == {"method", "RA", "EA", "CA", "PA", "train_s", "label_s"}
+
+    def test_keep_predictions_false(self, small_space, small_split):
+        train, test = small_split
+        result = MethodEvaluator(keep_predictions=False).evaluate(
+            SMoTAnnotator(small_space), train.sequences, test.sequences
+        )
+        assert result.predictions == [] and result.semantics == []
+
+    def test_evaluate_many(self, small_space, small_split):
+        train, test = small_split
+        results = MethodEvaluator().evaluate_many(
+            [SMoTAnnotator(small_space), SMoTAnnotator(small_space)],
+            train.sequences,
+            test.sequences,
+        )
+        assert len(results) == 2
+
+    def test_ground_truth_semantics(self, small_split):
+        _, test = small_split
+        truth = ground_truth_semantics(test.sequences)
+        assert len(truth) == len(test.sequences)
+        assert all(truth_semantics for truth_semantics in truth)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [
+            {"method": "C2MN", "RA": 0.9492, "EA": 0.9691},
+            {"method": "CMN", "RA": 0.886, "EA": 0.8983},
+        ]
+        text = format_table(rows, title="Table IV")
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "method" in lines[1] and "RA" in lines[1]
+        assert "0.9492" in text and "CMN" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_format_table_missing_cells(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text
+
+    def test_format_series(self):
+        series = {
+            "C2MN": {5: 0.92, 10: 0.90},
+            "SMoT": {5: 0.80, 15: 0.70},
+        }
+        text = format_series(series, x_label="T")
+        lines = text.splitlines()
+        assert lines[0].startswith("T")
+        assert len(lines) == 2 + 3  # header + separator + three x values

@@ -1,0 +1,136 @@
+"""Tests for the per-figure experiment runners (at tiny scale).
+
+The full sweeps are exercised by the benchmark harness; here we verify that
+every runner produces well-formed results and respects its parameters using
+the smallest useful workloads and the cheapest methods.
+"""
+
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.evaluation.experiments import (
+    C2MN_FAMILY,
+    TABLE4_METHODS,
+    ExperimentScale,
+    build_methods,
+    build_real_style_dataset,
+    build_synthetic_style_dataset,
+    query_precisions,
+    real_dataset_statistics,
+    run_accuracy_comparison,
+    run_first_configured_study,
+    run_query_precision,
+    run_training_fraction_sweep,
+    run_training_time_sweep,
+    synthetic_dataset_table,
+)
+from repro.evaluation.harness import MethodEvaluator, ground_truth_semantics
+from repro.mobility.dataset import train_test_split
+
+TINY = ExperimentScale.tiny()
+FAST = C2MNConfig.fast(max_iterations=2, mcmc_samples=4, lbfgs_iterations=3)
+CHEAP_METHODS = ("SMoT", "HMM+DC")
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_real_style_dataset(TINY)
+
+
+class TestScalesAndDatasets:
+    def test_scales_ordering(self):
+        assert ExperimentScale.tiny().objects <= ExperimentScale.small().objects
+        assert ExperimentScale.small().objects <= ExperimentScale.medium().objects
+
+    def test_table4_method_list_matches_paper(self):
+        assert len(TABLE4_METHODS) == 10
+        assert TABLE4_METHODS[-1] == "C2MN"
+        assert set(C2MN_FAMILY) <= set(TABLE4_METHODS)
+
+    def test_real_style_dataset_statistics(self, tiny_dataset):
+        stats = real_dataset_statistics(tiny_dataset)
+        assert stats["sequences"] == len(tiny_dataset)
+        assert stats["records"] > 0
+        assert stats["regions"] > 0
+
+    def test_synthetic_dataset_table_rows(self):
+        rows = synthetic_dataset_table([(5.0, 3.0), (15.0, 3.0)], scale=TINY)
+        assert len(rows) == 2
+        assert rows[0]["records"] > rows[1]["records"]  # sparser sampling → fewer records
+
+    def test_build_synthetic_dataset(self):
+        dataset = build_synthetic_style_dataset(max_period=8.0, error=4.0, scale=TINY)
+        assert len(dataset) > 0
+
+    def test_build_methods_instantiates_all_names(self, tiny_dataset):
+        methods = build_methods(TABLE4_METHODS, tiny_dataset.space, FAST)
+        assert [m.name for m in methods] == list(TABLE4_METHODS)
+
+
+class TestAccuracyComparison:
+    def test_rows_for_each_method(self, tiny_dataset):
+        results = run_accuracy_comparison(
+            tiny_dataset, methods=CHEAP_METHODS, config=FAST
+        )
+        assert [r.method for r in results] == list(CHEAP_METHODS)
+        for result in results:
+            assert 0.0 <= result.scores.region_accuracy <= 1.0
+            assert 0.0 <= result.scores.perfect_accuracy <= 1.0
+            assert result.scores.records > 0
+
+
+class TestSweeps:
+    def test_training_fraction_sweep_structure(self, tiny_dataset):
+        sweep = run_training_fraction_sweep(
+            tiny_dataset, fractions=(0.5, 0.7), methods=("SMoT",), config=FAST
+        )
+        assert set(sweep) == {"SMoT"}
+        assert set(sweep["SMoT"]) == {0.5, 0.7}
+
+    def test_training_time_sweep_structure(self, tiny_dataset):
+        times = run_training_time_sweep(
+            tiny_dataset, max_iterations=(1, 2), methods=("CMN",), config=FAST
+        )
+        assert set(times["CMN"]) == {1, 2}
+        assert all(value >= 0.0 for value in times["CMN"].values())
+
+    def test_first_configured_study_methods(self, tiny_dataset):
+        times = run_first_configured_study(
+            tiny_dataset, max_iterations=(1,), config=FAST
+        )
+        assert set(times) == {"C2MN", "C2MN@R"}
+
+
+class TestQueryPrecision:
+    def test_query_precision_structure(self, tiny_dataset):
+        precisions = run_query_precision(
+            tiny_dataset,
+            query_intervals=(600.0, 1200.0),
+            methods=CHEAP_METHODS,
+            config=FAST,
+        )
+        assert set(precisions) == set(CHEAP_METHODS)
+        for per_interval in precisions.values():
+            assert set(per_interval) == {600.0, 1200.0}
+            for tkprq, tkfrpq in per_interval.values():
+                assert 0.0 <= tkprq <= 1.0
+                assert 0.0 <= tkfrpq <= 1.0
+
+    def test_query_precisions_of_ground_truth_is_one(self, tiny_dataset):
+        """Using the ground-truth m-semantics as the 'prediction' gives precision 1."""
+        train, test = train_test_split(tiny_dataset, train_fraction=0.7, seed=17)
+        truth = ground_truth_semantics(test.sequences)
+        evaluator = MethodEvaluator()
+        methods = build_methods(("SMoT",), tiny_dataset.space, FAST)
+        result = evaluator.evaluate(methods[0], train.sequences, test.sequences)
+        # Replace the method's semantics with the ground truth.
+        result.semantics = truth
+        earliest = min(seq.sequence.start_time for seq in test.sequences)
+        tkprq, tkfrpq = query_precisions(
+            result,
+            truth,
+            tiny_dataset.space.region_ids,
+            interval=(earliest, earliest + 900.0),
+        )
+        assert tkprq == pytest.approx(1.0)
+        assert tkfrpq in (pytest.approx(1.0), 0.0)  # 0.0 only if no pair exists

@@ -1,0 +1,118 @@
+"""Tests for the optional feature extensions described in the paper.
+
+Section III-B sketches three optional refinements without evaluating them:
+
+* weighting ``fsm`` by the normalised historical region frequency
+  (after Equation 3);
+* a time-decaying multiplier on the region-distance term in ``fst``
+  (after Equation 4);
+* the same time-decay applied to ``fsc`` (after Equation 5).
+
+All three are implemented behind configuration switches; these tests pin the
+semantics of each extension.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.features import FeatureExtractor
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import PositioningRecord, PositioningSequence
+
+
+def _two_record_sequence(gap_seconds, step=2.0):
+    records = [
+        PositioningRecord(IndoorPoint(4.0, 6.0, 0), 0.0),
+        PositioningRecord(IndoorPoint(4.0 + step, 6.0, 0), gap_seconds),
+    ]
+    return PositioningSequence(records)
+
+
+class TestRegionPriors:
+    def test_priors_scale_fsm(self, small_space, small_oracle, small_dataset):
+        labeled = small_dataset.sequences[0]
+        config = C2MNConfig.fast()
+        plain = FeatureExtractor(small_space, config, oracle=small_oracle)
+        boosted_priors = {region.region_id: 1.0 for region in small_space.regions}
+        halved_priors = {region.region_id: 0.5 for region in small_space.regions}
+        full = FeatureExtractor(
+            small_space, config, oracle=small_oracle, region_priors=boosted_priors
+        )
+        half = FeatureExtractor(
+            small_space, config, oracle=small_oracle, region_priors=halved_priors
+        )
+        data_plain = plain.prepare(labeled.sequence)
+        data_full = full.prepare(labeled.sequence)
+        data_half = half.prepare(labeled.sequence)
+        region = data_plain.candidates[0][0]
+        base = plain.spatial_matching(data_plain, 0, region)
+        assert full.spatial_matching(data_full, 0, region) == pytest.approx(base)
+        assert half.spatial_matching(data_half, 0, region) == pytest.approx(base * 0.5)
+
+    def test_unknown_region_prior_gives_zero(self, small_space, small_oracle, small_dataset):
+        labeled = small_dataset.sequences[0]
+        config = C2MNConfig.fast()
+        extractor = FeatureExtractor(
+            small_space, config, oracle=small_oracle, region_priors={-42: 1.0}
+        )
+        data = extractor.prepare(labeled.sequence)
+        region = data.candidates[0][0]
+        assert extractor.spatial_matching(data, 0, region) == 0.0
+
+
+class TestTimeDecay:
+    def test_gamma_time_validated(self):
+        with pytest.raises(ValueError):
+            C2MNConfig(gamma_time=0.0)
+        with pytest.raises(ValueError):
+            C2MNConfig(gamma_time=1.0)
+
+    def test_disabled_by_default(self, small_space, small_oracle):
+        config = C2MNConfig.fast()
+        assert not config.use_time_decay
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        regions = {region.name: region.region_id for region in small_space.regions}
+        a, b = regions["F0-S00"], regions["F0-N03"]
+        assert extractor.space_transition(a, b, elapsed=1000.0) == pytest.approx(
+            extractor.space_transition(a, b)
+        )
+
+    def test_fst_decay_softens_distant_transitions(self, small_space, small_oracle):
+        config = C2MNConfig.fast(use_time_decay=True, gamma_time=0.02)
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        regions = {region.name: region.region_id for region in small_space.regions}
+        a, b = regions["F0-S00"], regions["F0-N03"]
+        quick = extractor.space_transition(a, b, elapsed=1.0)
+        slow = extractor.space_transition(a, b, elapsed=300.0)
+        # With a long gap the walking distance matters less, so the
+        # transition becomes *more* plausible (value closer to 1).
+        assert slow > quick
+        assert extractor.space_transition(a, a, elapsed=300.0) == pytest.approx(1.0)
+
+    def test_fsc_decay_softens_inconsistency(self, small_space, small_oracle):
+        base_config = C2MNConfig.fast()
+        decayed_config = C2MNConfig.fast(use_time_decay=True, gamma_time=0.02)
+        base = FeatureExtractor(small_space, base_config, oracle=small_oracle)
+        decayed = FeatureExtractor(small_space, decayed_config, oracle=small_oracle)
+        regions = {region.name: region.region_id for region in small_space.regions}
+        a, b = regions["F0-S00"], regions["F0-N03"]
+        # Long gap between two nearby estimates while hypothesising a distant
+        # region pair: without decay this is heavily penalised, with decay the
+        # penalty shrinks.
+        data_base = base.prepare(_two_record_sequence(gap_seconds=300.0))
+        data_decayed = decayed.prepare(_two_record_sequence(gap_seconds=300.0))
+        assert decayed.spatial_consistency(data_decayed, 0, a, b) >= base.spatial_consistency(
+            data_base, 0, a, b
+        )
+
+    def test_annotator_trains_with_time_decay(self, small_space, small_split):
+        from repro.core import C2MNAnnotator
+
+        train, test = small_split
+        config = C2MNConfig.fast(max_iterations=2, mcmc_samples=4, use_time_decay=True)
+        annotator = C2MNAnnotator(small_space, config=config)
+        annotator.fit(train.sequences[:2])
+        regions, events = annotator.predict_labels(test.sequences[0].sequence)
+        assert len(regions) == len(test.sequences[0].sequence)

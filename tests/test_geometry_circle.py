@@ -1,0 +1,106 @@
+"""Tests for repro.geometry.circle."""
+
+import math
+
+import pytest
+
+from repro.geometry.circle import (
+    Circle,
+    circle_polygon_intersection_area,
+    circle_rectangle_intersection_area,
+    overlap_fraction,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon, Rectangle
+
+
+class TestCircle:
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), 0.0)
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2.0).area == pytest.approx(4 * math.pi)
+
+    def test_contains_point(self):
+        circle = Circle(Point(0, 0), 1.0)
+        assert circle.contains_point(Point(0.5, 0.5))
+        assert circle.contains_point(Point(1.0, 0.0))
+        assert not circle.contains_point(Point(1.1, 0.0))
+
+    def test_bounding_box(self):
+        bbox = Circle(Point(1.0, 2.0), 3.0).bounding_box
+        assert (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y) == (-2.0, -1.0, 4.0, 5.0)
+
+    def test_intersects_bbox(self):
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        assert circle.intersects_bbox(Rectangle(0.5, 0.5, 2.0, 2.0).bounding_box)
+        assert not circle.intersects_bbox(Rectangle(5.0, 5.0, 6.0, 6.0).bounding_box)
+
+
+class TestCircleRectangleIntersection:
+    def test_rectangle_fully_inside_circle(self):
+        circle = Circle(Point(0, 0), 10.0)
+        rect = Rectangle(-1.0, -1.0, 1.0, 1.0)
+        assert circle_rectangle_intersection_area(circle, rect) == pytest.approx(4.0)
+
+    def test_circle_fully_inside_rectangle(self):
+        circle = Circle(Point(0, 0), 1.0)
+        rect = Rectangle(-10.0, -10.0, 10.0, 10.0)
+        assert circle_rectangle_intersection_area(circle, rect) == pytest.approx(circle.area)
+
+    def test_disjoint(self):
+        circle = Circle(Point(0, 0), 1.0)
+        rect = Rectangle(5.0, 5.0, 6.0, 6.0)
+        assert circle_rectangle_intersection_area(circle, rect) == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_overlap(self):
+        # Rectangle covering exactly the right half-plane portion of the circle.
+        circle = Circle(Point(0, 0), 2.0)
+        rect = Rectangle(0.0, -10.0, 10.0, 10.0)
+        assert circle_rectangle_intersection_area(circle, rect) == pytest.approx(
+            circle.area / 2.0, rel=1e-6
+        )
+
+    def test_quarter_overlap(self):
+        circle = Circle(Point(0, 0), 2.0)
+        rect = Rectangle(0.0, 0.0, 10.0, 10.0)
+        assert circle_rectangle_intersection_area(circle, rect) == pytest.approx(
+            circle.area / 4.0, rel=1e-6
+        )
+
+
+class TestCirclePolygonIntersection:
+    def test_rectangle_uses_exact_formula(self):
+        circle = Circle(Point(0, 0), 2.0)
+        rect = Rectangle(0.0, 0.0, 10.0, 10.0)
+        assert circle_polygon_intersection_area(circle, rect) == pytest.approx(
+            circle.area / 4.0, rel=1e-6
+        )
+
+    def test_general_polygon_grid_approximation(self):
+        circle = Circle(Point(0, 0), 2.0)
+        # Same quarter-plane region expressed as a generic polygon.
+        poly = Polygon([Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)])
+        approx = circle_polygon_intersection_area(circle, poly, resolution=64)
+        assert approx == pytest.approx(circle.area / 4.0, rel=0.05)
+
+    def test_disjoint_polygon(self):
+        circle = Circle(Point(0, 0), 1.0)
+        poly = Polygon([Point(10, 10), Point(11, 10), Point(11, 11)])
+        assert circle_polygon_intersection_area(circle, poly) == 0.0
+
+
+class TestOverlapFraction:
+    def test_bounds(self):
+        circle = Circle(Point(0, 0), 1.0)
+        inside = Rectangle(-10.0, -10.0, 10.0, 10.0)
+        outside = Rectangle(5.0, 5.0, 6.0, 6.0)
+        assert overlap_fraction(circle, inside) == pytest.approx(1.0)
+        assert overlap_fraction(circle, outside) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_overlap(self):
+        circle = Circle(Point(0, 0), 2.0)
+        half = Rectangle(0.0, -10.0, 10.0, 10.0)
+        quarter = Rectangle(0.0, 0.0, 10.0, 10.0)
+        assert overlap_fraction(circle, half) > overlap_fraction(circle, quarter)

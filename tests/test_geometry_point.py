@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import IndoorPoint, Point, centroid_of, euclidean, squared_euclidean
+
+
+class TestPoint:
+    def test_distance_to_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1.0, 2.0), Point(4.0, 6.0)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_translate(self):
+        assert Point(1.0, 1.0).translate(2.0, -3.0) == Point(3.0, -2.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert tuple(p) == (1.5, 2.5)
+
+    def test_points_are_hashable_value_objects(self):
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0), Point(3.0, 4.0)}) == 2
+
+    def test_points_are_ordered(self):
+        assert Point(1.0, 2.0) < Point(1.0, 3.0) < Point(2.0, 0.0)
+
+
+class TestIndoorPoint:
+    def test_planar_projection(self):
+        p = IndoorPoint(3.0, 4.0, 2)
+        assert p.planar == Point(3.0, 4.0)
+
+    def test_distance_same_floor(self):
+        a = IndoorPoint(0.0, 0.0, 1)
+        b = IndoorPoint(3.0, 4.0, 1)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_across_floors_raises(self):
+        a = IndoorPoint(0.0, 0.0, 0)
+        b = IndoorPoint(0.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            a.distance_to(b)
+
+    def test_planar_distance_ignores_floor(self):
+        a = IndoorPoint(0.0, 0.0, 0)
+        b = IndoorPoint(3.0, 4.0, 5)
+        assert a.planar_distance_to(b) == pytest.approx(5.0)
+
+    def test_with_floor(self):
+        p = IndoorPoint(1.0, 1.0, 0)
+        assert p.with_floor(3) == IndoorPoint(1.0, 1.0, 3)
+
+    def test_as_tuple_includes_floor(self):
+        assert IndoorPoint(1.0, 2.0, 3).as_tuple() == (1.0, 2.0, 3)
+
+    def test_default_floor_is_zero(self):
+        assert IndoorPoint(0.0, 0.0).floor == 0
+
+
+class TestHelpers:
+    def test_euclidean_matches_math_hypot(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_squared_euclidean_three_dimensional(self):
+        assert squared_euclidean((0.0, 0.0, 0.0), (1.0, 2.0, 2.0)) == pytest.approx(9.0)
+
+    def test_euclidean_identical_points(self):
+        assert euclidean((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_centroid_of_points(self):
+        centroid = centroid_of([Point(0.0, 0.0), Point(2.0, 0.0), Point(1.0, 3.0)])
+        assert centroid.x == pytest.approx(1.0)
+        assert centroid.y == pytest.approx(1.0)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid_of([])

@@ -1,0 +1,140 @@
+"""Tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon, Rectangle
+
+
+class TestBoundingBox:
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(2.0, 0.0, 1.0, 1.0)
+
+    def test_dimensions_and_area(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area == 8.0
+        assert box.center == Point(2.0, 1.0)
+
+    def test_contains_point_boundary_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains_point(Point(0.0, 0.0))
+        assert box.contains_point(Point(0.5, 0.5))
+        assert not box.contains_point(Point(1.1, 0.5))
+
+    def test_intersects_overlapping_and_touching(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        assert a.intersects(BoundingBox(1.0, 1.0, 3.0, 3.0))
+        assert a.intersects(BoundingBox(2.0, 0.0, 3.0, 1.0))  # touching edge
+        assert not a.intersects(BoundingBox(2.1, 2.1, 3.0, 3.0))
+
+    def test_union_covers_both(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 4.0)
+        union = a.union(b)
+        assert union.min_x == 0.0 and union.max_y == 4.0
+        assert union.area >= a.area and union.area >= b.area
+
+    def test_expanded(self):
+        box = BoundingBox(1.0, 1.0, 2.0, 2.0).expanded(0.5)
+        assert box.min_x == 0.5 and box.max_y == 2.5
+
+    def test_enlargement_zero_when_contained(self):
+        outer = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert outer.enlargement(inner) == 0.0
+        assert inner.enlargement(outer) > 0.0
+
+    def test_distance_to_point(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.distance_to_point(Point(0.5, 0.5)) == 0.0
+        assert box.distance_to_point(Point(4.0, 5.0)) == pytest.approx(5.0)
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_triangle_area_and_centroid(self):
+        triangle = Polygon([Point(0, 0), Point(4, 0), Point(0, 3)])
+        assert triangle.area == pytest.approx(6.0)
+        assert triangle.centroid.x == pytest.approx(4.0 / 3.0)
+        assert triangle.centroid.y == pytest.approx(1.0)
+
+    def test_area_independent_of_orientation(self):
+        cw = Polygon([Point(0, 0), Point(0, 3), Point(4, 0)])
+        ccw = Polygon([Point(0, 0), Point(4, 0), Point(0, 3)])
+        assert cw.area == pytest.approx(ccw.area)
+
+    def test_contains_point_inside_outside_boundary(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert square.contains_point(Point(1, 1))
+        assert square.contains_point(Point(0, 1))  # boundary
+        assert not square.contains_point(Point(3, 1))
+
+    def test_contains_point_concave(self):
+        # L-shaped polygon: the notch is outside.
+        lshape = Polygon(
+            [Point(0, 0), Point(3, 0), Point(3, 1), Point(1, 1), Point(1, 3), Point(0, 3)]
+        )
+        assert lshape.contains_point(Point(0.5, 2.0))
+        assert lshape.contains_point(Point(2.0, 0.5))
+        assert not lshape.contains_point(Point(2.0, 2.0))
+
+    def test_distance_to_point(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert square.distance_to_point(Point(1, 1)) == 0.0
+        assert square.distance_to_point(Point(5, 1)) == pytest.approx(3.0)
+
+    def test_closest_point_to(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        closest = square.closest_point_to(Point(5.0, 1.0))
+        assert closest.x == pytest.approx(2.0)
+        assert closest.y == pytest.approx(1.0)
+        inside = Point(1.0, 1.0)
+        assert square.closest_point_to(inside) == inside
+
+    def test_sample_grid_points_inside(self):
+        square = Polygon([Point(0, 0), Point(3, 0), Point(3, 3), Point(0, 3)])
+        samples = square.sample_grid_points(per_side=3)
+        assert len(samples) == 9
+        assert all(square.contains_point(p) for p in samples)
+
+    def test_sample_grid_points_never_empty(self):
+        thin = Polygon([Point(0, 0), Point(10, 0), Point(10, 0.001)])
+        assert thin.sample_grid_points(per_side=2)
+
+    def test_edges_count(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert len(square.edges()) == 4
+
+
+class TestRectangle:
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(0.0, 0.0, 0.0, 1.0)
+
+    def test_dimensions(self):
+        rect = Rectangle(1.0, 2.0, 4.0, 8.0)
+        assert rect.width == 3.0
+        assert rect.height == 6.0
+        assert rect.area == pytest.approx(18.0)
+
+    def test_contains_point_fast_path(self):
+        rect = Rectangle(0.0, 0.0, 2.0, 2.0)
+        assert rect.contains_point(Point(2.0, 2.0))
+        assert not rect.contains_point(Point(2.0, 2.0), include_boundary=False)
+
+    def test_centroid_is_center(self):
+        rect = Rectangle(0.0, 0.0, 4.0, 2.0)
+        assert rect.centroid == Point(2.0, 1.0)
+
+    def test_bounding_box_matches(self):
+        rect = Rectangle(1.0, 1.0, 3.0, 5.0)
+        bbox = rect.bounding_box
+        assert (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y) == (1.0, 1.0, 3.0, 5.0)

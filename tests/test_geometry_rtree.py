@@ -1,0 +1,121 @@
+"""Tests for repro.geometry.rtree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.geometry.rtree import RTree
+
+
+def _box(x, y, size=1.0):
+    return BoundingBox(x, y, x + size, y + size)
+
+
+class TestRTreeBasics:
+    def test_rejects_tiny_max_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.root_bbox is None
+        assert tree.query_bbox(_box(0, 0)) == []
+        assert tree.nearest(Point(0, 0)) == []
+
+    def test_insert_and_query_point(self):
+        tree = RTree()
+        tree.insert(_box(0, 0), "a")
+        tree.insert(_box(10, 10), "b")
+        assert tree.query_point(Point(0.5, 0.5)) == ["a"]
+        assert tree.query_point(Point(10.5, 10.5)) == ["b"]
+        assert tree.query_point(Point(5.0, 5.0)) == []
+
+    def test_query_point_with_margin(self):
+        tree = RTree()
+        tree.insert(_box(0, 0), "a")
+        assert tree.query_point(Point(1.5, 0.5)) == []
+        assert tree.query_point(Point(1.5, 0.5), margin=1.0) == ["a"]
+
+    def test_len_tracks_inserts(self):
+        tree = RTree()
+        for i in range(25):
+            tree.insert(_box(i * 2, 0), i)
+        assert len(tree) == 25
+
+    def test_all_payloads(self):
+        tree = RTree()
+        for i in range(30):
+            tree.insert(_box(i * 2, 0), i)
+        assert sorted(tree.all_payloads()) == list(range(30))
+
+
+class TestRTreeQueries:
+    @pytest.fixture()
+    def grid_tree(self):
+        tree = RTree(max_entries=6)
+        for ix in range(10):
+            for iy in range(10):
+                tree.insert(_box(ix * 2.0, iy * 2.0), (ix, iy))
+        return tree
+
+    def test_bbox_query_returns_exactly_overlapping(self, grid_tree):
+        found = grid_tree.query_bbox(BoundingBox(0.0, 0.0, 3.0, 3.0))
+        assert sorted(found) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_bbox_query_matches_brute_force(self, grid_tree):
+        probe = BoundingBox(3.0, 5.0, 9.5, 8.0)
+        brute = {
+            (ix, iy)
+            for ix in range(10)
+            for iy in range(10)
+            if _box(ix * 2.0, iy * 2.0).intersects(probe)
+        }
+        assert set(grid_tree.query_bbox(probe)) == brute
+
+    def test_nearest_single(self, grid_tree):
+        assert grid_tree.nearest(Point(0.1, 0.1), k=1) == [(0, 0)]
+
+    def test_nearest_k_ordering(self, grid_tree):
+        nearest = grid_tree.nearest(Point(0.5, 0.5), k=4)
+        assert len(nearest) == 4
+        assert nearest[0] == (0, 0)
+        assert set(nearest) <= {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_nearest_k_larger_than_size(self):
+        tree = RTree()
+        tree.insert(_box(0, 0), "only")
+        assert tree.nearest(Point(5, 5), k=10) == ["only"]
+
+    def test_nearest_rejects_non_positive_k(self, grid_tree):
+        with pytest.raises(ValueError):
+            grid_tree.nearest(Point(0, 0), k=0)
+
+
+class TestRTreeRandomised:
+    def test_random_inserts_queries_match_brute_force(self):
+        rng = random.Random(42)
+        tree = RTree(max_entries=5)
+        boxes = []
+        for i in range(200):
+            x = rng.uniform(0, 100)
+            y = rng.uniform(0, 100)
+            w = rng.uniform(0.5, 5.0)
+            h = rng.uniform(0.5, 5.0)
+            box = BoundingBox(x, y, x + w, y + h)
+            boxes.append((box, i))
+            tree.insert(box, i)
+        for _ in range(20):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+            probe = BoundingBox(qx, qy, qx + rng.uniform(1, 20), qy + rng.uniform(1, 20))
+            brute = {payload for box, payload in boxes if box.intersects(probe)}
+            assert set(tree.query_bbox(probe)) == brute
+
+    def test_bulk_load_equivalent_to_inserts(self):
+        entries = [(_box(i * 3.0, 0.0), i) for i in range(40)]
+        loaded = RTree()
+        loaded.bulk_load(entries)
+        assert len(loaded) == 40
+        assert set(loaded.query_bbox(BoundingBox(0.0, 0.0, 10.0, 2.0))) == {0, 1, 2, 3}

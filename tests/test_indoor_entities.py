@@ -1,0 +1,124 @@
+"""Tests for repro.indoor.entities."""
+
+import pytest
+
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
+
+
+@pytest.fixture()
+def room():
+    return Partition(partition_id=1, geometry=Rectangle(0, 0, 10, 8), floor=1, kind="room")
+
+
+class TestPartition:
+    def test_area_and_centroid(self, room):
+        assert room.area == pytest.approx(80.0)
+        assert room.centroid == IndoorPoint(5.0, 4.0, 1)
+
+    def test_contains_requires_same_floor(self, room):
+        assert room.contains(IndoorPoint(5.0, 4.0, 1))
+        assert not room.contains(IndoorPoint(5.0, 4.0, 0))
+        assert not room.contains(IndoorPoint(50.0, 4.0, 1))
+
+
+class TestDoor:
+    def test_requires_one_or_two_partitions(self):
+        with pytest.raises(ValueError):
+            Door(door_id=1, location=IndoorPoint(0, 0, 0), partition_ids=())
+        with pytest.raises(ValueError):
+            Door(door_id=1, location=IndoorPoint(0, 0, 0), partition_ids=(1, 2, 3))
+
+    def test_connects_and_other_partition(self):
+        door = Door(door_id=1, location=IndoorPoint(0, 0, 0), partition_ids=(3, 7))
+        assert door.connects(3) and door.connects(7)
+        assert not door.connects(5)
+        assert door.other_partition(3) == 7
+        assert door.other_partition(7) == 3
+
+    def test_exterior_door_other_partition_is_none(self):
+        door = Door(door_id=2, location=IndoorPoint(0, 0, 0), partition_ids=(4,))
+        assert door.other_partition(4) is None
+
+    def test_other_partition_unknown_raises(self):
+        door = Door(door_id=3, location=IndoorPoint(0, 0, 0), partition_ids=(1, 2))
+        with pytest.raises(ValueError):
+            door.other_partition(9)
+
+    def test_floor_property(self):
+        door = Door(door_id=4, location=IndoorPoint(0, 0, 3), partition_ids=(1, 2))
+        assert door.floor == 3
+
+
+class TestStaircase:
+    def test_upper_must_be_higher(self):
+        with pytest.raises(ValueError):
+            Staircase(
+                staircase_id=1,
+                location_lower=IndoorPoint(0, 0, 1),
+                location_upper=IndoorPoint(0, 0, 1),
+                partition_lower=1,
+                partition_upper=2,
+            )
+
+    def test_travel_distance_positive(self):
+        with pytest.raises(ValueError):
+            Staircase(
+                staircase_id=1,
+                location_lower=IndoorPoint(0, 0, 0),
+                location_upper=IndoorPoint(0, 0, 1),
+                partition_lower=1,
+                partition_upper=2,
+                travel_distance=0.0,
+            )
+
+
+class TestSemanticRegion:
+    @pytest.fixture()
+    def region(self):
+        return SemanticRegion(
+            region_id=5,
+            name="coffee",
+            partition_ids=(1,),
+            floor=2,
+            geometries=[Rectangle(0, 0, 4, 4)],
+        )
+
+    def test_requires_partitions(self):
+        with pytest.raises(ValueError):
+            SemanticRegion(region_id=1, name="empty", partition_ids=())
+
+    def test_area_and_centroid(self, region):
+        assert region.area == pytest.approx(16.0)
+        assert region.centroid == IndoorPoint(2.0, 2.0, 2)
+
+    def test_multi_geometry_centroid_is_area_weighted(self):
+        region = SemanticRegion(
+            region_id=9,
+            name="two-rooms",
+            partition_ids=(1, 2),
+            floor=0,
+            geometries=[Rectangle(0, 0, 2, 2), Rectangle(2, 0, 6, 2)],
+        )
+        # Areas 4 and 8: centroid x = (1*4 + 4*8) / 12 = 3.0
+        assert region.centroid.x == pytest.approx(3.0)
+
+    def test_contains_and_distance(self, region):
+        assert region.contains(IndoorPoint(1.0, 1.0, 2))
+        assert not region.contains(IndoorPoint(1.0, 1.0, 0))
+        assert region.distance_to(IndoorPoint(7.0, 0.0, 2)) == pytest.approx(3.0)
+        assert region.distance_to(IndoorPoint(7.0, 0.0, 0)) == float("inf")
+
+    def test_sample_points_inside(self, region):
+        points = region.sample_points(per_side=2)
+        assert points
+        assert all(region.contains(p) for p in points)
+
+    def test_equality_by_region_id(self, region):
+        clone = SemanticRegion(
+            region_id=5, name="other-name", partition_ids=(9,), floor=1,
+            geometries=[Rectangle(0, 0, 1, 1)],
+        )
+        assert region == clone
+        assert len({region, clone}) == 1

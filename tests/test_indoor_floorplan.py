@@ -1,0 +1,166 @@
+"""Tests for repro.indoor.floorplan and the floorplan builders."""
+
+import pytest
+
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.builders import build_mall_space, build_office_building
+from repro.indoor.entities import Door, Partition, SemanticRegion
+from repro.indoor.floorplan import IndoorSpace
+
+
+def _tiny_space():
+    """Two rooms joined by a hallway; one room is a semantic region."""
+    partitions = [
+        Partition(0, Rectangle(0, 0, 10, 10), floor=0, kind="room"),
+        Partition(1, Rectangle(10, 0, 20, 10), floor=0, kind="hallway"),
+        Partition(2, Rectangle(20, 0, 30, 10), floor=0, kind="room"),
+    ]
+    doors = [
+        Door(0, IndoorPoint(10, 5, 0), (0, 1)),
+        Door(1, IndoorPoint(20, 5, 0), (1, 2)),
+    ]
+    regions = [
+        SemanticRegion(0, "left-shop", (0,), floor=0),
+        SemanticRegion(1, "right-shop", (2,), floor=0),
+    ]
+    return IndoorSpace(partitions, doors, regions, name="tiny")
+
+
+class TestIndoorSpaceValidation:
+    def test_duplicate_partition_rejected(self):
+        partitions = [
+            Partition(0, Rectangle(0, 0, 1, 1)),
+            Partition(0, Rectangle(1, 0, 2, 1)),
+        ]
+        with pytest.raises(ValueError):
+            IndoorSpace(partitions, [], [])
+
+    def test_door_referencing_unknown_partition_rejected(self):
+        partitions = [Partition(0, Rectangle(0, 0, 1, 1))]
+        doors = [Door(0, IndoorPoint(0, 0, 0), (0, 99))]
+        with pytest.raises(ValueError):
+            IndoorSpace(partitions, doors, [])
+
+    def test_region_referencing_unknown_partition_rejected(self):
+        partitions = [Partition(0, Rectangle(0, 0, 1, 1))]
+        regions = [SemanticRegion(0, "r", (99,))]
+        with pytest.raises(ValueError):
+            IndoorSpace(partitions, [], regions)
+
+    def test_overlapping_regions_rejected(self):
+        partitions = [Partition(0, Rectangle(0, 0, 1, 1))]
+        regions = [
+            SemanticRegion(0, "a", (0,)),
+            SemanticRegion(1, "b", (0,)),
+        ]
+        with pytest.raises(ValueError):
+            IndoorSpace(partitions, [], regions)
+
+    def test_region_geometry_resolved_from_partitions(self):
+        space = _tiny_space()
+        region = space.region(0)
+        assert region.geometries
+        assert region.area == pytest.approx(100.0)
+
+
+class TestIndoorSpaceLookups:
+    @pytest.fixture()
+    def space(self):
+        return _tiny_space()
+
+    def test_partition_at(self, space):
+        assert space.partition_at(IndoorPoint(5, 5, 0)).partition_id == 0
+        assert space.partition_at(IndoorPoint(15, 5, 0)).partition_id == 1
+        assert space.partition_at(IndoorPoint(5, 5, 3)) is None
+
+    def test_nearest_partition_outside(self, space):
+        assert space.nearest_partition(IndoorPoint(-2.0, 5.0, 0)).partition_id == 0
+
+    def test_region_at(self, space):
+        assert space.region_at(IndoorPoint(5, 5, 0)).name == "left-shop"
+        assert space.region_at(IndoorPoint(15, 5, 0)) is None  # hallway
+        assert space.region_at(IndoorPoint(25, 5, 0)).name == "right-shop"
+
+    def test_nearest_region_from_hallway(self, space):
+        near_left = space.nearest_region(IndoorPoint(11, 5, 0))
+        near_right = space.nearest_region(IndoorPoint(19, 5, 0))
+        assert near_left.name == "left-shop"
+        assert near_right.name == "right-shop"
+
+    def test_nearest_region_wrong_floor_falls_back(self, space):
+        region = space.nearest_region(IndoorPoint(5, 5, 7))
+        assert region is not None
+
+    def test_candidate_regions_ordering_and_cap(self, space):
+        candidates = space.candidate_regions(IndoorPoint(12, 5, 0), radius=30.0, max_candidates=1)
+        assert len(candidates) == 1
+        assert candidates[0].name == "left-shop"
+
+    def test_candidate_regions_nonempty_for_false_floor(self, space):
+        candidates = space.candidate_regions(IndoorPoint(12, 5, 9), radius=5.0)
+        assert candidates
+
+    def test_doors_of_partition(self, space):
+        assert {door.door_id for door in space.doors_of_partition(1)} == {0, 1}
+        assert space.doors_of_partition(999) == []
+
+    def test_region_of_partition(self, space):
+        assert space.region_of_partition(0).name == "left-shop"
+        assert space.region_of_partition(1) is None
+
+    def test_summary(self, space):
+        summary = space.summary()
+        assert summary["partitions"] == 3
+        assert summary["doors"] == 2
+        assert summary["regions"] == 2
+        assert summary["floors"] == 1
+
+
+class TestBuilders:
+    def test_mall_counts(self):
+        space = build_mall_space(floors=2, shops_per_side=5)
+        summary = space.summary()
+        # Per floor: 5 hallway segments + 10 shops = 15 partitions, 10 regions.
+        assert summary["partitions"] == 30
+        assert summary["regions"] == 20
+        assert summary["floors"] == 2
+        assert summary["staircases"] == 2  # two per floor gap
+
+    def test_mall_default_matches_paper_scale(self):
+        space = build_mall_space()
+        assert len(space.regions) == 7 * 2 * 15  # 210 shops, close to the paper's 202
+
+    def test_mall_every_shop_has_a_door(self):
+        space = build_mall_space(floors=1, shops_per_side=4)
+        for partition in space.partitions:
+            if partition.kind == "shop":
+                assert space.doors_of_partition(partition.partition_id)
+
+    def test_mall_regions_do_not_share_partitions(self):
+        space = build_mall_space(floors=1, shops_per_side=6)
+        seen = set()
+        for region in space.regions:
+            for pid in region.partition_ids:
+                assert pid not in seen
+                seen.add(pid)
+
+    def test_mall_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_mall_space(floors=0)
+        with pytest.raises(ValueError):
+            build_mall_space(shops_per_side=0)
+
+    def test_office_building_region_fraction(self):
+        space = build_office_building(floors=2, rooms_per_side=6, region_fraction=0.5, seed=1)
+        total_rooms = 2 * 6 * 2
+        assert 0 < len(space.regions) < total_rooms
+
+    def test_office_building_is_deterministic(self):
+        a = build_office_building(floors=2, rooms_per_side=5, seed=3)
+        b = build_office_building(floors=2, rooms_per_side=5, seed=3)
+        assert [r.name for r in a.regions] == [r.name for r in b.regions]
+
+    def test_office_building_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            build_office_building(region_fraction=0.0)

@@ -1,0 +1,127 @@
+"""Tests for repro.indoor.topology and repro.indoor.distance."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import IndoorPoint
+from repro.indoor.distance import IndoorDistanceOracle
+from repro.indoor.topology import AccessibilityGraph
+
+
+class TestAccessibilityGraph:
+    def test_every_door_is_a_node(self, small_space, small_graph):
+        assert small_graph.number_of_doors == len(small_space.doors)
+
+    def test_graph_is_connected_single_floor(self, small_graph):
+        assert small_graph.is_connected()
+
+    def test_graph_is_connected_across_floors(self, two_floor_space):
+        graph = AccessibilityGraph(two_floor_space)
+        assert graph.is_connected()
+
+    def test_door_distance_zero_to_self(self, small_space, small_graph):
+        door = small_space.doors[0]
+        assert small_graph.door_distance(door.door_id, door.door_id) == 0.0
+
+    def test_door_distance_symmetric(self, small_space, small_graph):
+        doors = small_space.doors
+        a, b = doors[0].door_id, doors[-1].door_id
+        assert small_graph.door_distance(a, b) == pytest.approx(
+            small_graph.door_distance(b, a)
+        )
+
+    def test_door_distance_triangle_inequality(self, small_space, small_graph):
+        doors = [door.door_id for door in small_space.doors[:3]]
+        d_ab = small_graph.door_distance(doors[0], doors[1])
+        d_bc = small_graph.door_distance(doors[1], doors[2])
+        d_ac = small_graph.door_distance(doors[0], doors[2])
+        assert d_ac <= d_ab + d_bc + 1e-9
+
+    def test_shortest_door_path_endpoints(self, small_space, small_graph):
+        a = small_space.doors[0].door_id
+        b = small_space.doors[-1].door_id
+        path = small_graph.shortest_door_path(a, b)
+        assert path is not None
+        assert path[0] == a and path[-1] == b
+
+    def test_unknown_door_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.door_distance(99999, 0)
+
+    def test_precompute_all_pairs_fills_cache(self, small_space):
+        graph = AccessibilityGraph(small_space)
+        graph.precompute_all_pairs()
+        assert graph.memory_entries() >= graph.number_of_doors
+
+    def test_distances_from_returns_copy(self, small_space, small_graph):
+        door = small_space.doors[0].door_id
+        distances = small_graph.distances_from(door)
+        distances[door] = -1.0
+        assert small_graph.door_distance(door, door) == 0.0
+
+
+class TestIndoorDistanceOracle:
+    def test_same_point_distance_zero(self, small_oracle):
+        p = IndoorPoint(5.0, 5.0, 0)
+        assert small_oracle.point_distance(p, p) == 0.0
+
+    def test_same_partition_is_euclidean(self, small_space, small_oracle):
+        shop = next(p for p in small_space.partitions if p.kind == "shop")
+        bbox = shop.geometry.bounding_box
+        a = IndoorPoint(bbox.min_x + 1.0, bbox.min_y + 1.0, shop.floor)
+        b = IndoorPoint(bbox.min_x + 3.0, bbox.min_y + 4.0, shop.floor)
+        assert small_oracle.point_distance(a, b) == pytest.approx(
+            a.planar.distance_to(b.planar)
+        )
+
+    def test_cross_partition_at_least_euclidean(self, small_space, small_oracle):
+        shops = [p for p in small_space.partitions if p.kind == "shop"]
+        a_part, b_part = shops[0], shops[-1]
+        a = a_part.centroid
+        b = b_part.centroid
+        distance = small_oracle.point_distance(a, b)
+        assert distance >= a.planar.distance_to(b.planar) - 1e-9
+        assert math.isfinite(distance)
+
+    def test_point_distance_symmetric(self, small_space, small_oracle):
+        shops = [p for p in small_space.partitions if p.kind == "shop"]
+        a = shops[0].centroid
+        b = shops[3].centroid
+        assert small_oracle.point_distance(a, b) == pytest.approx(
+            small_oracle.point_distance(b, a), rel=1e-6
+        )
+
+    def test_region_distance_zero_for_same_region(self, small_space, small_oracle):
+        region = small_space.regions[0]
+        assert small_oracle.region_distance(region.region_id, region.region_id) == 0.0
+
+    def test_region_distance_symmetric_and_cached(self, small_space, small_oracle):
+        a = small_space.regions[0].region_id
+        b = small_space.regions[-1].region_id
+        d_ab = small_oracle.region_distance(a, b)
+        size_after_first = small_oracle.cache_size()
+        d_ba = small_oracle.region_distance(b, a)
+        assert d_ab == pytest.approx(d_ba)
+        assert small_oracle.cache_size() == size_after_first  # second lookup served from cache
+
+    def test_adjacent_regions_closer_than_distant_ones(self, small_space, small_oracle):
+        # Regions are named F{floor}-{S|N}{column}; same column south/north are
+        # across the hallway, far columns are further away.
+        regions = {region.name: region.region_id for region in small_space.regions}
+        near = small_oracle.region_distance(regions["F0-S00"], regions["F0-N00"])
+        far = small_oracle.region_distance(regions["F0-S00"], regions["F0-N03"])
+        assert near < far
+
+    def test_region_point_distance_finite(self, small_space, small_oracle):
+        region = small_space.regions[0]
+        point = small_space.regions[-1].centroid
+        assert math.isfinite(small_oracle.region_point_distance(region.region_id, point))
+
+    def test_cross_floor_distance_includes_staircase(self, two_floor_space):
+        oracle = IndoorDistanceOracle(two_floor_space)
+        lower = next(r for r in two_floor_space.regions if r.floor == 0)
+        upper = next(r for r in two_floor_space.regions if r.floor == 1)
+        distance = oracle.region_distance(lower.region_id, upper.region_id)
+        assert math.isfinite(distance)
+        assert distance > 0.0

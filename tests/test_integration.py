@@ -1,0 +1,81 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the paper's full story: simulate indoor mobility,
+corrupt it into positioning sequences, train C2MN and the baselines, label a
+held-out set, merge labels into m-semantics and answer queries — and check
+the qualitative claims (joint labeling helps, density beats speed for events).
+"""
+
+import pytest
+
+from repro.baselines import SMoTAnnotator
+from repro.core import C2MNAnnotator, C2MNConfig, make_cmn
+from repro.evaluation.harness import MethodEvaluator, ground_truth_semantics
+from repro.evaluation.metrics import score_sequences
+from repro.queries import TkPRQ, top_k_precision
+
+
+class TestEndToEnd:
+    def test_full_pipeline_on_mall_data(self, small_space, small_split, fitted_annotator):
+        train, test = small_split
+        evaluator = MethodEvaluator()
+
+        c2mn_result = evaluator.evaluate(
+            fitted_annotator, train.sequences, test.sequences, fit=False
+        )
+        smot_result = evaluator.evaluate(
+            SMoTAnnotator(small_space), train.sequences, test.sequences
+        )
+
+        # The coupled model should beat the simple speed-threshold baseline on
+        # combined accuracy (the paper's headline qualitative claim).
+        assert c2mn_result.scores.combined_accuracy >= smot_result.scores.combined_accuracy
+
+        # Both produce valid m-semantics for every test sequence.
+        assert len(c2mn_result.semantics) == len(test.sequences)
+        assert all(semantics for semantics in c2mn_result.semantics)
+
+    def test_c2mn_beats_or_matches_decoupled_cmn(self, small_space, small_split, fitted_annotator, fast_config):
+        """Removing the segmentation cliques should not improve perfect accuracy."""
+        train, test = small_split
+        evaluator = MethodEvaluator(keep_predictions=False)
+        cmn = make_cmn(small_space, config=fast_config)
+        cmn_result = evaluator.evaluate(cmn, train.sequences, test.sequences)
+        c2mn_result = evaluator.evaluate(
+            fitted_annotator, train.sequences, test.sequences, fit=False
+        )
+        assert c2mn_result.scores.perfect_accuracy >= cmn_result.scores.perfect_accuracy - 0.05
+
+    def test_annotations_support_popular_region_query(self, small_split, fitted_annotator):
+        _, test = small_split
+        truth = ground_truth_semantics(test.sequences)
+        predicted = [
+            fitted_annotator.annotate(labeled.sequence) for labeled in test.sequences
+        ]
+        query = TkPRQ(3)
+        precision = top_k_precision(query.top_regions(predicted), query.top_regions(truth))
+        assert precision >= 0.3
+
+    def test_training_on_office_building(self, office_space, office_dataset):
+        """The pipeline is venue-agnostic: it trains and predicts on the synthetic building."""
+        from repro.mobility.dataset import train_test_split
+
+        train, test = train_test_split(office_dataset, train_fraction=0.7, seed=2)
+        annotator = C2MNAnnotator(
+            office_space,
+            config=C2MNConfig.fast(max_iterations=2, mcmc_samples=4, uncertainty_radius=8.0),
+        )
+        annotator.fit(train.sequences)
+        predictions = [
+            annotator.predict_labeled_sequence(labeled.sequence) for labeled in test.sequences
+        ]
+        scores = score_sequences(predictions, test.sequences)
+        assert scores.region_accuracy > 0.3
+        assert scores.event_accuracy > 0.5
+
+    def test_annotations_are_reproducible(self, fitted_annotator, small_split):
+        _, test = small_split
+        sequence = test.sequences[0].sequence
+        first = fitted_annotator.predict_labels(sequence)
+        second = fitted_annotator.predict_labels(sequence)
+        assert first == second

@@ -1,0 +1,147 @@
+"""Tests for p-sequence preprocessing and dataset containers."""
+
+import pytest
+
+from repro.geometry.point import IndoorPoint
+from repro.mobility.dataset import (
+    AnnotationDataset,
+    generate_dataset,
+    k_fold_splits,
+    train_test_split,
+)
+from repro.mobility.preprocessing import (
+    filter_short_sequences,
+    preprocess,
+    split_on_time_gaps,
+)
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningRecord,
+    PositioningSequence,
+)
+
+
+def _sequence(timestamps, object_id="obj"):
+    records = [
+        PositioningRecord(IndoorPoint(float(i), 0.0, 0), t)
+        for i, t in enumerate(timestamps)
+    ]
+    return PositioningSequence(records, object_id=object_id, sort=False)
+
+
+def _labeled(timestamps, object_id="obj"):
+    sequence = _sequence(timestamps, object_id)
+    n = len(timestamps)
+    return LabeledSequence(
+        sequence,
+        region_labels=list(range(n)),
+        event_labels=[EVENT_STAY if i % 2 == 0 else EVENT_PASS for i in range(n)],
+    )
+
+
+class TestSplitOnTimeGaps:
+    def test_no_gap_returns_single_piece(self):
+        pieces = split_on_time_gaps(_sequence([0, 10, 20, 30]), max_gap=60)
+        assert len(pieces) == 1
+        assert pieces[0].object_id == "obj"
+
+    def test_split_at_large_gaps(self):
+        pieces = split_on_time_gaps(_sequence([0, 10, 200, 210, 500]), max_gap=60)
+        assert len(pieces) == 3
+        assert [len(p) for p in pieces] == [2, 2, 1]
+        assert pieces[0].object_id == "obj#0"
+        assert pieces[2].object_id == "obj#2"
+
+    def test_labels_split_alongside_records(self):
+        labeled = _labeled([0, 10, 200, 210])
+        pieces = split_on_time_gaps(labeled, max_gap=60)
+        assert len(pieces) == 2
+        assert pieces[0].region_labels == [0, 1]
+        assert pieces[1].region_labels == [2, 3]
+        assert pieces[1].event_labels == [EVENT_STAY, EVENT_PASS]
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(ValueError):
+            split_on_time_gaps(_sequence([0, 1]), max_gap=0)
+
+
+class TestFilterShortSequences:
+    def test_filters_by_duration(self):
+        short = _sequence([0, 10])
+        long = _sequence([0, 100, 200])
+        kept = filter_short_sequences([short, long], min_duration=50)
+        assert kept == [long]
+
+    def test_works_on_labeled_sequences(self):
+        short = _labeled([0, 10])
+        long = _labeled([0, 100, 200])
+        kept = filter_short_sequences([short, long], min_duration=50)
+        assert kept == [long]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            filter_short_sequences([], min_duration=-1)
+
+
+class TestPreprocess:
+    def test_paper_defaults_split_and_filter(self):
+        # One object with a 10-minute hole: two pieces, only the long one kept.
+        timestamps = list(range(0, 2400, 20)) + list(range(3600, 3700, 20))
+        labeled = _labeled(timestamps)
+        processed = preprocess([labeled], max_gap=180.0, min_duration=1800.0)
+        assert len(processed) == 1
+        assert processed[0].sequence.duration > 1800.0
+
+
+class TestDataset:
+    def test_statistics_of_empty_dataset(self, small_space):
+        dataset = AnnotationDataset(space=small_space, sequences=[])
+        stats = dataset.statistics()
+        assert stats["sequences"] == 0
+        assert stats["records"] == 0
+
+    def test_generate_dataset_statistics(self, small_dataset):
+        stats = small_dataset.statistics()
+        assert stats["sequences"] == len(small_dataset)
+        assert stats["records"] == small_dataset.total_records
+        assert stats["avg_records_per_sequence"] > 1
+        assert 0.0 < stats["stay_fraction"] < 1.0
+
+    def test_generated_labels_are_consistent(self, small_dataset, small_space):
+        valid_regions = set(small_space.region_ids)
+        for labeled in small_dataset.sequences:
+            assert set(labeled.region_labels) <= valid_regions
+            assert set(labeled.event_labels) <= {EVENT_STAY, EVENT_PASS}
+
+    def test_generate_dataset_deterministic(self, small_space):
+        a = generate_dataset(small_space, objects=3, duration=600.0, min_duration=100.0, seed=7)
+        b = generate_dataset(small_space, objects=3, duration=600.0, min_duration=100.0, seed=7)
+        assert a.total_records == b.total_records
+
+    def test_subset(self, small_dataset):
+        subset = small_dataset.subset([0, 1])
+        assert len(subset) == 2
+        assert subset.space is small_dataset.space
+
+    def test_train_test_split_partitions_sequences(self, small_dataset):
+        train, test = train_test_split(small_dataset, train_fraction=0.5, seed=1)
+        assert len(train) + len(test) == len(small_dataset)
+        assert len(train) >= 1 and len(test) >= 1
+
+    def test_train_test_split_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, train_fraction=1.5)
+
+    def test_k_fold_splits_cover_all_sequences(self, small_dataset):
+        folds = k_fold_splits(small_dataset, folds=3, seed=2)
+        assert len(folds) == 3
+        total_test = sum(len(test) for _, test in folds)
+        assert total_test == len(small_dataset)
+        for train, test in folds:
+            assert len(train) + len(test) == len(small_dataset)
+
+    def test_k_fold_too_many_folds(self, small_dataset):
+        with pytest.raises(ValueError):
+            k_fold_splits(small_dataset, folds=len(small_dataset) + 1)

@@ -1,0 +1,176 @@
+"""Tests for repro.mobility.records."""
+
+import pytest
+
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    MSemantics,
+    PositioningRecord,
+    PositioningSequence,
+    merge_labels_to_semantics,
+)
+
+
+def _record(x, y, t, floor=0):
+    return PositioningRecord(location=IndoorPoint(x, y, floor), timestamp=t)
+
+
+def _sequence(n=5, dt=10.0):
+    return PositioningSequence([_record(float(i), 0.0, i * dt) for i in range(n)])
+
+
+class TestPositioningRecord:
+    def test_accessors(self):
+        record = _record(1.0, 2.0, 5.0, floor=3)
+        assert (record.x, record.y, record.floor) == (1.0, 2.0, 3)
+
+    def test_planar_distance(self):
+        assert _record(0, 0, 0).planar_distance_to(_record(3, 4, 10)) == pytest.approx(5.0)
+
+    def test_speed_to(self):
+        assert _record(0, 0, 0).speed_to(_record(10, 0, 5)) == pytest.approx(2.0)
+
+    def test_speed_to_zero_elapsed(self):
+        assert _record(0, 0, 5).speed_to(_record(10, 0, 5)) == 0.0
+
+
+class TestPositioningSequence:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PositioningSequence([])
+
+    def test_records_sorted_by_time(self):
+        records = [_record(0, 0, 20), _record(0, 0, 0), _record(0, 0, 10)]
+        sequence = PositioningSequence(records)
+        assert [r.timestamp for r in sequence] == [0, 10, 20]
+
+    def test_unsorted_rejected_when_sort_disabled(self):
+        records = [_record(0, 0, 20), _record(0, 0, 0)]
+        with pytest.raises(ValueError):
+            PositioningSequence(records, sort=False)
+
+    def test_duration_and_sampling_interval(self):
+        sequence = _sequence(n=5, dt=10.0)
+        assert sequence.duration == pytest.approx(40.0)
+        assert sequence.average_sampling_interval() == pytest.approx(10.0)
+
+    def test_single_record_statistics(self):
+        sequence = PositioningSequence([_record(0, 0, 0)])
+        assert sequence.duration == 0.0
+        assert sequence.average_sampling_interval() == 0.0
+
+    def test_time_slice(self):
+        sequence = _sequence(n=6, dt=10.0)
+        sliced = sequence.time_slice(15.0, 35.0)
+        assert [r.timestamp for r in sliced] == [20.0, 30.0]
+
+    def test_time_slice_empty_raises(self):
+        with pytest.raises(ValueError):
+            _sequence().time_slice(1000.0, 2000.0)
+
+    def test_indexing(self):
+        sequence = _sequence()
+        assert sequence[0].timestamp == 0.0
+        assert len(sequence) == 5
+
+
+class TestMSemantics:
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ValueError):
+            MSemantics(region_id=1, start_time=0, end_time=1, event="teleport")
+
+    def test_reversed_period_rejected(self):
+        with pytest.raises(ValueError):
+            MSemantics(region_id=1, start_time=10, end_time=5, event=EVENT_STAY)
+
+    def test_duration_and_covers(self):
+        ms = MSemantics(region_id=1, start_time=10, end_time=30, event=EVENT_STAY)
+        assert ms.duration == 20
+        assert ms.covers_time(10) and ms.covers_time(30)
+        assert not ms.covers_time(31)
+
+    def test_overlaps(self):
+        a = MSemantics(1, 0, 10, EVENT_STAY)
+        b = MSemantics(1, 5, 15, EVENT_PASS)
+        c = MSemantics(1, 10, 20, EVENT_PASS)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching endpoints do not overlap
+
+
+class TestLabeledSequence:
+    def test_length_mismatch_rejected(self):
+        sequence = _sequence(n=3)
+        with pytest.raises(ValueError):
+            LabeledSequence(sequence, [1, 2], [EVENT_STAY] * 3)
+
+    def test_invalid_event_rejected(self):
+        sequence = _sequence(n=2)
+        with pytest.raises(ValueError):
+            LabeledSequence(sequence, [1, 2], ["stay", "hover"])
+
+    def test_iter_labeled_records(self):
+        sequence = _sequence(n=3)
+        labeled = LabeledSequence(sequence, [1, 1, 2], [EVENT_STAY, EVENT_STAY, EVENT_PASS])
+        rows = list(labeled.iter_labeled_records())
+        assert len(rows) == 3
+        assert rows[0][1] == 1 and rows[2][2] == EVENT_PASS
+
+    def test_stay_fraction(self):
+        sequence = _sequence(n=4)
+        labeled = LabeledSequence(
+            sequence, [1] * 4, [EVENT_STAY, EVENT_PASS, EVENT_STAY, EVENT_STAY]
+        )
+        assert labeled.stay_fraction() == pytest.approx(0.75)
+
+    def test_distinct_regions_preserves_order(self):
+        sequence = _sequence(n=4)
+        labeled = LabeledSequence(sequence, [3, 1, 3, 2], [EVENT_PASS] * 4)
+        assert labeled.distinct_regions() == [3, 1, 2]
+
+
+class TestLabelAndMerge:
+    def test_merges_runs_with_equal_region_and_event(self):
+        sequence = _sequence(n=6, dt=10.0)
+        labeled = LabeledSequence(
+            sequence,
+            region_labels=[1, 1, 1, 2, 2, 1],
+            event_labels=[EVENT_STAY, EVENT_STAY, EVENT_STAY, EVENT_PASS, EVENT_PASS, EVENT_PASS],
+        )
+        semantics = merge_labels_to_semantics(labeled)
+        assert len(semantics) == 3
+        assert semantics[0].region_id == 1 and semantics[0].event == EVENT_STAY
+        assert semantics[0].record_count == 3
+        assert semantics[0].start_time == 0.0 and semantics[0].end_time == 20.0
+        assert semantics[1].region_id == 2
+        assert semantics[2].record_count == 1
+
+    def test_event_change_splits_even_with_same_region(self):
+        sequence = _sequence(n=4)
+        labeled = LabeledSequence(
+            sequence,
+            region_labels=[1, 1, 1, 1],
+            event_labels=[EVENT_PASS, EVENT_STAY, EVENT_STAY, EVENT_PASS],
+        )
+        semantics = merge_labels_to_semantics(labeled)
+        assert [ms.event for ms in semantics] == [EVENT_PASS, EVENT_STAY, EVENT_PASS]
+
+    def test_merged_periods_are_ordered_and_disjoint(self):
+        sequence = _sequence(n=10)
+        labeled = LabeledSequence(
+            sequence,
+            region_labels=[1, 1, 2, 2, 2, 3, 3, 1, 1, 1],
+            event_labels=[EVENT_STAY] * 5 + [EVENT_PASS] * 5,
+        )
+        semantics = merge_labels_to_semantics(labeled)
+        for earlier, later in zip(semantics, semantics[1:]):
+            assert earlier.end_time <= later.start_time
+
+    def test_single_record_sequence(self):
+        sequence = PositioningSequence([_record(0, 0, 0)])
+        labeled = LabeledSequence(sequence, [7], [EVENT_STAY])
+        semantics = merge_labels_to_semantics(labeled)
+        assert len(semantics) == 1
+        assert semantics[0].duration == 0.0

@@ -1,0 +1,186 @@
+"""Tests for the waypoint simulator and the positioning-error model."""
+
+import math
+
+import pytest
+
+from repro.mobility.positioning import PositioningErrorModel
+from repro.mobility.records import EVENT_PASS, EVENT_STAY
+from repro.mobility.simulator import WaypointSimulator
+
+
+class TestWaypointSimulator:
+    @pytest.fixture(scope="class")
+    def trajectory(self, small_space):
+        simulator = WaypointSimulator(small_space, seed=5, min_stay=30.0, max_stay=120.0)
+        return simulator.simulate_object("obj", duration=900.0)
+
+    def test_invalid_parameters(self, small_space):
+        with pytest.raises(ValueError):
+            WaypointSimulator(small_space, max_speed=0.0)
+        with pytest.raises(ValueError):
+            WaypointSimulator(small_space, min_stay=10.0, max_stay=5.0)
+        with pytest.raises(ValueError):
+            WaypointSimulator(small_space, sample_period=0.0)
+
+    def test_duration_must_be_positive(self, small_space):
+        simulator = WaypointSimulator(small_space, seed=1)
+        with pytest.raises(ValueError):
+            simulator.simulate_object("x", duration=0.0)
+
+    def test_ground_truth_is_time_ordered(self, trajectory):
+        times = [p.timestamp for p in trajectory.points]
+        assert times == sorted(times)
+
+    def test_ground_truth_covers_duration(self, trajectory):
+        assert trajectory.duration <= 900.0
+        assert trajectory.duration > 400.0
+
+    def test_events_are_valid(self, trajectory):
+        assert {p.event for p in trajectory.points} <= {EVENT_STAY, EVENT_PASS}
+
+    def test_contains_both_stays_and_passes(self, trajectory):
+        events = {p.event for p in trajectory.points}
+        assert EVENT_STAY in events
+        assert EVENT_PASS in events
+
+    def test_regions_are_valid(self, small_space, trajectory):
+        valid = set(small_space.region_ids)
+        assert all(p.region_id in valid for p in trajectory.points)
+
+    def test_speed_respects_max(self, trajectory):
+        points = trajectory.points
+        for a, b in zip(points, points[1:]):
+            elapsed = b.timestamp - a.timestamp
+            if elapsed <= 0 or a.location.floor != b.location.floor:
+                continue
+            speed = a.location.planar_distance_to(b.location) / elapsed
+            assert speed <= 1.7 * 1.8 + 1.0  # generous bound: jitter + waypoint snap
+
+    def test_stay_points_inside_their_region(self, small_space, trajectory):
+        for point in trajectory.points:
+            if point.event == EVENT_STAY:
+                region = small_space.region(point.region_id)
+                # Allow the small in-place jitter to leave the region slightly.
+                assert region.distance_to(point.location) < 2.0
+
+    def test_determinism_with_same_seed(self, small_space):
+        sim_a = WaypointSimulator(small_space, seed=11)
+        sim_b = WaypointSimulator(small_space, seed=11)
+        traj_a = sim_a.simulate_object("o", duration=300.0)
+        traj_b = sim_b.simulate_object("o", duration=300.0)
+        assert [p.location for p in traj_a.points] == [p.location for p in traj_b.points]
+
+    def test_population_and_lifespans(self, small_space):
+        simulator = WaypointSimulator(small_space, seed=7)
+        population = simulator.simulate_population(
+            3, duration=600.0, lifespan_range=(60.0, 300.0)
+        )
+        assert len(population) == 3
+        for trajectory in population:
+            assert trajectory.duration <= 300.0 + 1.0
+
+    def test_stay_visits_merged(self, trajectory):
+        visits = trajectory.stay_visits()
+        assert visits
+        for region_id, start, end in visits:
+            assert end >= start
+
+    def test_space_without_regions_rejected(self, small_space):
+        from repro.indoor.floorplan import IndoorSpace
+
+        bare = IndoorSpace(small_space.partitions, small_space.doors, [])
+        with pytest.raises(ValueError):
+            WaypointSimulator(bare)
+
+
+class TestPositioningErrorModel:
+    @pytest.fixture(scope="class")
+    def trajectory(self, small_space):
+        simulator = WaypointSimulator(small_space, seed=21, min_stay=30.0, max_stay=120.0)
+        return simulator.simulate_object("obj", duration=900.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PositioningErrorModel(max_period=0.5, min_period=1.0)
+        with pytest.raises(ValueError):
+            PositioningErrorModel(error=-1.0)
+        with pytest.raises(ValueError):
+            PositioningErrorModel(outlier_probability=1.5)
+
+    def test_labels_align_with_records(self, trajectory, small_space):
+        model = PositioningErrorModel(max_period=5.0, error=3.0, seed=1)
+        labeled = model.corrupt_trajectory(trajectory, small_space)
+        assert labeled is not None
+        assert len(labeled.region_labels) == len(labeled.sequence)
+        assert len(labeled.event_labels) == len(labeled.sequence)
+
+    def test_sampling_respects_max_period(self, trajectory, small_space):
+        model = PositioningErrorModel(max_period=7.0, error=2.0, seed=2)
+        labeled = model.corrupt_trajectory(trajectory, small_space)
+        records = labeled.sequence.records
+        gaps = [b.timestamp - a.timestamp for a, b in zip(records, records[1:])]
+        assert max(gaps) <= 7.0 + 1e-6
+        assert min(gaps) >= 1.0 - 1e-6
+
+    def test_larger_period_means_fewer_records(self, trajectory, small_space):
+        dense = PositioningErrorModel(max_period=3.0, error=2.0, seed=3)
+        sparse = PositioningErrorModel(max_period=15.0, error=2.0, seed=3)
+        n_dense = len(dense.corrupt_trajectory(trajectory, small_space).sequence)
+        n_sparse = len(sparse.corrupt_trajectory(trajectory, small_space).sequence)
+        assert n_sparse < n_dense
+
+    def test_error_bounded_without_outliers(self, trajectory, small_space):
+        model = PositioningErrorModel(
+            max_period=5.0, error=4.0, outlier_probability=0.0,
+            false_floor_probability=0.0, seed=4,
+        )
+        labeled = model.corrupt_trajectory(trajectory, small_space)
+        truth_points = trajectory.points
+        for record in labeled.sequence.records:
+            nearest = min(truth_points, key=lambda p: abs(p.timestamp - record.timestamp))
+            assert nearest.location.planar_distance_to(record.location) <= 4.0 + 1e-6
+
+    def test_zero_error_preserves_locations(self, trajectory, small_space):
+        model = PositioningErrorModel(
+            max_period=5.0, error=0.0, outlier_probability=0.0,
+            false_floor_probability=0.0, seed=5,
+        )
+        labeled = model.corrupt_trajectory(trajectory, small_space)
+        truth_points = trajectory.points
+        for record in labeled.sequence.records:
+            nearest = min(truth_points, key=lambda p: abs(p.timestamp - record.timestamp))
+            assert nearest.location.planar_distance_to(record.location) == pytest.approx(0.0)
+
+    def test_false_floor_clamped_to_existing_floors(self, trajectory, small_space):
+        model = PositioningErrorModel(
+            max_period=3.0, error=2.0, false_floor_probability=1.0, seed=6
+        )
+        labeled = model.corrupt_trajectory(trajectory, small_space)
+        floors = set(small_space.floors)
+        reported = {record.floor for record in labeled.sequence.records}
+        assert reported <= floors or all(
+            min(floors) <= floor <= max(floors) for floor in reported
+        )
+
+    def test_too_short_trajectory_returns_none(self, small_space):
+        from repro.mobility.simulator import GroundTruthTrajectory
+
+        model = PositioningErrorModel()
+        assert model.corrupt_trajectory(GroundTruthTrajectory("x"), small_space) is None
+
+    def test_corrupt_population(self, trajectory, small_space):
+        model = PositioningErrorModel(seed=8)
+        results = model.corrupt_population([trajectory, trajectory], small_space)
+        assert len(results) == 2
+
+    def test_determinism(self, trajectory, small_space):
+        a = PositioningErrorModel(max_period=5.0, error=3.0, seed=9).corrupt_trajectory(
+            trajectory, small_space
+        )
+        b = PositioningErrorModel(max_period=5.0, error=3.0, seed=9).corrupt_trajectory(
+            trajectory, small_space
+        )
+        assert [r.location for r in a.sequence.records] == [
+            r.location for r in b.sequence.records
+        ]

@@ -1,0 +1,90 @@
+"""Tests for JSON persistence of sequences, datasets, semantics and weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.core.merge import merge_labeled_sequence
+from repro.mobility.dataset import AnnotationDataset
+from repro.persistence import (
+    labeled_sequence_from_dict,
+    labeled_sequence_to_dict,
+    load_dataset,
+    load_model_weights,
+    load_semantics,
+    save_dataset,
+    save_model_weights,
+    save_semantics,
+    semantics_from_dicts,
+    semantics_to_dicts,
+)
+
+
+class TestLabeledSequenceRoundTrip:
+    def test_round_trip_preserves_everything(self, small_dataset):
+        original = small_dataset.sequences[0]
+        rebuilt = labeled_sequence_from_dict(labeled_sequence_to_dict(original))
+        assert rebuilt.object_id == original.object_id
+        assert len(rebuilt) == len(original)
+        assert rebuilt.region_labels == original.region_labels
+        assert rebuilt.event_labels == original.event_labels
+        for a, b in zip(rebuilt.sequence, original.sequence):
+            assert a.timestamp == pytest.approx(b.timestamp)
+            assert a.location == b.location
+
+    def test_dict_is_json_friendly(self, small_dataset):
+        import json
+
+        payload = labeled_sequence_to_dict(small_dataset.sequences[0])
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestDatasetRoundTrip:
+    def test_save_and_load(self, small_dataset, small_space, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(small_dataset, path)
+        loaded = load_dataset(path, small_space)
+        assert isinstance(loaded, AnnotationDataset)
+        assert loaded.name == small_dataset.name
+        assert len(loaded) == len(small_dataset)
+        assert loaded.total_records == small_dataset.total_records
+        assert loaded.statistics() == pytest.approx(small_dataset.statistics())
+
+
+class TestSemanticsRoundTrip:
+    def test_dict_round_trip(self, small_dataset):
+        semantics = merge_labeled_sequence(small_dataset.sequences[0])
+        rebuilt = semantics_from_dicts(semantics_to_dicts(semantics))
+        assert rebuilt == semantics
+
+    def test_file_round_trip(self, small_dataset, tmp_path):
+        semantics = merge_labeled_sequence(small_dataset.sequences[0])
+        path = tmp_path / "semantics.json"
+        save_semantics(semantics, path)
+        assert load_semantics(path) == semantics
+
+
+class TestModelWeightsRoundTrip:
+    def test_weights_only(self, tmp_path):
+        weights = np.linspace(-1.0, 1.0, 12)
+        path = tmp_path / "weights.json"
+        save_model_weights(weights, path)
+        loaded, config = load_model_weights(path)
+        assert np.allclose(loaded, weights)
+        assert config is None
+
+    def test_weights_with_config(self, tmp_path):
+        weights = np.full(12, 0.5)
+        config = C2MNConfig.fast(seed=123)
+        path = tmp_path / "weights.json"
+        save_model_weights(weights, path, config=config)
+        loaded, loaded_config = load_model_weights(path)
+        assert np.allclose(loaded, weights)
+        assert loaded_config == config
+
+    def test_trained_annotator_weights_round_trip(self, fitted_annotator, tmp_path):
+        path = tmp_path / "trained.json"
+        save_model_weights(fitted_annotator.weights, path, config=fitted_annotator.config)
+        loaded, loaded_config = load_model_weights(path)
+        assert np.allclose(loaded, fitted_annotator.weights)
+        assert loaded_config == fitted_annotator.config

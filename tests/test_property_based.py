@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.stdbscan import DENSITY_BORDER, DENSITY_CORE, DENSITY_NOISE, STDBSCAN
+from repro.crf.cliques import segment_containing, segments_of_labels
+from repro.evaluation.metrics import evaluate_labels
+from repro.geometry.circle import Circle, overlap_fraction
+from repro.geometry.point import IndoorPoint, Point
+from repro.geometry.polygon import BoundingBox, Rectangle
+from repro.geometry.rtree import RTree
+from repro.mobility.records import (
+    EVENT_PASS,
+    EVENT_STAY,
+    LabeledSequence,
+    PositioningRecord,
+    PositioningSequence,
+    merge_labels_to_semantics,
+)
+from repro.queries.precision import top_k_precision
+
+coordinates = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=0.1, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------- geometry
+@given(x1=coordinates, y1=coordinates, x2=coordinates, y2=coordinates)
+def test_point_distance_is_symmetric_and_nonnegative(x1, y1, x2, y2):
+    a, b = Point(x1, y1), Point(x2, y2)
+    assert a.distance_to(b) >= 0.0
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+@given(
+    x1=coordinates, y1=coordinates,
+    x2=coordinates, y2=coordinates,
+    x3=coordinates, y3=coordinates,
+)
+def test_point_distance_triangle_inequality(x1, y1, x2, y2, x3, y3):
+    a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+@given(
+    min_x=coordinates, min_y=coordinates,
+    width=small_floats, height=small_floats,
+)
+def test_rectangle_contains_its_centroid_and_area_positive(min_x, min_y, width, height):
+    rect = Rectangle(min_x, min_y, min_x + width, min_y + height)
+    assert rect.area > 0.0
+    assert rect.contains_point(rect.centroid)
+
+
+@given(
+    cx=coordinates, cy=coordinates, radius=small_floats,
+    min_x=coordinates, min_y=coordinates, width=small_floats, height=small_floats,
+)
+@settings(max_examples=60)
+def test_overlap_fraction_is_a_fraction(cx, cy, radius, min_x, min_y, width, height):
+    circle = Circle(Point(cx, cy), radius)
+    rect = Rectangle(min_x, min_y, min_x + width, min_y + height)
+    fraction = overlap_fraction(circle, rect)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(
+    boxes=st.lists(
+        st.tuples(coordinates, coordinates, small_floats, small_floats),
+        min_size=1,
+        max_size=40,
+    ),
+    probe=st.tuples(coordinates, coordinates, small_floats, small_floats),
+)
+@settings(max_examples=40)
+def test_rtree_query_matches_brute_force(boxes, probe):
+    tree = RTree(max_entries=5)
+    entries = []
+    for i, (x, y, w, h) in enumerate(boxes):
+        box = BoundingBox(x, y, x + w, y + h)
+        entries.append((box, i))
+        tree.insert(box, i)
+    px, py, pw, ph = probe
+    query = BoundingBox(px, py, px + pw, py + ph)
+    brute = {payload for box, payload in entries if box.intersects(query)}
+    assert set(tree.query_bbox(query)) == brute
+
+
+# ---------------------------------------------------------------- sequences
+labels_strategy = st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60)
+
+
+@given(labels=labels_strategy)
+def test_segments_partition_any_label_sequence(labels):
+    segments = segments_of_labels(labels)
+    covered = [i for start, end in segments for i in range(start, end + 1)]
+    assert covered == list(range(len(labels)))
+    for start, end in segments:
+        run = {labels[i] for i in range(start, end + 1)}
+        assert len(run) == 1
+    # Neighbouring segments carry different labels (maximality).
+    for (s1, e1), (s2, e2) in zip(segments, segments[1:]):
+        assert labels[e1] != labels[s2]
+
+
+@given(labels=labels_strategy, index=st.integers(min_value=0, max_value=59))
+def test_segment_containing_consistent_with_segments(labels, index):
+    if index >= len(labels):
+        index = index % len(labels)
+    start, end = segment_containing(labels, index)
+    assert start <= index <= end
+    assert (start, end) in segments_of_labels(labels)
+
+
+@given(
+    regions=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+    events=st.lists(st.sampled_from([EVENT_STAY, EVENT_PASS]), min_size=1, max_size=40),
+)
+def test_label_and_merge_invariants(regions, events):
+    n = min(len(regions), len(events))
+    regions, events = regions[:n], events[:n]
+    records = [
+        PositioningRecord(IndoorPoint(float(i), 0.0, 0), float(i) * 5.0) for i in range(n)
+    ]
+    labeled = LabeledSequence(PositioningSequence(records), regions, events)
+    semantics = merge_labels_to_semantics(labeled)
+    # Every record is covered exactly once.
+    assert sum(ms.record_count for ms in semantics) == n
+    # Periods are ordered and non-overlapping (Definition 3).
+    for earlier, later in zip(semantics, semantics[1:]):
+        assert earlier.end_time <= later.start_time
+        assert not earlier.overlaps(later)
+    # Merging is maximal: consecutive m-semantics differ in region or event.
+    for earlier, later in zip(semantics, semantics[1:]):
+        assert (earlier.region_id, earlier.event) != (later.region_id, later.event)
+
+
+# ------------------------------------------------------------------ metrics
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=1000),
+    tradeoff=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_accuracy_metrics_bounds_and_tradeoff(n, seed, tradeoff):
+    import random
+
+    rng = random.Random(seed)
+    true_regions = [rng.randint(0, 3) for _ in range(n)]
+    true_events = [rng.choice([EVENT_STAY, EVENT_PASS]) for _ in range(n)]
+    pred_regions = [rng.randint(0, 3) for _ in range(n)]
+    pred_events = [rng.choice([EVENT_STAY, EVENT_PASS]) for _ in range(n)]
+    scores = evaluate_labels(
+        pred_regions, pred_events, true_regions, true_events, tradeoff=tradeoff
+    )
+    assert 0.0 <= scores.perfect_accuracy <= min(scores.region_accuracy, scores.event_accuracy)
+    assert max(scores.region_accuracy, scores.event_accuracy) <= 1.0
+    expected_ca = tradeoff * scores.region_accuracy + (1 - tradeoff) * scores.event_accuracy
+    assert math.isclose(scores.combined_accuracy, expected_ca, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(
+    predicted=st.lists(st.integers(min_value=0, max_value=20), max_size=20),
+    truth=st.lists(st.integers(min_value=0, max_value=20), max_size=20),
+)
+def test_top_k_precision_bounds(predicted, truth):
+    precision = top_k_precision(predicted, truth)
+    assert 0.0 <= precision <= 1.0
+    if set(truth) and set(truth) <= set(predicted):
+        assert precision == 1.0
+
+
+# --------------------------------------------------------------- clustering
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=200, allow_nan=False),
+            st.floats(min_value=0, max_value=200, allow_nan=False),
+            st.floats(min_value=0, max_value=3600, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=40)
+def test_stdbscan_labels_are_consistent(points):
+    records = [
+        PositioningRecord(IndoorPoint(x, y, 0), t) for x, y, t in points
+    ]
+    result = STDBSCAN(eps_spatial=10.0, eps_temporal=120.0, min_points=3).fit(records)
+    assert len(result.cluster_ids) == len(records)
+    assert len(result.density_labels) == len(records)
+    for cluster_id, label in zip(result.cluster_ids, result.density_labels):
+        if label == DENSITY_NOISE:
+            assert cluster_id == -1
+        else:
+            assert cluster_id >= 0
+            assert label in (DENSITY_CORE, DENSITY_BORDER)
+    # Cluster ids are consecutive starting at 0.
+    used = sorted({c for c in result.cluster_ids if c >= 0})
+    assert used == list(range(len(used)))

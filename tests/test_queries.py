@@ -1,0 +1,120 @@
+"""Tests for TkPRQ, TkFRPQ and top-k precision."""
+
+import pytest
+
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, MSemantics
+from repro.queries import (
+    TkFRPQ,
+    TkPRQ,
+    count_region_pairs,
+    count_region_visits,
+    top_k_precision,
+)
+
+
+def _stay(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_STAY)
+
+
+def _pass(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_PASS)
+
+
+@pytest.fixture()
+def objects():
+    """Three objects with known stay patterns."""
+    return [
+        [_stay(1, 0, 100), _pass(2, 100, 110), _stay(3, 110, 200)],
+        [_stay(1, 0, 50), _stay(2, 60, 120)],
+        [_stay(1, 300, 400), _stay(3, 420, 500), _stay(2, 510, 600)],
+    ]
+
+
+class TestCountRegionVisits:
+    def test_counts_only_stays(self, objects):
+        counts = count_region_visits(objects)
+        assert counts[1] == 3
+        assert counts[2] == 2  # the pass at region 2 does not count
+        assert counts[3] == 2
+
+    def test_time_window_filters(self, objects):
+        counts = count_region_visits(objects, start=0, end=150)
+        assert counts[1] == 2  # the third object's visit starts at t=300
+        assert counts[3] == 1
+
+    def test_query_region_filter(self, objects):
+        counts = count_region_visits(objects, query_regions={1})
+        assert set(counts) == {1}
+
+
+class TestTkPRQ:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TkPRQ(0)
+
+    def test_top_regions_ordering(self, objects):
+        assert TkPRQ(2).top_regions(objects) == [1, 2]  # ties broken by region id
+
+    def test_k_larger_than_regions(self, objects):
+        assert len(TkPRQ(10).top_regions(objects)) == 3
+
+    def test_evaluate_returns_counts(self, objects):
+        results = TkPRQ(1).evaluate(objects)
+        assert results == [(1, 3)]
+
+    def test_window_changes_answer(self, objects):
+        late = TkPRQ(1, start=250, end=700).top_regions(objects)
+        assert late == [1] or late == [2] or late == [3]
+        counts = count_region_visits(objects, start=250, end=700)
+        assert counts[1] == 1 and counts[2] == 1 and counts[3] == 1
+
+
+class TestCountRegionPairs:
+    def test_pairs_require_both_stays_by_same_object(self, objects):
+        counts = count_region_pairs(objects)
+        assert counts[(1, 3)] == 2  # objects 0 and 2
+        assert counts[(1, 2)] == 2  # objects 1 and 2
+        assert counts[(2, 3)] == 1  # object 2 only
+
+    def test_pairs_are_unordered_and_sorted(self, objects):
+        counts = count_region_pairs(objects)
+        assert all(a < b for a, b in counts)
+
+    def test_region_filter(self, objects):
+        counts = count_region_pairs(objects, query_regions={1, 3})
+        assert set(counts) == {(1, 3)}
+
+
+class TestTkFRPQ:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TkFRPQ(0)
+
+    def test_top_pairs(self, objects):
+        top = TkFRPQ(2).top_pairs(objects)
+        assert len(top) == 2
+        assert set(top) == {(1, 2), (1, 3)}
+
+    def test_evaluate_counts(self, objects):
+        results = dict(TkFRPQ(3).evaluate(objects))
+        assert results[(2, 3)] == 1
+
+
+class TestTopKPrecision:
+    def test_perfect_match(self):
+        assert top_k_precision([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial_match(self):
+        assert top_k_precision([1, 2, 4], [1, 2, 3]) == pytest.approx(2 / 3)
+
+    def test_no_match(self):
+        assert top_k_precision([7, 8], [1, 2]) == 0.0
+
+    def test_empty_truth(self):
+        assert top_k_precision([1, 2], []) == 0.0
+
+    def test_shorter_prediction_is_penalised(self):
+        assert top_k_precision([1], [1, 2, 3, 4]) == pytest.approx(0.25)
+
+    def test_works_with_pairs(self):
+        assert top_k_precision([(1, 2), (3, 4)], [(1, 2), (5, 6)]) == pytest.approx(0.5)
