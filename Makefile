@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench perf docs-check all
+
+# Tier-1 suite: unit/integration tests plus the benchmark reproductions
+# at tiny scale (same command CI runs).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Paper table/figure reproductions only, with their printed reports.
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+# The inference-engine speedup benchmark on its own.
+perf:
+	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py -q -s
+
+# Execute the python code blocks of README.md and docs/ARCHITECTURE.md.
+docs-check:
+	$(PYTHON) tools/check_docs.py README.md docs/ARCHITECTURE.md
+
+all: test docs-check

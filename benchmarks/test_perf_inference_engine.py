@@ -1,0 +1,120 @@
+"""Inference-engine throughput: reference vs vectorized (the PR-1 tentpole).
+
+Runs the same decode + Gibbs workload — the two inference primitives that
+dominate both labeling and alternate learning — through the reference engine
+(per-visit feature recomputation) and the vectorized engine (precomputed
+potential tables), on a ``C2MNConfig.fast()`` mall workload.  The vectorized
+timing honestly includes building the potential tables (sequences are
+re-prepared per engine), since that is what a cold ``predict_labels`` pays.
+
+Asserts the two contract properties:
+
+* both engines produce identical labelings and samples for the same seed;
+* the vectorized engine is at least 3x faster on this workload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from _bench_utils import bench_scale, print_report, run_once
+
+from repro.core import C2MNAnnotator, C2MNConfig
+from repro.crf.engine import make_engine
+from repro.crf.inference import decode_icm, gibbs_sample_variable
+from repro.evaluation.experiments import build_real_style_dataset
+from repro.mobility.dataset import train_test_split
+
+GIBBS_SAMPLES = 12
+# The contract floor is 3x (locally the margin is ~4x).  Heavily loaded or
+# throttled machines can relax it without editing code, e.g. in a CI job:
+# REPRO_PERF_FLOOR=1.5.  Parity is always asserted regardless.
+MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_FLOOR", "3.0"))
+
+
+def _run_workload(engine, datas):
+    """Decode every sequence, then Gibbs-sample both variables from the decode."""
+    outputs = []
+    for data in datas:
+        regions, events = decode_icm(engine, data)
+        region_samples = gibbs_sample_variable(
+            engine,
+            data,
+            regions,
+            events,
+            variable="region",
+            n_samples=GIBBS_SAMPLES,
+            rng=random.Random(1),
+        )
+        event_samples = gibbs_sample_variable(
+            engine,
+            data,
+            regions,
+            events,
+            variable="event",
+            n_samples=GIBBS_SAMPLES,
+            rng=random.Random(2),
+        )
+        outputs.append((regions, events, region_samples, event_samples))
+    return outputs
+
+
+def test_perf_vectorized_engine_speedup(benchmark):
+    dataset = build_real_style_dataset(bench_scale(), name="engine-bench-mall")
+    train, test = train_test_split(dataset, train_fraction=0.5, seed=5)
+
+    annotator = C2MNAnnotator(dataset.space, config=C2MNConfig.fast())
+    annotator.fit(train.sequences)
+    model = annotator.model
+    reference = make_engine(model, "reference")
+    vectorized = make_engine(model, "vectorized")
+
+    def prepare_all():
+        return [annotator.prepare(labeled.sequence) for labeled in test.sequences]
+
+    # Warm the oracle / region-distance caches shared by both engines, so the
+    # comparison measures the engines rather than first-touch geometry costs.
+    _run_workload(reference, prepare_all())
+
+    # Sequence preparation (clustering, candidate queries) is identical for
+    # both engines and excluded; each engine still gets fresh SequenceData,
+    # so the vectorized timing pays the potential-table build.
+    reference_datas = prepare_all()
+    vectorized_datas = prepare_all()
+
+    start = time.perf_counter()
+    reference_outputs = _run_workload(reference, reference_datas)
+    reference_seconds = time.perf_counter() - start
+
+    def timed_vectorized():
+        return _run_workload(vectorized, vectorized_datas)
+
+    start = time.perf_counter()
+    vectorized_outputs = run_once(benchmark, timed_vectorized)
+    vectorized_seconds = time.perf_counter() - start
+
+    speedup = reference_seconds / vectorized_seconds
+    records = sum(len(labeled.sequence) for labeled in test.sequences)
+    print_report(
+        "Inference engine wall-clock (decode + 2x Gibbs per sequence)",
+        "\n".join(
+            [
+                f"workload:   {len(test.sequences)} sequences, {records} records,"
+                f" {GIBBS_SAMPLES} Gibbs samples per variable",
+                f"reference:  {reference_seconds:8.3f} s"
+                f"  ({1e3 * reference_seconds / records:6.2f} ms/record)",
+                f"vectorized: {vectorized_seconds:8.3f} s"
+                f"  ({1e3 * vectorized_seconds / records:6.2f} ms/record)",
+                f"speedup:    {speedup:8.2f} x (floor: {MIN_SPEEDUP:.1f} x)",
+            ]
+        ),
+    )
+
+    assert vectorized_outputs == reference_outputs, (
+        "engines disagree — vectorized inference is broken"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized engine only {speedup:.2f}x faster (expected >= {MIN_SPEEDUP}x)"
+    )

@@ -1,9 +1,9 @@
 """Legacy setup shim.
 
 The environment used for the reproduction is fully offline and has no
-``wheel`` package, so PEP 660 editable installs fail.  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
-classic setuptools develop mode.  All project metadata lives in
+``wheel`` package, so every pip editable route (PEP 660 or
+``--no-use-pep517``) fails there; ``python setup.py develop`` still works
+and is the documented offline fallback.  All project metadata lives in
 ``pyproject.toml``.
 """
 

@@ -11,6 +11,13 @@ learner and the label-and-merge step — behind a scikit-learn-like
   labels for an unseen p-sequence (the *labeling* step of Figure 2).
 * :meth:`C2MNAnnotator.annotate` additionally merges the labels into
   m-semantics (the *annotation* step).
+* :meth:`C2MNAnnotator.annotate_many` / :meth:`C2MNAnnotator.predict_labels_many`
+  batch over many p-sequences, optionally in parallel (``workers=N``).
+
+Decoding and sampling run on the inference engine selected by
+``config.engine`` — ``"vectorized"`` (potential tables, the default) or
+``"reference"`` (per-visit feature recomputation); see
+:mod:`repro.crf.engine`.  Both decode identically given the same seed.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import numpy as np
 
 from repro.core.config import C2MNConfig
 from repro.core.merge import merge_record_labels
+from repro.core.parallel import map_with_workers
+from repro.crf.engine import InferenceEngine, make_engine
 from repro.crf.features import FeatureExtractor, SequenceData
 from repro.crf.inference import decode_icm, initial_events, initial_regions
 from repro.crf.learning import AlternateLearner, TrainingReport
@@ -47,6 +56,7 @@ class C2MNAnnotator:
         self._oracle = oracle if oracle is not None else IndoorDistanceOracle(space)
         self._extractor = FeatureExtractor(space, self._config, oracle=self._oracle)
         self._model = C2MNModel(self._extractor)
+        self._engine = make_engine(self._model, self._config.engine)
         self._report: Optional[TrainingReport] = None
 
     # ------------------------------------------------------------ properties
@@ -61,6 +71,11 @@ class C2MNAnnotator:
     @property
     def model(self) -> C2MNModel:
         return self._model
+
+    @property
+    def engine(self) -> InferenceEngine:
+        """The inference engine decoding runs on (selected by ``config.engine``)."""
+        return self._engine
 
     @property
     def is_fitted(self) -> bool:
@@ -97,7 +112,7 @@ class C2MNAnnotator:
     ) -> Tuple[List[int], List[str]]:
         """Return the decoded region and event labels of one p-sequence."""
         data = self._extractor.prepare(sequence)
-        return decode_icm(self._model, data)
+        return decode_icm(self._engine, data)
 
     def predict_labeled_sequence(self, sequence: PositioningSequence) -> LabeledSequence:
         """Return the decoded labels wrapped in a :class:`LabeledSequence`."""
@@ -121,11 +136,37 @@ class C2MNAnnotator:
             sequence, regions, events, region_grouping=region_grouping
         )
 
+    def predict_labels_many(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode a collection of p-sequences, optionally in parallel.
+
+        ``workers`` > 1 decodes with a thread pool (sequences are independent
+        and each carries its own prepared data, so decoding is thread-safe;
+        the shared feature caches only ever gain entries).  Results are
+        returned in input order regardless of completion order.
+        """
+        return map_with_workers(self.predict_labels, sequences, workers)
+
     def annotate_many(
-        self, sequences: Sequence[PositioningSequence]
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+        region_grouping: Optional[Dict[int, int]] = None,
     ) -> List[List[MSemantics]]:
-        """Annotate a collection of p-sequences."""
-        return [self.annotate(sequence) for sequence in sequences]
+        """Annotate a collection of p-sequences, optionally in parallel.
+
+        Same threading model and ordering guarantee as
+        :meth:`predict_labels_many`.
+        """
+        def annotate_one(sequence: PositioningSequence) -> List[MSemantics]:
+            return self.annotate(sequence, region_grouping=region_grouping)
+
+        return map_with_workers(annotate_one, sequences, workers)
 
     # ------------------------------------------------------------- utilities
     def baseline_labels(

@@ -10,7 +10,13 @@ benchmarks, and :meth:`C2MNConfig.synthetic` follows Section V-C.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
+
+#: Valid values of :attr:`C2MNConfig.engine`; re-exported by
+#: :mod:`repro.crf.engine`, whose :func:`make_engine` maps each name to an
+#: implementation.  Defined here because the config layer cannot import the
+#: engine layer.
+ENGINE_NAMES: Tuple[str, str] = ("reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,14 @@ class C2MNConfig:
         region set (keeps the region label space tractable).
     icm_sweeps:
         Maximum number of ICM sweeps when decoding a sequence.
+    engine:
+        Inference engine used for ICM decoding and Gibbs sampling:
+        ``"vectorized"`` (default) scores nodes against potential tables
+        precomputed per sequence, ``"reference"`` recomputes features at
+        every node visit.  Both produce identical labelings for the same
+        seed (the vectorized assembly is bit-exact); the reference engine
+        remains available as the executable specification and for
+        debugging new feature functions.
 
     Structure flags (model variants of Section V-A)
     ------------------------------------------------
@@ -106,6 +120,7 @@ class C2MNConfig:
     candidate_radius: float = 20.0
     max_candidates: int = 6
     icm_sweeps: int = 4
+    engine: str = "vectorized"
 
     # Structure flags
     use_transition: bool = True
@@ -145,6 +160,8 @@ class C2MNConfig:
             raise ValueError("max_candidates must be at least 1")
         if self.icm_sweeps < 1:
             raise ValueError("icm_sweeps must be at least 1")
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(f"engine must be one of {ENGINE_NAMES}")
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -219,6 +236,10 @@ class C2MNConfig:
     def with_first_configured(self, variable: str) -> "C2MNConfig":
         """Return a copy that configures ``variable`` ('event' or 'region') first."""
         return replace(self, first_configured=variable)
+
+    def with_engine(self, engine: str) -> "C2MNConfig":
+        """Return a copy using ``engine`` ('vectorized' or 'reference')."""
+        return replace(self, engine=engine)
 
     @property
     def is_coupled(self) -> bool:

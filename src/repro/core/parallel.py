@@ -1,0 +1,29 @@
+"""Thread-pool mapping shared by the batch annotation and evaluation APIs."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def map_with_workers(
+    func: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: Optional[int],
+) -> List[ResultT]:
+    """Map ``func`` over ``items``, optionally through a thread pool.
+
+    ``workers`` of ``None`` or 1 (or a batch of at most one item) runs
+    serially; larger counts fan out over a :class:`ThreadPoolExecutor`.
+    Results always come back in input order regardless of completion order.
+    ``func`` must be thread-safe when ``workers`` exceeds 1.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be at least 1")
+    if workers is None or workers == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, items))

@@ -8,6 +8,9 @@
   distributions and feature vectors for pseudo-likelihood learning.
 * :mod:`repro.crf.inference` — ICM decoding and Gibbs sampling over the
   coupled label sequences.
+* :mod:`repro.crf.engine` — the pluggable inference engines: the reference
+  per-visit scorer (the model itself) and the vectorized engine scoring
+  against precomputed potential tables.
 * :mod:`repro.crf.learning` — the alternate learning algorithm
   (Algorithm 1): pseudo-likelihood, L-BFGS and companion-variable
   re-configuration from Gibbs samples.
@@ -19,7 +22,8 @@ from repro.crf.cliques import (
     segments_of_labels,
     segment_containing,
 )
-from repro.crf.features import FeatureExtractor, SequenceData
+from repro.crf.engine import ENGINE_NAMES, VectorizedEngine, make_engine
+from repro.crf.features import FeatureExtractor, PotentialTables, SequenceData
 from repro.crf.model import C2MNModel
 from repro.crf.inference import decode_icm, gibbs_sample_variable
 from repro.crf.learning import AlternateLearner, TrainingReport
@@ -29,7 +33,11 @@ __all__ = [
     "WeightLayout",
     "segments_of_labels",
     "segment_containing",
+    "ENGINE_NAMES",
+    "VectorizedEngine",
+    "make_engine",
     "FeatureExtractor",
+    "PotentialTables",
     "SequenceData",
     "C2MNModel",
     "decode_icm",

@@ -26,6 +26,14 @@ scheme; we normalise per record/segment length as documented on each method).
 :class:`SequenceData` holds everything that can be precomputed once per
 sequence — density labels, candidate regions, per-step distances, speeds and
 turn flags — so that inference and learning only pay for label-dependent work.
+
+:class:`PotentialTables` goes one step further for the vectorized inference
+engine: it tabulates every label-independent feature value — per-node unary
+potentials (``fsm`` over the candidate set, ``fem`` over the event domain)
+and per-edge pairwise potentials (``fst``/``fsc`` over candidate pairs,
+``fec`` over event pairs) — as NumPy arrays, so a node update is array
+indexing instead of feature recomputation.  Only the label-dependent
+segmentation-clique terms stay dynamic.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.clustering.stdbscan import (
     DENSITY_NOISE,
     STDBSCAN,
 )
+from repro.crf.cliques import WeightLayout
 from repro.core.config import C2MNConfig
 from repro.geometry.circle import Circle, circle_polygon_intersection_area
 from repro.geometry.point import Point
@@ -59,6 +68,56 @@ def _is_pass(event: str) -> int:
     return 1 if event == EVENT_PASS else 0
 
 
+#: Fixed order of the event label domain shared with :mod:`repro.crf.model`.
+EVENT_ORDER: Tuple[str, str] = (EVENT_STAY, EVENT_PASS)
+
+#: Position of each event label inside :data:`EVENT_ORDER`.
+EVENT_POSITION: Dict[str, int] = {label: k for k, label in enumerate(EVENT_ORDER)}
+
+
+@dataclass
+class PotentialTables:
+    """Tabulated label-independent potentials of one prepared sequence.
+
+    Built once per :class:`SequenceData` by
+    :meth:`FeatureExtractor.potential_tables` and cached on the instance.
+    Every entry is produced by the exact same scalar feature call the
+    reference path makes, so engines assembling feature matrices from these
+    tables reproduce the reference matrices bit for bit.
+
+    ``fst``/``fsc``/``fec`` are built lazily per clique category (``None``
+    when the category was inactive at build time) and filled in on demand
+    when a model with more active categories reuses the tables.
+    """
+
+    #: Per node: candidate region ids in ``data.candidates[i]`` order.
+    candidate_ids: List[List[int]]
+    #: Per node: region id → row position in the node's tables.
+    candidate_pos: List[Dict[int, int]]
+    #: Per node: ``(L_i, n_weights)`` zero matrix with the ``fsm`` column set.
+    region_base: List[np.ndarray]
+    #: Per node: ``(2, n_weights)`` zero matrix with the ``fem`` column set.
+    event_base: List[np.ndarray]
+    #: Per step i: ``(L_i, L_{i+1})`` table of ``fst`` — transition category.
+    fst: Optional[List[np.ndarray]] = None
+    #: Per step i: ``(L_i, L_{i+1})`` table of ``fsc`` — synchronization category.
+    fsc: Optional[List[np.ndarray]] = None
+    #: Per step i: ``(2, 2)`` table of ``fec`` — synchronization category.
+    fec: Optional[List[np.ndarray]] = None
+    #: ``(start, end) → (speed_norm, turns_norm)`` cache for ``fes`` segments.
+    segment_stats: Dict[Tuple[int, int], Tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def nbytes(self) -> int:
+        """Total size of the tabulated arrays (memory reporting)."""
+        arrays = list(self.region_base) + list(self.event_base)
+        for tables in (self.fst, self.fsc, self.fec):
+            if tables is not None:
+                arrays.extend(tables)
+        return sum(array.nbytes for array in arrays)
+
+
 @dataclass
 class SequenceData:
     """Pre-processed, label-independent view of one positioning sequence."""
@@ -74,6 +133,7 @@ class SequenceData:
     true_regions: Optional[List[int]] = None
     true_events: Optional[List[str]] = None
     fsm_cache: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    potentials: Optional[PotentialTables] = None
 
     def __len__(self) -> int:
         return len(self.sequence)
@@ -368,6 +428,124 @@ class FeatureExtractor:
 
         boundary_pass = (_is_pass(events[start]) + _is_pass(events[end])) / 2.0
         return np.array([-distinct_norm, -changes_norm, boundary_pass], dtype=float)
+
+    # ------------------------------------------------------- potential tables
+    def potential_tables(
+        self,
+        data: SequenceData,
+        *,
+        layout=None,
+        transition: bool = True,
+        synchronization: bool = True,
+    ) -> PotentialTables:
+        """Tabulate the label-independent potentials of one prepared sequence.
+
+        Returns the cached :attr:`SequenceData.potentials` when present,
+        lazily adding the pairwise tables of clique categories that were
+        inactive when the cache was first built.  ``layout`` fixes the weight
+        column of each unary feature (defaults to the shared
+        :class:`repro.crf.cliques.WeightLayout`).
+        """
+        layout = layout if layout is not None else WeightLayout()
+        n = len(data)
+        tables = data.potentials
+        if tables is None:
+            candidate_ids = [list(ids) for ids in data.candidates]
+            candidate_pos = [
+                {region_id: pos for pos, region_id in enumerate(ids)}
+                for ids in candidate_ids
+            ]
+            region_base: List[np.ndarray] = []
+            for i, ids in enumerate(candidate_ids):
+                base = np.zeros((len(ids), layout.size), dtype=float)
+                base[:, layout.spatial_matching] = [
+                    self.spatial_matching(data, i, region_id) for region_id in ids
+                ]
+                region_base.append(base)
+            event_base: List[np.ndarray] = []
+            for i in range(n):
+                base = np.zeros((len(EVENT_ORDER), layout.size), dtype=float)
+                base[:, layout.event_matching] = [
+                    self.event_matching(data, i, event) for event in EVENT_ORDER
+                ]
+                event_base.append(base)
+            tables = PotentialTables(
+                candidate_ids=candidate_ids,
+                candidate_pos=candidate_pos,
+                region_base=region_base,
+                event_base=event_base,
+            )
+            data.potentials = tables
+        if transition and tables.fst is None:
+            tables.fst = [
+                np.array(
+                    [
+                        [
+                            self.space_transition(
+                                left, right, elapsed=data.elapsed_steps[i]
+                            )
+                            for right in tables.candidate_ids[i + 1]
+                        ]
+                        for left in tables.candidate_ids[i]
+                    ],
+                    dtype=float,
+                ).reshape(len(tables.candidate_ids[i]), len(tables.candidate_ids[i + 1]))
+                for i in range(n - 1)
+            ]
+        if synchronization and tables.fsc is None:
+            tables.fsc = [
+                np.array(
+                    [
+                        [
+                            self.spatial_consistency(data, i, left, right)
+                            for right in tables.candidate_ids[i + 1]
+                        ]
+                        for left in tables.candidate_ids[i]
+                    ],
+                    dtype=float,
+                ).reshape(len(tables.candidate_ids[i]), len(tables.candidate_ids[i + 1]))
+                for i in range(n - 1)
+            ]
+        if synchronization and tables.fec is None:
+            tables.fec = [
+                np.array(
+                    [
+                        [
+                            self.event_consistency(data, i, left, right)
+                            for right in EVENT_ORDER
+                        ]
+                        for left in EVENT_ORDER
+                    ],
+                    dtype=float,
+                )
+                for i in range(n - 1)
+            ]
+        return tables
+
+    def segment_statistics(
+        self, data: SequenceData, tables: PotentialTables, start: int, end: int
+    ) -> Tuple[float, float]:
+        """Label-independent ``fes`` components of the segment ``[start, end]``.
+
+        Returns ``(speed_norm, turns_norm)`` computed with exactly the same
+        arithmetic as :meth:`event_segmentation` and cached on ``tables``
+        (segments recur across sweeps while labels churn around them).
+        """
+        key = (start, end)
+        cached = tables.segment_stats.get(key)
+        if cached is not None:
+            return cached
+        length = end - start + 1
+        duration = max(
+            data.sequence[end].timestamp - data.sequence[start].timestamp, 1e-9
+        )
+        travelled = sum(data.planar_steps[i] for i in range(start, end))
+        speed = travelled / duration if end > start else 0.0
+        speed_norm = min(1.0, self._config.gamma_ec * speed)
+        turns = sum(1 for i in range(start + 1, end) if data.turn_flags[i])
+        turns_norm = turns / max(1, length - 2) if length > 2 else 0.0
+        tables.segment_stats[key] = (speed_norm, turns_norm)
+        return speed_norm, turns_norm
 
     # -------------------------------------------------------------- reporting
     def cache_statistics(self) -> Dict[str, int]:

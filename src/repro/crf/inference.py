@@ -12,6 +12,12 @@ Two inference routines are needed:
 * **Gibbs sampling** one target variable with the other fixed, used by the
   alternate learning algorithm to re-configure the companion variable from M
   samples (Algorithm 1, lines 5–8 and 24–26).
+
+Both routines are engine-agnostic: the ``model`` argument is any scorer with
+the :meth:`C2MNModel.best_label` / :meth:`C2MNModel.local_distribution`
+interface — the model itself (the reference engine, recomputing features per
+node visit) or a :class:`repro.crf.engine.VectorizedEngine` scoring against
+precomputed potential tables.  See :func:`repro.crf.engine.make_engine`.
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.clustering.stdbscan import DENSITY_NOISE
+from repro.crf.engine import InferenceEngine
 from repro.crf.features import SequenceData
-from repro.crf.model import C2MNModel, EVENT_DOMAIN
+from repro.crf.model import EVENT_DOMAIN
 from repro.mobility.records import EVENT_PASS, EVENT_STAY
 
 
@@ -45,7 +52,7 @@ def initial_regions(data: SequenceData) -> List[int]:
 
 
 def decode_icm(
-    model: C2MNModel,
+    model: InferenceEngine,
     data: SequenceData,
     *,
     max_sweeps: Optional[int] = None,
@@ -81,7 +88,7 @@ def decode_icm(
 
 
 def gibbs_sample_variable(
-    model: C2MNModel,
+    model: InferenceEngine,
     data: SequenceData,
     regions: Sequence[int],
     events: Sequence[str],

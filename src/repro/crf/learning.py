@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
+from repro.crf.engine import make_engine
 from repro.crf.features import SequenceData
 from repro.crf.inference import (
     consensus_configuration,
@@ -47,7 +48,7 @@ from repro.crf.inference import (
     initial_events,
     initial_regions,
 )
-from repro.crf.model import C2MNModel, EVENT_DOMAIN
+from repro.crf.model import C2MNModel
 
 
 @dataclass
@@ -79,10 +80,13 @@ class _NodeFeatures:
 class AlternateLearner:
     """Runs Algorithm 1 over a set of prepared training sequences."""
 
-    def __init__(self, model: C2MNModel):
+    def __init__(self, model: C2MNModel, *, engine: Optional[str] = None):
         self._model = model
         self._config = model.extractor.config
         self._rng = random.Random(self._config.seed)
+        # The engine scores node conditionals for both the pseudo-likelihood
+        # feature collection and the Gibbs sweeps (where most time is spent).
+        self._engine = make_engine(model, engine)
 
     @property
     def model(self) -> C2MNModel:
@@ -178,7 +182,7 @@ class AlternateLearner:
         variable and the *ground-truth* labels of the target variable's own
         neighbours (standard pseudo-likelihood conditioning).
         """
-        model = self._model
+        engine = self._engine
         collected: List[_NodeFeatures] = []
         for data_id, data in enumerate(training_data):
             companion = configured[data_id]
@@ -190,23 +194,12 @@ class AlternateLearner:
                 events = list(data.true_events)
             for i in range(len(data)):
                 if target_variable == "region":
-                    values = list(data.candidates[i])
                     true_value = data.true_regions[i]
-                    vectors = np.stack(
-                        [
-                            model.region_feature_vector(data, regions, events, i, value)
-                            for value in values
-                        ]
-                    )
                 else:
-                    values = list(EVENT_DOMAIN)
                     true_value = data.true_events[i]
-                    vectors = np.stack(
-                        [
-                            model.event_feature_vector(data, regions, events, i, value)
-                            for value in values
-                        ]
-                    )
+                values, vectors = engine.feature_matrix(
+                    data, regions, events, i, target_variable
+                )
                 try:
                     true_index = values.index(true_value)
                 except ValueError:
@@ -270,7 +263,7 @@ class AlternateLearner:
     ) -> Dict[int, List]:
         """Gibbs-sample the target variable per sequence and take the consensus."""
         config = self._config
-        model = self._model
+        engine = self._engine
         new_configuration: Dict[int, List] = {}
         for data_id, data in enumerate(training_data):
             companion = configured[data_id]
@@ -281,7 +274,7 @@ class AlternateLearner:
                 regions = list(companion)
                 events = initial_events(data)
             samples = gibbs_sample_variable(
-                model,
+                engine,
                 data,
                 regions,
                 events,

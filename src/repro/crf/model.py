@@ -22,10 +22,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.crf.cliques import CliqueTemplates, WeightLayout, segment_containing, segments_of_labels
-from repro.crf.features import FeatureExtractor, SequenceData
+from repro.crf.features import EVENT_ORDER, FeatureExtractor, SequenceData
 from repro.mobility.records import EVENT_PASS, EVENT_STAY
 
-EVENT_DOMAIN: Tuple[str, str] = (EVENT_STAY, EVENT_PASS)
+#: The event label domain, in the fixed order every engine tabulates against.
+EVENT_DOMAIN: Tuple[str, str] = EVENT_ORDER
 
 
 class C2MNModel:
@@ -88,6 +89,17 @@ class C2MNModel:
     def is_coupled(self) -> bool:
         """True when segmentation cliques couple the two target variables."""
         return self._templates.coupled
+
+    @property
+    def weights_view(self) -> np.ndarray:
+        """The live internal weight vector (shared, do not mutate).
+
+        Unlike :attr:`weights` this does not copy, so inference engines can
+        score against the current weights without per-node allocations.  The
+        array object is replaced (never mutated in place) whenever the
+        weights are assigned, so holders must re-read it per call.
+        """
+        return self._weights
 
     # --------------------------------------------------- node feature vectors
     def region_feature_vector(
@@ -186,18 +198,20 @@ class C2MNModel:
         return vec
 
     # ------------------------------------------------------ local conditional
-    def local_distribution(
+    def feature_matrix(
         self,
         data: SequenceData,
         regions: Sequence[int],
         events: Sequence[str],
         index: int,
         variable: str,
-    ) -> Tuple[List, np.ndarray, np.ndarray]:
-        """Return ``(values, probabilities, feature_matrix)`` for one target node.
+    ) -> Tuple[List, np.ndarray]:
+        """Return ``(values, matrix)`` of stacked feature vectors for one node.
 
-        ``variable`` is ``"region"`` or ``"event"``; the label domain is the
-        record's candidate region set or ``(stay, pass)`` respectively.
+        Row ``k`` of the matrix is the feature vector of the node set to
+        ``values[k]``.  This is the reference (per-visit recomputation) path;
+        :class:`repro.crf.engine.VectorizedEngine` produces the same matrix
+        from precomputed potential tables.
         """
         if variable == "region":
             values: List = list(data.candidates[index])
@@ -217,11 +231,23 @@ class C2MNModel:
             )
         else:
             raise ValueError(f"unknown variable {variable!r}")
-        scores = vectors @ self._weights
-        scores -= scores.max()
-        exp_scores = np.exp(scores)
-        probabilities = exp_scores / exp_scores.sum()
-        return values, probabilities, vectors
+        return values, vectors
+
+    def local_distribution(
+        self,
+        data: SequenceData,
+        regions: Sequence[int],
+        events: Sequence[str],
+        index: int,
+        variable: str,
+    ) -> Tuple[List, np.ndarray, np.ndarray]:
+        """Return ``(values, probabilities, feature_matrix)`` for one target node.
+
+        ``variable`` is ``"region"`` or ``"event"``; the label domain is the
+        record's candidate region set or ``(stay, pass)`` respectively.
+        """
+        values, vectors = self.feature_matrix(data, regions, events, index, variable)
+        return values, local_softmax(vectors, self._weights), vectors
 
     def best_label(
         self,
@@ -294,6 +320,19 @@ class C2MNModel:
                     data, start, end, events
                 )
         return vec
+
+
+def local_softmax(vectors: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Local conditional probabilities from a stacked feature matrix.
+
+    Shared by every inference engine: the engines' bitwise-identical-
+    distribution contract requires this exact operation sequence, so do not
+    duplicate it at call sites.
+    """
+    scores = vectors @ weights
+    scores -= scores.max()
+    exp_scores = np.exp(scores)
+    return exp_scores / exp_scores.sum()
 
 
 def _patched(labels: Sequence, index: int, value) -> List:

@@ -4,6 +4,11 @@
 fit the method on the training sequences, label every test sequence, score
 the labels (RA/EA/CA/PA), optionally merge into m-semantics for the query
 experiments, and record wall-clock timings.
+
+With ``workers=N`` the test sequences are labeled through a thread pool
+(``method.predict_labels`` is called concurrently; predictions keep input
+order).  Methods labeled this way must be thread-safe for prediction —
+:class:`repro.core.C2MNAnnotator` is.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.merge import merge_labeled_sequence
+from repro.core.parallel import map_with_workers
 from repro.evaluation.metrics import AccuracyScores, score_sequences
 from repro.mobility.records import LabeledSequence, MSemantics
 
@@ -44,9 +50,18 @@ class EvaluationResult:
 class MethodEvaluator:
     """Runs one method over a train/test split of labeled sequences."""
 
-    def __init__(self, *, tradeoff: float = 0.7, keep_predictions: bool = True):
+    def __init__(
+        self,
+        *,
+        tradeoff: float = 0.7,
+        keep_predictions: bool = True,
+        workers: Optional[int] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
         self.tradeoff = tradeoff
         self.keep_predictions = keep_predictions
+        self.workers = workers
 
     def evaluate(
         self,
@@ -68,8 +83,12 @@ class MethodEvaluator:
         predictions: List[LabeledSequence] = []
         semantics: List[List[MSemantics]] = []
         start = time.perf_counter()
-        for truth in test_sequences:
-            regions, events = method.predict_labels(truth.sequence)
+        label_pairs = map_with_workers(
+            lambda truth: method.predict_labels(truth.sequence),
+            test_sequences,
+            self.workers,
+        )
+        for truth, (regions, events) in zip(test_sequences, label_pairs):
             predicted = LabeledSequence(
                 sequence=truth.sequence,
                 region_labels=regions,

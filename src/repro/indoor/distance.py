@@ -111,8 +111,13 @@ class IndoorDistanceOracle:
         cached = self._region_pair_cache.get(key)
         if cached is not None:
             return cached
-        samples_a = self._samples_of(region_a)
-        samples_b = self._samples_of(region_b)
+        # Sum in canonical (key) order: floating-point addition is not
+        # associative, so summing a×b versus b×a pairs differs in the last
+        # ulp — and the first request's order would otherwise decide what
+        # the unordered cache keeps.  Canonicalising makes the value
+        # independent of which caller (or inference engine) asks first.
+        samples_a = self._samples_of(key[0])
+        samples_b = self._samples_of(key[1])
         total = 0.0
         count = 0
         for p in samples_a:

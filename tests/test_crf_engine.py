@@ -1,0 +1,281 @@
+"""Parity tests: the vectorized engine must reproduce the reference engine.
+
+The vectorized engine assembles its per-node feature matrices from potential
+tables precomputed once per sequence, summing the same floating-point terms
+in the same order as the reference path — so the two engines must agree not
+just approximately but *bit for bit* on local distributions, and therefore
+label for label on ICM decodings and Gibbs samples driven by the same RNG
+seed.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import C2MNConfig
+from repro.crf.engine import ENGINE_NAMES, VectorizedEngine, make_engine
+from repro.crf.features import FeatureExtractor
+from repro.crf.inference import (
+    decode_icm,
+    gibbs_sample_variable,
+    initial_events,
+    initial_regions,
+)
+from repro.crf.learning import AlternateLearner
+from repro.crf.model import C2MNModel
+
+
+@pytest.fixture(scope="module")
+def extractor(small_space, small_oracle):
+    return FeatureExtractor(small_space, C2MNConfig.fast(), oracle=small_oracle)
+
+
+@pytest.fixture(scope="module")
+def model(extractor):
+    model = C2MNModel(extractor)
+    # Non-uniform weights so argmax/sampling decisions are score-driven.
+    model.weights = np.linspace(0.05, 1.2, model.layout.size)
+    return model
+
+
+@pytest.fixture(scope="module")
+def prepared_pair(extractor, small_dataset):
+    """The same sequence prepared twice, so each engine gets fresh caches."""
+    labeled = small_dataset.sequences[0]
+    return (
+        extractor.prepare(labeled.sequence),
+        extractor.prepare(labeled.sequence),
+    )
+
+
+class TestMakeEngine:
+    def test_reference_engine_is_the_model(self, model):
+        assert make_engine(model, "reference") is model
+
+    def test_vectorized_engine_wraps_the_model(self, model):
+        engine = make_engine(model, "vectorized")
+        assert isinstance(engine, VectorizedEngine)
+        assert engine.model is model
+        assert engine.extractor is model.extractor
+
+    def test_default_follows_config(self, model):
+        assert isinstance(make_engine(model), VectorizedEngine)
+
+    def test_unknown_engine_rejected(self, model):
+        with pytest.raises(ValueError, match="engine"):
+            make_engine(model, "quantum")
+        assert set(ENGINE_NAMES) == {"reference", "vectorized"}
+
+
+class TestFeatureMatrixParity:
+    def test_bitwise_identical_matrices(self, model, prepared_pair):
+        data_ref, data_vec = prepared_pair
+        engine = VectorizedEngine(model)
+        regions = initial_regions(data_ref)
+        events = initial_events(data_ref)
+        for index in range(len(data_ref)):
+            for variable in ("region", "event"):
+                ref_values, ref_matrix = model.feature_matrix(
+                    data_ref, regions, events, index, variable
+                )
+                vec_values, vec_matrix = engine.feature_matrix(
+                    data_vec, regions, events, index, variable
+                )
+                assert ref_values == vec_values
+                assert np.array_equal(ref_matrix, vec_matrix), (index, variable)
+
+    def test_bitwise_identical_distributions(self, model, prepared_pair):
+        data_ref, data_vec = prepared_pair
+        engine = VectorizedEngine(model)
+        regions = initial_regions(data_ref)
+        events = initial_events(data_ref)
+        for index in range(len(data_ref)):
+            for variable in ("region", "event"):
+                _, ref_probs, _ = model.local_distribution(
+                    data_ref, regions, events, index, variable
+                )
+                _, vec_probs, _ = engine.local_distribution(
+                    data_vec, regions, events, index, variable
+                )
+                assert np.array_equal(ref_probs, vec_probs), (index, variable)
+
+    def test_neighbour_label_outside_candidates_falls_back(self, model, prepared_pair):
+        """Hand-built configurations may use regions outside the candidate set."""
+        data_ref, data_vec = prepared_pair
+        engine = VectorizedEngine(model)
+        regions = initial_regions(data_ref)
+        events = initial_events(data_ref)
+        # Force a neighbour label the candidate tables cannot know about.
+        all_regions = [region.region_id for region in model.extractor.space.regions]
+        foreign = next(
+            region_id
+            for region_id in all_regions
+            if region_id not in data_ref.candidates[0]
+        )
+        regions[0] = foreign
+        _, ref_matrix = model.feature_matrix(data_ref, regions, events, 1, "region")
+        _, vec_matrix = engine.feature_matrix(data_vec, regions, events, 1, "region")
+        assert np.array_equal(ref_matrix, vec_matrix)
+
+
+class TestDecodingParity:
+    def test_icm_label_for_label(self, model, extractor, small_dataset):
+        engine = VectorizedEngine(model)
+        for labeled in small_dataset.sequences:
+            data_ref = extractor.prepare(labeled.sequence)
+            data_vec = extractor.prepare(labeled.sequence)
+            assert decode_icm(model, data_ref) == decode_icm(engine, data_vec)
+
+    def test_gibbs_sample_for_sample(self, model, extractor, small_dataset):
+        engine = VectorizedEngine(model)
+        for labeled in small_dataset.sequences[:3]:
+            data_ref = extractor.prepare(labeled.sequence)
+            data_vec = extractor.prepare(labeled.sequence)
+            regions = initial_regions(data_ref)
+            events = initial_events(data_ref)
+            for variable in ("region", "event"):
+                ref_samples = gibbs_sample_variable(
+                    model,
+                    data_ref,
+                    regions,
+                    events,
+                    variable=variable,
+                    n_samples=5,
+                    rng=random.Random(1234),
+                )
+                vec_samples = gibbs_sample_variable(
+                    engine,
+                    data_vec,
+                    regions,
+                    events,
+                    variable=variable,
+                    n_samples=5,
+                    rng=random.Random(1234),
+                )
+                assert ref_samples == vec_samples
+
+    @pytest.mark.parametrize(
+        "structure",
+        [
+            {"use_transition": False},
+            {"use_synchronization": False},
+            {"use_event_segmentation": False},
+            {"use_space_segmentation": False},
+            {"use_event_segmentation": False, "use_space_segmentation": False},
+        ],
+    )
+    def test_icm_parity_across_structure_variants(
+        self, small_space, small_oracle, small_dataset, structure
+    ):
+        config = C2MNConfig.fast().with_structure(**structure)
+        extractor = FeatureExtractor(small_space, config, oracle=small_oracle)
+        model = C2MNModel(extractor)
+        model.weights = np.linspace(0.05, 1.2, model.layout.size)
+        engine = VectorizedEngine(model)
+        labeled = small_dataset.sequences[1]
+        data_ref = extractor.prepare(labeled.sequence)
+        data_vec = extractor.prepare(labeled.sequence)
+        assert decode_icm(model, data_ref) == decode_icm(engine, data_vec)
+
+
+class TestLearningParity:
+    def test_fit_weights_identical_across_engines(
+        self, small_space, small_oracle, small_dataset
+    ):
+        """Alternate learning (Gibbs sweeps included) must not depend on the engine.
+
+        Each engine gets a *fresh* extractor (and distance oracle) on purpose:
+        the two engines populate the shared feature/distance caches in
+        different orders, so any request-order dependence in cached values
+        shows up here as diverging weights.
+        """
+        weights = {}
+        for engine_name in ENGINE_NAMES:
+            config = C2MNConfig.fast(max_iterations=3, mcmc_samples=6).with_engine(
+                engine_name
+            )
+            extractor = FeatureExtractor(small_space, config)
+            model = C2MNModel(extractor)
+            prepared = [
+                extractor.prepare(
+                    labeled.sequence,
+                    true_regions=labeled.region_labels,
+                    true_events=labeled.event_labels,
+                )
+                for labeled in small_dataset.sequences[:4]
+            ]
+            report = AlternateLearner(model).fit(prepared)
+            weights[engine_name] = report.weights
+        assert np.array_equal(weights["reference"], weights["vectorized"])
+
+
+class TestOracleOrderIndependence:
+    def test_region_distance_independent_of_request_direction(self, small_space):
+        """The cached expected MIWD must not depend on who asks first.
+
+        The reference engine and the potential-table builder request region
+        pairs in different directions; floating-point summation order would
+        otherwise leak the first caller's direction into the unordered cache
+        and break bitwise engine parity (ulp-level weight divergence during
+        learning).
+        """
+        from repro.indoor.distance import IndoorDistanceOracle
+
+        forward = IndoorDistanceOracle(small_space)
+        backward = IndoorDistanceOracle(small_space)
+        region_ids = small_space.region_ids
+        for pos, region_a in enumerate(region_ids):
+            for region_b in region_ids[pos + 1 :]:
+                first = forward.region_distance(region_a, region_b)
+                second = backward.region_distance(region_b, region_a)
+                assert first == second, (region_a, region_b, first - second)
+
+
+class TestPotentialTables:
+    def test_tables_cached_on_sequence_data(self, model, extractor, small_dataset):
+        engine = VectorizedEngine(model)
+        data = extractor.prepare(small_dataset.sequences[0].sequence)
+        assert data.potentials is None
+        tables = engine.tables(data)
+        assert data.potentials is tables
+        assert engine.tables(data) is tables
+        assert tables.nbytes() > 0
+
+    def test_tables_match_scalar_features(self, model, extractor, small_dataset):
+        engine = VectorizedEngine(model)
+        data = extractor.prepare(small_dataset.sequences[0].sequence)
+        tables = engine.tables(data)
+        layout = model.layout
+        for i, ids in enumerate(tables.candidate_ids):
+            assert ids == data.candidates[i]
+            for pos, region_id in enumerate(ids):
+                assert tables.candidate_pos[i][region_id] == pos
+                assert tables.region_base[i][pos, layout.spatial_matching] == (
+                    extractor.spatial_matching(data, i, region_id)
+                )
+        for i in range(len(data) - 1):
+            left_ids = tables.candidate_ids[i]
+            right_ids = tables.candidate_ids[i + 1]
+            assert tables.fst[i].shape == (len(left_ids), len(right_ids))
+            assert tables.fst[i][0, 0] == extractor.space_transition(
+                left_ids[0], right_ids[0], elapsed=data.elapsed_steps[i]
+            )
+            assert tables.fsc[i][0, 0] == extractor.spatial_consistency(
+                data, i, left_ids[0], right_ids[0]
+            )
+
+    def test_pairwise_tables_added_lazily(self, small_space, small_oracle, small_dataset):
+        """Tables built for a variant without transition gain fst on demand."""
+        decoupled = C2MNConfig.fast().with_structure(
+            use_transition=False, use_synchronization=False
+        )
+        extractor = FeatureExtractor(small_space, decoupled, oracle=small_oracle)
+        data = extractor.prepare(small_dataset.sequences[0].sequence)
+        lean = extractor.potential_tables(
+            data, transition=False, synchronization=False
+        )
+        assert lean.fst is None and lean.fsc is None and lean.fec is None
+        full = extractor.potential_tables(data, transition=True, synchronization=True)
+        assert full is lean
+        assert full.fst is not None and full.fsc is not None and full.fec is not None
