@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf docs-check all
+.PHONY: test bench perf docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -12,12 +12,16 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
 
-# The inference-engine speedup benchmark on its own.
+# The performance benchmarks on their own.
 perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py benchmarks/test_perf_streaming.py -q -s
 
 # Execute the python code blocks of README.md and docs/ARCHITECTURE.md.
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/ARCHITECTURE.md
 
-all: test docs-check
+# Fail if bytecode / cache artifacts are committed.
+hygiene-check:
+	$(PYTHON) tools/check_hygiene.py
+
+all: test docs-check hygiene-check

@@ -1,0 +1,124 @@
+"""Streaming throughput: sliding-window sessions vs full re-decode (PR 2).
+
+Feeds the same long p-sequences record-by-record through two
+:class:`repro.service.StreamSession` modes:
+
+* **windowed** (the default) — each arriving record re-decodes only the last
+  ``window`` records, so per-record cost is bounded by O(window);
+* **exact** — the fallback that re-decodes the entire sequence on every
+  record (per-record cost O(n), the only way to get batch-identical output
+  at every instant).
+
+Reports records/sec per session mode and asserts the contract properties:
+
+* the windowed path is at least 3x faster than repeated full re-decodes on
+  this workload (records accumulate well beyond the window);
+* the windowed stream stays faithful: record-level labels agree with the
+  batch decode on >= 95% of records.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _bench_utils import print_report, run_once
+
+from repro.core import C2MNAnnotator, C2MNConfig
+from repro.indoor import build_mall_space
+from repro.mobility.dataset import generate_dataset, train_test_split
+from repro.service import AnnotationService
+
+# The contract floor is 3x.  Heavily loaded or throttled machines can relax
+# it without editing code, e.g. in a CI job: REPRO_PERF_FLOOR=1.5.  Label
+# agreement is always asserted regardless.
+MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_FLOOR", "3.0"))
+MIN_AGREEMENT = 0.95
+
+
+def _stream_all(service, sequences, *, prefix, exact):
+    """Stream every sequence through its own session; return elapsed seconds."""
+    start = time.perf_counter()
+    for i, sequence in enumerate(sequences):
+        session = service.session(f"{prefix}-{i}", exact=exact)
+        session.extend(sequence)
+        session.finish()
+    return time.perf_counter() - start
+
+
+def test_perf_streaming_window_vs_full_redecode(benchmark):
+    # Long sequences are the point: records accumulate far beyond the window,
+    # so the full re-decode per record grows while the windowed cost stays flat.
+    space = build_mall_space(floors=1, shops_per_side=4)
+    dataset = generate_dataset(
+        space,
+        objects=2,
+        duration=1800.0,
+        min_duration=400.0,
+        max_period=8.0,
+        error=4.0,
+        seed=23,
+        name="streaming-bench-mall",
+    )
+    train, test = train_test_split(dataset, train_fraction=0.5, seed=7)
+
+    annotator = C2MNAnnotator(space, config=C2MNConfig.fast())
+    annotator.fit(train.sequences)
+    service = AnnotationService(annotator)
+
+    sequences = [labeled.sequence for labeled in test.sequences]
+    records = sum(len(sequence) for sequence in sequences)
+
+    # Warm the oracle / region-distance caches so both modes measure decoding,
+    # not first-touch geometry costs.
+    annotator.predict_labels_many(sequences)
+
+    exact_seconds = _stream_all(service, sequences, prefix="exact", exact=True)
+
+    def timed_windowed():
+        return _stream_all(service, sequences, prefix="windowed", exact=False)
+
+    windowed_seconds = run_once(benchmark, timed_windowed)
+
+    # Faithfulness at speed: windowed labels vs the batch decode.
+    total = agreeing = 0
+    for i, sequence in enumerate(sequences):
+        session = service.session(f"agree-{i}", keep_history=True)
+        session.extend(sequence)
+        session.finish()
+        stream_regions, stream_events = session.labels
+        batch_regions, batch_events = annotator.predict_labels(sequence)
+        total += len(sequence)
+        agreeing += sum(
+            1
+            for j in range(len(sequence))
+            if stream_regions[j] == batch_regions[j]
+            and stream_events[j] == batch_events[j]
+        )
+    agreement = agreeing / total
+
+    speedup = exact_seconds / windowed_seconds
+    print_report(
+        "Streaming throughput (record-by-record ingestion per session)",
+        "\n".join(
+            [
+                f"workload:  {len(sequences)} sessions, {records} records,"
+                f" window={service.window}, guard={service.window // 4}",
+                f"exact:     {exact_seconds:8.3f} s"
+                f"  ({records / exact_seconds:8.1f} records/s)",
+                f"windowed:  {windowed_seconds:8.3f} s"
+                f"  ({records / windowed_seconds:8.1f} records/s)",
+                f"speedup:   {speedup:8.2f} x (floor: {MIN_SPEEDUP:.1f} x)",
+                f"agreement: {agreement:8.1%} record-level vs batch"
+                f" (floor: {MIN_AGREEMENT:.0%})",
+            ]
+        ),
+    )
+
+    assert agreement >= MIN_AGREEMENT, (
+        f"windowed stream agrees with batch on only {agreement:.1%} of records"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"windowed streaming only {speedup:.2f}x faster than full re-decodes "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

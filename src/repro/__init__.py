@@ -31,11 +31,12 @@ Quick start::
     print(annotator.annotate(test.sequences[0].sequence))
 """
 
-from repro.core import C2MNAnnotator, C2MNConfig, make_annotator, make_variant
+from repro.core import Annotator, C2MNAnnotator, C2MNConfig, make_annotator, make_variant
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Annotator",
     "C2MNAnnotator",
     "C2MNConfig",
     "make_annotator",

@@ -9,9 +9,11 @@
   segmentation, HMM region labeling for stay segments and nearest-region
   labeling for pass segments.
 
-All baselines share the :class:`~repro.baselines.base.BaselineAnnotator`
-interface (``fit`` / ``predict_labels`` / ``annotate``) so the evaluation
-harness treats them exactly like the C2MN-family annotators.
+All baselines implement the :class:`repro.core.protocol.Annotator` protocol
+(via :class:`~repro.baselines.base.BaselineAnnotator`, a thin subclass of
+:class:`repro.core.protocol.AnnotatorBase`), so the evaluation harness, the
+streaming service and the examples treat them exactly like the C2MN-family
+annotators — including parallel ``predict_labels_many`` / ``annotate_many``.
 """
 
 from repro.baselines.base import BaselineAnnotator

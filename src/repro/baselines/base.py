@@ -1,81 +1,37 @@
-"""Common interface shared by the baseline annotators.
+"""Common base class of the baseline annotators.
 
-Every compared method — the C2MN family and the baselines — exposes the same
-surface: ``fit(labeled_sequences)``, ``predict_labels(sequence)`` and
-``annotate(sequence)``.  :class:`BaselineAnnotator` provides the boilerplate
-(label wrapping, merging, bookkeeping) so the concrete baselines only
-implement the two labeling hooks.
+Every compared method — the C2MN family and the baselines — implements the
+:class:`repro.core.protocol.Annotator` protocol: ``fit(labeled_sequences)``,
+``predict_labels(sequence)``, ``annotate(sequence)`` and the ``*_many`` batch
+variants.  The boilerplate (label wrapping, merging, batch mapping,
+fitted-state bookkeeping) lives in :class:`repro.core.protocol.AnnotatorBase`;
+the concrete baselines only implement the two labeling hooks.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from repro.core.config import C2MNConfig
-from repro.core.merge import merge_record_labels
+from repro.core.protocol import AnnotatorBase
 from repro.indoor.floorplan import IndoorSpace
-from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
 
 
-class BaselineAnnotator(ABC):
-    """Base class for non-C2MN annotation methods."""
+class BaselineAnnotator(AnnotatorBase):
+    """Base class for non-C2MN annotation methods.
 
-    def __init__(self, space: IndoorSpace, *, config: Optional[C2MNConfig] = None, name: str = "baseline"):
-        self._space = space
-        self._config = config if config is not None else C2MNConfig()
-        self._fitted = False
-        self.name = name
+    Subclasses implement :meth:`AnnotatorBase.predict_labels` and, when they
+    learn anything from data, :meth:`AnnotatorBase._fit`.  ``fit`` returns the
+    annotator itself (parameter-free baselines make this a convenient no-op
+    chain); batch prediction inherits optional ``workers=N`` threading from
+    the base.
+    """
 
-    @property
-    def space(self) -> IndoorSpace:
-        return self._space
-
-    @property
-    def config(self) -> C2MNConfig:
-        return self._config
-
-    @property
-    def is_fitted(self) -> bool:
-        return self._fitted
-
-    # --------------------------------------------------------------- training
-    def fit(self, training_sequences: Sequence[LabeledSequence]):
-        """Estimate whatever statistics the baseline needs from labeled data."""
-        self._fit(training_sequences)
-        self._fitted = True
-        return self
-
-    def _fit(self, training_sequences: Sequence[LabeledSequence]) -> None:
-        """Hook for subclasses; parameter-free baselines can leave it empty."""
-
-    # -------------------------------------------------------------- inference
-    @abstractmethod
-    def predict_labels(self, sequence: PositioningSequence) -> Tuple[List[int], List[str]]:
-        """Return per-record region ids and event labels for one p-sequence."""
-
-    def predict_labeled_sequence(self, sequence: PositioningSequence) -> LabeledSequence:
-        regions, events = self.predict_labels(sequence)
-        return LabeledSequence(
-            sequence=sequence,
-            region_labels=regions,
-            event_labels=events,
-            object_id=sequence.object_id,
-        )
-
-    def annotate(
+    def __init__(
         self,
-        sequence: PositioningSequence,
+        space: IndoorSpace,
         *,
-        region_grouping: Optional[Dict[int, int]] = None,
-    ) -> List[MSemantics]:
-        """Label the sequence and merge the labels into m-semantics."""
-        regions, events = self.predict_labels(sequence)
-        return merge_record_labels(
-            sequence, regions, events, region_grouping=region_grouping
-        )
-
-    def annotate_many(
-        self, sequences: Sequence[PositioningSequence]
-    ) -> List[List[MSemantics]]:
-        return [self.annotate(sequence) for sequence in sequences]
+        config: Optional[C2MNConfig] = None,
+        name: str = "baseline",
+    ):
+        super().__init__(space, config=config, name=name)

@@ -16,6 +16,7 @@ Typical usage::
 """
 
 from repro.core.config import C2MNConfig
+from repro.core.protocol import Annotator, AnnotatorBase
 from repro.core.annotator import C2MNAnnotator
 from repro.core.merge import merge_labeled_sequence
 from repro.core.variants import (
@@ -27,6 +28,8 @@ from repro.core.variants import (
 )
 
 __all__ = [
+    "Annotator",
+    "AnnotatorBase",
     "C2MNConfig",
     "C2MNAnnotator",
     "merge_labeled_sequence",

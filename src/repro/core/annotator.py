@@ -2,8 +2,8 @@
 
 :class:`C2MNAnnotator` wires together the substrate pieces — the indoor space,
 the distance oracle, the feature extractor, the C2MN model, the alternate
-learner and the label-and-merge step — behind a scikit-learn-like
-``fit`` / ``predict`` interface:
+learner and the label-and-merge step — behind the unified
+:class:`repro.core.protocol.Annotator` contract:
 
 * :meth:`C2MNAnnotator.fit` learns the template weights from labeled
   sequences (Section IV).
@@ -13,6 +13,8 @@ learner and the label-and-merge step — behind a scikit-learn-like
   m-semantics (the *annotation* step).
 * :meth:`C2MNAnnotator.annotate_many` / :meth:`C2MNAnnotator.predict_labels_many`
   batch over many p-sequences, optionally in parallel (``workers=N``).
+* :meth:`C2MNAnnotator.save` / :meth:`C2MNAnnotator.load` persist the trained
+  weights and config as JSON so a model ships without retraining.
 
 Decoding and sampling run on the inference engine selected by
 ``config.engine`` — ``"vectorized"`` (potential tables, the default) or
@@ -22,13 +24,13 @@ Decoding and sampling run on the inference engine selected by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import C2MNConfig
-from repro.core.merge import merge_record_labels
-from repro.core.parallel import map_with_workers
+from repro.core.protocol import AnnotatorBase
 from repro.crf.engine import InferenceEngine, make_engine
 from repro.crf.features import FeatureExtractor, SequenceData
 from repro.crf.inference import decode_icm, initial_events, initial_regions
@@ -36,10 +38,10 @@ from repro.crf.learning import AlternateLearner, TrainingReport
 from repro.crf.model import C2MNModel
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.floorplan import IndoorSpace
-from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
+from repro.mobility.records import LabeledSequence, PositioningSequence
 
 
-class C2MNAnnotator:
+class C2MNAnnotator(AnnotatorBase):
     """End-to-end m-semantics annotation with a coupled conditional Markov network."""
 
     def __init__(
@@ -50,9 +52,7 @@ class C2MNAnnotator:
         oracle: Optional[IndoorDistanceOracle] = None,
         name: str = "C2MN",
     ):
-        self.name = name
-        self._space = space
-        self._config = config if config is not None else C2MNConfig()
+        super().__init__(space, config=config, name=name)
         self._oracle = oracle if oracle is not None else IndoorDistanceOracle(space)
         self._extractor = FeatureExtractor(space, self._config, oracle=self._oracle)
         self._model = C2MNModel(self._extractor)
@@ -60,14 +60,6 @@ class C2MNAnnotator:
         self._report: Optional[TrainingReport] = None
 
     # ------------------------------------------------------------ properties
-    @property
-    def space(self) -> IndoorSpace:
-        return self._space
-
-    @property
-    def config(self) -> C2MNConfig:
-        return self._config
-
     @property
     def model(self) -> C2MNModel:
         return self._model
@@ -78,10 +70,6 @@ class C2MNAnnotator:
         return self._engine
 
     @property
-    def is_fitted(self) -> bool:
-        return self._report is not None
-
-    @property
     def training_report(self) -> Optional[TrainingReport]:
         return self._report
 
@@ -90,7 +78,7 @@ class C2MNAnnotator:
         return self._model.weights
 
     # -------------------------------------------------------------- training
-    def fit(self, training_sequences: Sequence[LabeledSequence]) -> TrainingReport:
+    def _fit(self, training_sequences: Sequence[LabeledSequence]) -> TrainingReport:
         """Learn the template weights from fully labeled sequences."""
         if not training_sequences:
             raise ValueError("fit requires at least one labeled training sequence")
@@ -114,59 +102,42 @@ class C2MNAnnotator:
         data = self._extractor.prepare(sequence)
         return decode_icm(self._engine, data)
 
-    def predict_labeled_sequence(self, sequence: PositioningSequence) -> LabeledSequence:
-        """Return the decoded labels wrapped in a :class:`LabeledSequence`."""
-        regions, events = self.predict_labels(sequence)
-        return LabeledSequence(
-            sequence=sequence,
-            region_labels=regions,
-            event_labels=events,
-            object_id=sequence.object_id,
-        )
+    # ----------------------------------------------------------- persistence
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trained weights, config and name to a JSON file.
 
-    def annotate(
-        self,
-        sequence: PositioningSequence,
-        *,
-        region_grouping: Optional[Dict[int, int]] = None,
-    ) -> List[MSemantics]:
-        """Label the sequence and merge the labels into m-semantics (Figure 2)."""
-        regions, events = self.predict_labels(sequence)
-        return merge_record_labels(
-            sequence, regions, events, region_grouping=region_grouping
-        )
-
-    def predict_labels_many(
-        self,
-        sequences: Sequence[PositioningSequence],
-        *,
-        workers: Optional[int] = None,
-    ) -> List[Tuple[List[int], List[str]]]:
-        """Decode a collection of p-sequences, optionally in parallel.
-
-        ``workers`` > 1 decodes with a thread pool (sequences are independent
-        and each carries its own prepared data, so decoding is thread-safe;
-        the shared feature caches only ever gain entries).  Results are
-        returned in input order regardless of completion order.
+        The file is readable with :meth:`load` (and, weights/config-wise,
+        with :func:`repro.persistence.load_model_weights`).
         """
-        return map_with_workers(self.predict_labels, sequences, workers)
+        from repro.persistence.serializers import save_annotator
 
-    def annotate_many(
-        self,
-        sequences: Sequence[PositioningSequence],
+        if not self.is_fitted:
+            raise ValueError("cannot save an unfitted annotator; call fit() first")
+        save_annotator(self, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        space: IndoorSpace,
         *,
-        workers: Optional[int] = None,
-        region_grouping: Optional[Dict[int, int]] = None,
-    ) -> List[List[MSemantics]]:
-        """Annotate a collection of p-sequences, optionally in parallel.
+        oracle: Optional[IndoorDistanceOracle] = None,
+    ) -> "C2MNAnnotator":
+        """Rebuild a trained annotator from :meth:`save` output.
 
-        Same threading model and ordering guarantee as
-        :meth:`predict_labels_many`.
+        The indoor space is code, not data, so the caller supplies it (and
+        optionally a shared distance oracle).  The loaded annotator decodes
+        bitwise-identically to the one that was saved: same weights, same
+        config, same engine.
         """
-        def annotate_one(sequence: PositioningSequence) -> List[MSemantics]:
-            return self.annotate(sequence, region_grouping=region_grouping)
+        from repro.persistence.serializers import load_annotator
 
-        return map_with_workers(annotate_one, sequences, workers)
+        return load_annotator(path, space, oracle=oracle, annotator_cls=cls)
+
+    def _restore_weights(self, weights: np.ndarray) -> None:
+        """Install persisted weights and mark the annotator fitted (no report)."""
+        self._model.weights = np.asarray(weights, dtype=float)
+        self._fitted = True
 
     # ------------------------------------------------------------- utilities
     def baseline_labels(

@@ -1,0 +1,202 @@
+"""The unified :class:`Annotator` contract every annotation method implements.
+
+Two pieces live here:
+
+* :class:`Annotator` — a runtime-checkable :class:`typing.Protocol` describing
+  the surface shared by every compared method: ``fit`` / ``predict_labels`` /
+  ``predict_labeled_sequence`` / ``annotate`` plus the ``*_many`` batch
+  variants and the ``is_fitted`` / ``name`` introspection attributes.  The
+  evaluation harness, the experiment runners, the streaming
+  :class:`repro.service.AnnotationService` and the examples are all written
+  against this protocol, so C2MN-family annotators and baselines are
+  interchangeable everywhere.
+* :class:`AnnotatorBase` — the shared implementation.  Concrete methods
+  implement two hooks — :meth:`AnnotatorBase._fit` and
+  :meth:`AnnotatorBase.predict_labels` — and inherit the label wrapping,
+  label-and-merge and (optionally parallel) batch machinery that used to be
+  duplicated between ``core/annotator.py`` and ``baselines/base.py``.
+
+The protocol is structural: any object with the right attributes satisfies
+``isinstance(obj, Annotator)`` whether or not it derives from
+:class:`AnnotatorBase`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.core.config import C2MNConfig
+from repro.core.merge import merge_record_labels
+from repro.core.parallel import map_with_workers
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
+
+
+@runtime_checkable
+class Annotator(Protocol):
+    """Structural contract of every annotation method (C2MN family and baselines).
+
+    ``fit`` learns from labeled sequences; ``predict_labels`` returns
+    record-level ``(regions, events)`` for one p-sequence; ``annotate`` merges
+    the labels into m-semantics; the ``*_many`` variants batch over many
+    sequences with an optional thread pool.  ``is_fitted`` and ``name``
+    support introspection by harnesses and services.
+    """
+
+    name: str
+
+    @property
+    def is_fitted(self) -> bool: ...
+
+    def fit(self, training_sequences: Sequence[LabeledSequence]): ...
+
+    def predict_labels(
+        self, sequence: PositioningSequence
+    ) -> Tuple[List[int], List[str]]: ...
+
+    def predict_labeled_sequence(
+        self, sequence: PositioningSequence
+    ) -> LabeledSequence: ...
+
+    def annotate(
+        self,
+        sequence: PositioningSequence,
+        *,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[MSemantics]: ...
+
+    def predict_labels_many(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[List[int], List[str]]]: ...
+
+    def annotate_many(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[List[MSemantics]]: ...
+
+
+class AnnotatorBase(ABC):
+    """Shared implementation of the :class:`Annotator` protocol.
+
+    Subclasses implement :meth:`_fit` (may be empty for parameter-free
+    methods) and :meth:`predict_labels`; everything else — label wrapping,
+    label-and-merge, batch mapping with optional workers, fitted-state
+    bookkeeping — is provided here once.
+
+    ``predict_labels`` implementations must be thread-safe for prediction
+    when the ``*_many`` methods are used with ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        config: Optional[C2MNConfig] = None,
+        name: str = "annotator",
+    ):
+        self._space = space
+        self._config = config if config is not None else C2MNConfig()
+        self._fitted = False
+        self.name = name
+
+    # ------------------------------------------------------------ properties
+    @property
+    def space(self) -> IndoorSpace:
+        return self._space
+
+    @property
+    def config(self) -> C2MNConfig:
+        return self._config
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    # --------------------------------------------------------------- training
+    def fit(self, training_sequences: Sequence[LabeledSequence]):
+        """Learn from labeled sequences.
+
+        Returns whatever the subclass hook returns (e.g. a training report),
+        or the annotator itself when the hook returns nothing.
+        """
+        result = self._fit(list(training_sequences))
+        self._fitted = True
+        return self if result is None else result
+
+    def _fit(self, training_sequences: Sequence[LabeledSequence]):
+        """Hook for subclasses; parameter-free methods can leave it empty."""
+
+    # -------------------------------------------------------------- inference
+    @abstractmethod
+    def predict_labels(
+        self, sequence: PositioningSequence
+    ) -> Tuple[List[int], List[str]]:
+        """Return per-record region ids and event labels for one p-sequence."""
+
+    def predict_labeled_sequence(self, sequence: PositioningSequence) -> LabeledSequence:
+        """Return the decoded labels wrapped in a :class:`LabeledSequence`."""
+        regions, events = self.predict_labels(sequence)
+        return LabeledSequence(
+            sequence=sequence,
+            region_labels=regions,
+            event_labels=events,
+            object_id=sequence.object_id,
+        )
+
+    def annotate(
+        self,
+        sequence: PositioningSequence,
+        *,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[MSemantics]:
+        """Label the sequence and merge the labels into m-semantics (Figure 2)."""
+        regions, events = self.predict_labels(sequence)
+        return merge_record_labels(
+            sequence, regions, events, region_grouping=region_grouping
+        )
+
+    # ------------------------------------------------------------------ batch
+    def predict_labels_many(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode a collection of p-sequences, optionally in parallel.
+
+        ``workers`` > 1 decodes with a thread pool; results are returned in
+        input order regardless of completion order.
+        """
+        return map_with_workers(self.predict_labels, sequences, workers)
+
+    def annotate_many(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[List[MSemantics]]:
+        """Annotate a collection of p-sequences, optionally in parallel.
+
+        Same threading model and ordering guarantee as
+        :meth:`predict_labels_many`.
+        """
+        def annotate_one(sequence: PositioningSequence) -> List[MSemantics]:
+            return self.annotate(sequence, region_grouping=region_grouping)
+
+        return map_with_workers(annotate_one, sequences, workers)

@@ -5,10 +5,12 @@ fit the method on the training sequences, label every test sequence, score
 the labels (RA/EA/CA/PA), optionally merge into m-semantics for the query
 experiments, and record wall-clock timings.
 
-With ``workers=N`` the test sequences are labeled through a thread pool
-(``method.predict_labels`` is called concurrently; predictions keep input
-order).  Methods labeled this way must be thread-safe for prediction —
-:class:`repro.core.C2MNAnnotator` is.
+Methods are consumed through the :class:`repro.core.protocol.Annotator`
+protocol, so every C2MN variant and every baseline is handled identically.
+With ``workers=N`` the test sequences are labeled through the method's own
+``predict_labels_many`` thread pool (predictions keep input order); methods
+labeled this way must be thread-safe for prediction — everything derived
+from :class:`repro.core.protocol.AnnotatorBase` is.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.merge import merge_labeled_sequence
-from repro.core.parallel import map_with_workers
+from repro.core.protocol import Annotator
 from repro.evaluation.metrics import AccuracyScores, score_sequences
 from repro.mobility.records import LabeledSequence, MSemantics
 
@@ -65,13 +67,13 @@ class MethodEvaluator:
 
     def evaluate(
         self,
-        method,
+        method: Annotator,
         train_sequences: Sequence[LabeledSequence],
         test_sequences: Sequence[LabeledSequence],
         *,
         fit: bool = True,
     ) -> EvaluationResult:
-        """Fit ``method`` (anything with fit/predict_labels) and score it."""
+        """Fit ``method`` (any :class:`Annotator`) and score it."""
         method_name = getattr(method, "name", method.__class__.__name__)
 
         training_seconds = 0.0
@@ -83,10 +85,8 @@ class MethodEvaluator:
         predictions: List[LabeledSequence] = []
         semantics: List[List[MSemantics]] = []
         start = time.perf_counter()
-        label_pairs = map_with_workers(
-            lambda truth: method.predict_labels(truth.sequence),
-            test_sequences,
-            self.workers,
+        label_pairs = method.predict_labels_many(
+            [truth.sequence for truth in test_sequences], workers=self.workers
         )
         for truth, (regions, events) in zip(test_sequences, label_pairs):
             predicted = LabeledSequence(
@@ -111,7 +111,7 @@ class MethodEvaluator:
 
     def evaluate_many(
         self,
-        methods: Sequence,
+        methods: Sequence[Annotator],
         train_sequences: Sequence[LabeledSequence],
         test_sequences: Sequence[LabeledSequence],
     ) -> List[EvaluationResult]:

@@ -7,11 +7,15 @@ formats are plain JSON so they are diff-able and language-neutral.
 """
 
 from repro.persistence.serializers import (
+    annotator_from_dict,
+    annotator_to_dict,
     labeled_sequence_from_dict,
     labeled_sequence_to_dict,
+    load_annotator,
     load_dataset,
     load_model_weights,
     load_semantics,
+    save_annotator,
     save_dataset,
     save_model_weights,
     save_semantics,
@@ -20,11 +24,15 @@ from repro.persistence.serializers import (
 )
 
 __all__ = [
+    "annotator_from_dict",
+    "annotator_to_dict",
     "labeled_sequence_from_dict",
     "labeled_sequence_to_dict",
+    "load_annotator",
     "load_dataset",
     "load_model_weights",
     "load_semantics",
+    "save_annotator",
     "save_dataset",
     "save_model_weights",
     "save_semantics",

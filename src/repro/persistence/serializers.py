@@ -10,6 +10,8 @@ The on-disk formats are intentionally simple:
 * **M-semantics** — a list of ``{"region", "start", "end", "event", "records"}``.
 * **Model weights** — ``{"weights": [...12 floats...], "config": {...}}`` where
   the config dict records the hyper-parameters the weights were trained with.
+* **Annotator** — the model-weights payload plus ``"name"`` and a format tag;
+  see :func:`annotator_to_dict` / :func:`annotator_from_dict`.
 """
 
 from __future__ import annotations
@@ -124,6 +126,63 @@ def save_semantics(semantics: Sequence[MSemantics], path: PathLike) -> None:
 def load_semantics(path: PathLike) -> List[MSemantics]:
     """Read m-semantics written by :func:`save_semantics`."""
     return semantics_from_dicts(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------- annotators
+def annotator_to_dict(annotator) -> Dict:
+    """Convert a trained C2MN-family annotator into a JSON-serialisable dict.
+
+    The payload is a superset of the model-weights format — ``weights`` and
+    ``config`` mean the same thing, plus the annotator's ``name`` — so a file
+    written from it also loads with :func:`load_model_weights`.
+
+    Only C2MN-family annotators carry persistable weights; the baselines are
+    parameter-light and are refit instead of serialised.
+    """
+    if getattr(annotator, "weights", None) is None:
+        raise TypeError(
+            f"cannot persist {annotator.name!r}: only C2MN-family annotators "
+            "carry weights — baselines are parameter-light, refit them instead"
+        )
+    return {
+        "format": "repro.annotator/1",
+        "name": annotator.name,
+        "weights": [float(value) for value in np.asarray(annotator.weights).ravel()],
+        "config": dataclasses.asdict(annotator.config),
+    }
+
+
+def annotator_from_dict(payload: Dict, space: IndoorSpace, *, oracle=None, annotator_cls=None):
+    """Rebuild a trained annotator from :func:`annotator_to_dict` output.
+
+    The indoor space is code, not data, so the caller supplies it.  The
+    stored config (including the structure flags that define the C2MN
+    variants) reconstructs the model exactly; the stored weights are
+    installed verbatim, so the loaded annotator decodes bitwise-identically
+    to the saved one.
+    """
+    if annotator_cls is None:
+        from repro.core.annotator import C2MNAnnotator as annotator_cls
+    config_payload = payload.get("config")
+    config = C2MNConfig(**config_payload) if config_payload else None
+    annotator = annotator_cls(
+        space, config=config, oracle=oracle, name=payload.get("name", "C2MN")
+    )
+    annotator._restore_weights(np.asarray(payload["weights"], dtype=float))
+    return annotator
+
+
+def save_annotator(annotator, path: PathLike) -> None:
+    """Write a trained annotator (weights + config + name) to a JSON file."""
+    Path(path).write_text(json.dumps(annotator_to_dict(annotator)))
+
+
+def load_annotator(path: PathLike, space: IndoorSpace, *, oracle=None, annotator_cls=None):
+    """Read an annotator written by :func:`save_annotator`."""
+    payload = json.loads(Path(path).read_text())
+    return annotator_from_dict(
+        payload, space, oracle=oracle, annotator_cls=annotator_cls
+    )
 
 
 # --------------------------------------------------------------- model weights

@@ -6,6 +6,10 @@
   frequent pairs of regions visited (stayed at) by the same object.
 * :mod:`repro.queries.precision` — top-k precision of query answers computed
   from annotated m-semantics against answers computed from the ground truth.
+
+All queries accept any per-object collection of m-semantics: a list (batch
+``annotate_many`` output), a mapping keyed by object id, or a live
+:class:`repro.service.SemanticsStore` fed by streaming sessions.
 """
 
 from repro.queries.tkprq import TkPRQ, count_region_visits

@@ -13,6 +13,7 @@ from itertools import combinations
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.mobility.records import EVENT_STAY, MSemantics
+from repro.queries.tkprq import per_object_sequences
 
 RegionPair = Tuple[int, int]
 
@@ -24,9 +25,14 @@ def count_region_pairs(
     end: Optional[float] = None,
     query_regions: Optional[Set[int]] = None,
 ) -> Counter:
-    """Count, per unordered region pair, the objects that stayed at both regions."""
+    """Count, per unordered region pair, the objects that stayed at both regions.
+
+    Accepts the same input shapes as
+    :func:`repro.queries.tkprq.count_region_visits` — iterables, mappings or
+    a live semantics store.
+    """
     counts: Counter = Counter()
-    for semantics in semantics_per_object:
+    for semantics in per_object_sequences(semantics_per_object):
         visited: Set[int] = set()
         for ms in semantics:
             if ms.event != EVENT_STAY:

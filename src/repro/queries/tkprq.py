@@ -5,14 +5,28 @@ that have the most number of visits", where a *visit* is a stay event.  The
 query is evaluated over a set of per-object m-semantics sequences within a
 query time interval ``[start, end]``; an m-semantics contributes a visit to
 its region when it is a stay and its time period intersects the interval.
+
+``semantics_per_object`` accepts any iterable of per-object sequences — a
+list (as returned by ``annotate_many``), a mapping keyed by object id, or a
+live :class:`repro.service.store.SemanticsStore`, so the query runs
+identically over batch output and in-flight streaming traffic.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.mobility.records import EVENT_STAY, MSemantics
+
+
+def per_object_sequences(
+    semantics_per_object: Iterable[Sequence[MSemantics]],
+) -> Iterable[Sequence[MSemantics]]:
+    """Normalise the query input: mappings contribute their values."""
+    if isinstance(semantics_per_object, Mapping):
+        return semantics_per_object.values()
+    return semantics_per_object
 
 
 def count_region_visits(
@@ -28,7 +42,7 @@ def count_region_visits(
     per m-semantics entry, exactly as produced by the label-and-merge step.
     """
     counts: Counter = Counter()
-    for semantics in semantics_per_object:
+    for semantics in per_object_sequences(semantics_per_object):
         for ms in semantics:
             if ms.event != EVENT_STAY:
                 continue

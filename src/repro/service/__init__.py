@@ -1,0 +1,29 @@
+"""Streaming annotation service: live sessions, semantics store, persistence.
+
+The batch API (:mod:`repro.core`) needs a complete p-sequence before anything
+is annotated.  This subsystem serves *in-flight* traffic instead:
+
+* :class:`AnnotationService` wraps any fitted
+  :class:`repro.core.protocol.Annotator` plus a :class:`SemanticsStore`;
+* ``service.session(object_id)`` returns a :class:`StreamSession` that
+  ingests positioning records one at a time, re-decodes a sliding tail
+  window (full-sequence decode stays available as the exact fallback) and
+  finalizes m-semantics once the window has moved past them;
+* finalized m-semantics land in the shared :class:`SemanticsStore`, over
+  which the paper's TkPRQ/TkFRPQ and the behaviour analytics run live;
+* ``service.save(path)`` / ``AnnotationService.load(path, space)`` ship a
+  trained model without retraining.
+
+See ``examples/streaming_service.py`` for an end-to-end tour and
+``docs/ARCHITECTURE.md`` for how the window/guard mechanics work.
+"""
+
+from repro.service.service import AnnotationService
+from repro.service.session import StreamSession
+from repro.service.store import SemanticsStore
+
+__all__ = [
+    "AnnotationService",
+    "StreamSession",
+    "SemanticsStore",
+]

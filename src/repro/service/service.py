@@ -1,0 +1,211 @@
+"""The deployable annotation surface: sessions, store, live queries, save/load.
+
+:class:`AnnotationService` wraps a fitted :class:`repro.core.protocol.Annotator`
+together with a :class:`repro.service.store.SemanticsStore` and exposes:
+
+* :meth:`AnnotationService.session` — a :class:`StreamSession` per moving
+  object, ingesting positioning records one at a time and publishing
+  m-semantics to the store as they become final;
+* :meth:`AnnotationService.annotate_batch` — the batch path through the same
+  store, for backfills and offline workloads;
+* :meth:`AnnotationService.popular_regions` / :meth:`frequent_pairs` — the
+  paper's TkPRQ and TkFRPQ evaluated live over everything published so far,
+  in-flight sessions included;
+* :meth:`AnnotationService.save` / :meth:`AnnotationService.load` — JSON
+  persistence of the trained model and service settings (built on
+  :mod:`repro.persistence`), so a trained service ships without retraining.
+
+Only the model and settings are persisted; the store and active sessions are
+runtime state (persist a store separately with ``service.store.save(path)``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.protocol import Annotator
+from repro.mobility.records import MSemantics, PositioningSequence
+from repro.queries.tkfrpq import RegionPair, TkFRPQ
+from repro.queries.tkprq import TkPRQ
+from repro.service.session import StreamSession
+from repro.service.store import SemanticsStore
+
+PathLike = Union[str, Path]
+
+SERVICE_FORMAT = "repro.annotation-service/1"
+
+
+class AnnotationService:
+    """Streaming + batch annotation over one venue, backed by one store."""
+
+    DEFAULT_WINDOW = 48
+
+    def __init__(
+        self,
+        annotator: Annotator,
+        *,
+        store: Optional[SemanticsStore] = None,
+        window: int = DEFAULT_WINDOW,
+        guard: Optional[int] = None,
+    ):
+        if not annotator.is_fitted:
+            raise ValueError(
+                "AnnotationService requires a fitted annotator; "
+                "fit() it or load() a persisted one"
+            )
+        if window < 2:
+            raise ValueError("window must be at least 2 records")
+        self.annotator = annotator
+        self.store = store if store is not None else SemanticsStore()
+        self.window = window
+        self.guard = guard
+        self._sessions: Dict[str, StreamSession] = {}
+
+    # -------------------------------------------------------------- sessions
+    def session(
+        self,
+        object_id: str,
+        *,
+        window: Optional[int] = None,
+        guard: Optional[int] = None,
+        exact: bool = False,
+        keep_history: bool = False,
+    ) -> StreamSession:
+        """Open a streaming session for one object.
+
+        One live session per object id; finished sessions are evicted from
+        the service automatically, so long-running services hold only the
+        in-flight ones.  ``window``/``guard`` default to the service-level
+        settings; ``exact=True`` re-decodes the full sequence on every
+        record (the exact but O(n)-per-record fallback);
+        ``keep_history=True`` makes the session retain all records and
+        labels instead of dropping published, out-of-window prefixes.
+        """
+        existing = self._sessions.get(object_id)
+        if existing is not None and not existing.is_closed:
+            raise ValueError(f"object {object_id!r} already has a live session")
+        session = StreamSession(
+            self.annotator,
+            object_id,
+            self.store,
+            window=window if window is not None else self.window,
+            guard=guard if guard is not None else self.guard,
+            exact=exact,
+            keep_history=keep_history,
+            on_finish=self._evict_session,
+        )
+        self._sessions[object_id] = session
+        return session
+
+    def _evict_session(self, session: StreamSession) -> None:
+        if self._sessions.get(session.object_id) is session:
+            del self._sessions[session.object_id]
+
+    def live_sessions(self) -> List[StreamSession]:
+        """The currently open sessions."""
+        return [s for s in self._sessions.values() if not s.is_closed]
+
+    def finish_all(self) -> List[MSemantics]:
+        """Finish every live session; return everything that flushed."""
+        flushed: List[MSemantics] = []
+        for session in self.live_sessions():
+            flushed.extend(session.finish())
+        return flushed
+
+    # ----------------------------------------------------------------- batch
+    def annotate_batch(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[List[MSemantics]]:
+        """Annotate complete p-sequences and publish them to the store.
+
+        The batch counterpart of the streaming path — same store, same query
+        surface — for backfilling historical traffic.
+        """
+        semantics = self.annotator.annotate_many(sequences, workers=workers)
+        for sequence, entries in zip(sequences, semantics):
+            self.store.publish(sequence.object_id, entries)
+        return semantics
+
+    # ---------------------------------------------------------- live queries
+    def popular_regions(
+        self,
+        k: int,
+        *,
+        query_regions: Optional[Set[int]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[int, int]]:
+        """TkPRQ over everything published so far (in-flight traffic included)."""
+        query = TkPRQ(k, query_regions=query_regions, start=start, end=end)
+        return query.evaluate(self.store)
+
+    def frequent_pairs(
+        self,
+        k: int,
+        *,
+        query_regions: Optional[Set[int]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[RegionPair, int]]:
+        """TkFRPQ over everything published so far (in-flight traffic included)."""
+        query = TkFRPQ(k, query_regions=query_regions, start=start, end=end)
+        return query.evaluate(self.store)
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> None:
+        """Write the trained model and service settings to a JSON file.
+
+        Only C2MN-family annotators carry persistable weights; saving a
+        service wrapping a baseline raises ``TypeError`` (baselines are
+        parameter-light — refit them instead).
+        """
+        from repro.persistence.serializers import annotator_to_dict
+
+        payload = {
+            "format": SERVICE_FORMAT,
+            "window": self.window,
+            "guard": self.guard,
+            "annotator": annotator_to_dict(self.annotator),
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls,
+        path: PathLike,
+        space,
+        *,
+        oracle=None,
+        store: Optional[SemanticsStore] = None,
+    ) -> "AnnotationService":
+        """Rebuild a service written by :meth:`save`.
+
+        The indoor space is code, not data, so the caller supplies it.  The
+        restored annotator carries the saved weights and config and decodes
+        bitwise-identically to the one that was saved.  C2MN-family models
+        round-trip this way; baselines are parameter-light and are simply
+        refit instead.
+        """
+        from repro.persistence.serializers import annotator_from_dict
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != SERVICE_FORMAT:
+            raise ValueError(f"not an annotation-service file: {path}")
+        annotator = annotator_from_dict(payload["annotator"], space, oracle=oracle)
+        return cls(
+            annotator,
+            store=store,
+            window=payload.get("window", cls.DEFAULT_WINDOW),
+            guard=payload.get("guard"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AnnotationService({self.annotator.name!r}, window={self.window}, "
+            f"objects={len(self.store)}, live={len(self.live_sessions())})"
+        )

@@ -1,0 +1,107 @@
+"""In-memory store of finalized m-semantics, keyed by object id.
+
+:class:`SemanticsStore` is where the streaming layer publishes m-semantics as
+they are finalized, and where live queries and analytics read from.  Iterating
+a store yields one m-semantics sequence per object — exactly the
+``semantics_per_object`` shape that :class:`repro.queries.tkprq.TkPRQ`,
+:class:`repro.queries.tkfrpq.TkFRPQ` and :mod:`repro.analytics.behaviour`
+consume — so a store can be passed to any of them directly, while sessions
+keep appending to it.
+
+The store is thread-safe: concurrent sessions (one per moving object) publish
+under a lock, and readers always observe consistent per-object snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.mobility.records import MSemantics
+from repro.persistence.serializers import semantics_from_dicts, semantics_to_dicts
+
+PathLike = Union[str, Path]
+
+
+class SemanticsStore:
+    """Per-object m-semantics sequences, safe for concurrent publish and read."""
+
+    def __init__(self):
+        self._semantics: Dict[str, List[MSemantics]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ publishing
+    def publish(self, object_id: str, semantics: Iterable[MSemantics]) -> None:
+        """Append finalized m-semantics to one object's sequence.
+
+        Entries must arrive in time order per object (streaming sessions and
+        batch annotation both guarantee this); the non-overlap invariant of
+        Definition 3 is the publisher's responsibility.
+        """
+        entries = list(semantics)
+        if not entries:
+            return
+        with self._lock:
+            self._semantics.setdefault(object_id, []).extend(entries)
+
+    def clear(self, object_id: Optional[str] = None) -> None:
+        """Drop one object's sequence (or everything when no id is given)."""
+        with self._lock:
+            if object_id is None:
+                self._semantics.clear()
+            else:
+                self._semantics.pop(object_id, None)
+
+    # --------------------------------------------------------------- reading
+    def objects(self) -> List[str]:
+        """The object ids with at least one published m-semantics."""
+        with self._lock:
+            return list(self._semantics)
+
+    def semantics_for(self, object_id: str) -> List[MSemantics]:
+        """Snapshot of one object's sequence (empty list for unknown objects)."""
+        with self._lock:
+            return list(self._semantics.get(object_id, ()))
+
+    def as_dict(self) -> Dict[str, List[MSemantics]]:
+        """Snapshot of everything, keyed by object id."""
+        with self._lock:
+            return {object_id: list(entries) for object_id, entries in self._semantics.items()}
+
+    def __iter__(self) -> Iterator[List[MSemantics]]:
+        """Yield one m-semantics sequence per object (the query input shape)."""
+        return iter(self.as_dict().values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._semantics)
+
+    @property
+    def total_semantics(self) -> int:
+        """Total number of published m-semantics across all objects."""
+        with self._lock:
+            return sum(len(entries) for entries in self._semantics.values())
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> None:
+        """Write the store to a JSON file (per-object m-semantics lists)."""
+        snapshot = self.as_dict()
+        payload = {
+            object_id: semantics_to_dicts(entries)
+            for object_id, entries in snapshot.items()
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SemanticsStore":
+        """Read a store written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        store = cls()
+        for object_id, entries in payload.items():
+            store.publish(object_id, semantics_from_dicts(entries))
+        return store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SemanticsStore(objects={len(self)}, semantics={self.total_semantics})"

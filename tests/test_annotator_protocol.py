@@ -1,0 +1,152 @@
+"""Conformance suite for the unified :class:`repro.core.protocol.Annotator`.
+
+Every compared method — the full C2MN, each structural variant and each
+baseline — is run through the same parametrized checks: structural protocol
+membership, fitted-state bookkeeping, label shapes, annotate/merge
+consistency and the ``*_many`` batch contract (input order preserved,
+workers produce identical results).
+
+Training here uses a deliberately tiny configuration: conformance is about
+the API contract, not annotation quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Annotator, AnnotatorBase, C2MNConfig, make_annotator
+from repro.core.variants import VARIANT_NAMES
+from repro.mobility.records import EVENTS, MSemantics
+
+BASELINE_NAMES = ("SMoT", "HMM+DC", "SAPDV", "SAPDA")
+ALL_METHOD_NAMES = VARIANT_NAMES + ("C2MN@R",) + BASELINE_NAMES
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """Smallest legal learning configuration — conformance only needs the API."""
+    return C2MNConfig.fast(
+        max_iterations=1, mcmc_samples=2, lbfgs_iterations=1, icm_sweeps=2
+    )
+
+
+@pytest.fixture(scope="module", params=ALL_METHOD_NAMES)
+def fitted_method(request, small_space, small_split, tiny_config):
+    """Each compared method, constructed by name and fitted on two sequences."""
+    train, _ = small_split
+    method = make_annotator(request.param, small_space, config=tiny_config)
+    method.fit(train.sequences[:2])
+    return method
+
+
+class TestProtocolMembership:
+    def test_every_method_satisfies_protocol(self, fitted_method):
+        assert isinstance(fitted_method, Annotator)
+
+    def test_every_method_derives_from_base(self, fitted_method):
+        assert isinstance(fitted_method, AnnotatorBase)
+
+    def test_name_matches_construction(self, small_space, tiny_config):
+        for name in ALL_METHOD_NAMES:
+            method = make_annotator(name, small_space, config=tiny_config)
+            assert method.name == name
+
+    def test_unfitted_method_reports_unfitted(self, small_space, tiny_config):
+        method = make_annotator("SMoT", small_space, config=tiny_config)
+        assert not method.is_fitted
+
+    def test_duck_typed_object_satisfies_protocol(self):
+        class Structural:
+            name = "structural"
+
+            @property
+            def is_fitted(self):
+                return True
+
+            def fit(self, training_sequences):
+                return self
+
+            def predict_labels(self, sequence):
+                return [], []
+
+            def predict_labeled_sequence(self, sequence):
+                raise NotImplementedError
+
+            def annotate(self, sequence, *, region_grouping=None):
+                return []
+
+            def predict_labels_many(self, sequences, *, workers=None):
+                return []
+
+            def annotate_many(self, sequences, *, workers=None, region_grouping=None):
+                return []
+
+        assert isinstance(Structural(), Annotator)
+
+    def test_incomplete_object_fails_protocol(self):
+        class Incomplete:
+            name = "incomplete"
+
+        assert not isinstance(Incomplete(), Annotator)
+
+
+class TestFittedState:
+    def test_is_fitted_after_fit(self, fitted_method):
+        assert fitted_method.is_fitted
+
+
+class TestLabeling:
+    def test_predict_labels_shapes(self, fitted_method, small_split):
+        _, test = small_split
+        sequence = test.sequences[0].sequence
+        regions, events = fitted_method.predict_labels(sequence)
+        assert len(regions) == len(sequence)
+        assert len(events) == len(sequence)
+        assert all(isinstance(region, int) for region in regions)
+        assert all(event in EVENTS for event in events)
+
+    def test_predict_labeled_sequence_wraps(self, fitted_method, small_split):
+        _, test = small_split
+        sequence = test.sequences[0].sequence
+        labeled = fitted_method.predict_labeled_sequence(sequence)
+        assert labeled.sequence is sequence
+        assert labeled.object_id == sequence.object_id
+        assert (labeled.region_labels, labeled.event_labels) == (
+            fitted_method.predict_labels(sequence)
+        )
+
+    def test_annotate_merges_labels(self, fitted_method, small_split):
+        _, test = small_split
+        sequence = test.sequences[0].sequence
+        semantics = fitted_method.annotate(sequence)
+        assert semantics, "annotation must produce at least one m-semantics"
+        assert all(isinstance(ms, MSemantics) for ms in semantics)
+        assert sum(ms.record_count for ms in semantics) == len(sequence)
+        for earlier, later in zip(semantics, semantics[1:]):
+            assert earlier.end_time <= later.start_time
+
+
+class TestBatchContract:
+    def test_many_match_serial_and_keep_order(self, fitted_method, small_split):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        serial = [fitted_method.predict_labels(sequence) for sequence in sequences]
+        assert fitted_method.predict_labels_many(sequences) == serial
+        assert fitted_method.predict_labels_many(sequences, workers=3) == serial
+
+    def test_annotate_many_match_serial(self, fitted_method, small_split):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        serial = [fitted_method.annotate(sequence) for sequence in sequences]
+        assert fitted_method.annotate_many(sequences) == serial
+        assert fitted_method.annotate_many(sequences, workers=3) == serial
+
+    def test_empty_batch(self, fitted_method):
+        assert fitted_method.predict_labels_many([]) == []
+        assert fitted_method.annotate_many([]) == []
+
+    def test_invalid_workers_rejected(self, fitted_method, small_split):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        with pytest.raises(ValueError):
+            fitted_method.predict_labels_many(sequences, workers=0)

@@ -1,12 +1,15 @@
-"""Tests for JSON persistence of sequences, datasets, semantics and weights."""
+"""Tests for JSON persistence of sequences, datasets, semantics, weights and annotators."""
 
 import numpy as np
 import pytest
 
+from repro.core.annotator import C2MNAnnotator
 from repro.core.config import C2MNConfig
 from repro.core.merge import merge_labeled_sequence
 from repro.mobility.dataset import AnnotationDataset
 from repro.persistence import (
+    annotator_from_dict,
+    annotator_to_dict,
     labeled_sequence_from_dict,
     labeled_sequence_to_dict,
     load_dataset,
@@ -88,3 +91,61 @@ class TestModelWeightsRoundTrip:
         loaded, loaded_config = load_model_weights(path)
         assert np.allclose(loaded, fitted_annotator.weights)
         assert loaded_config == fitted_annotator.config
+
+
+class TestAnnotatorRoundTrip:
+    def test_save_load_restores_state(
+        self, fitted_annotator, small_space, tmp_path
+    ):
+        path = tmp_path / "annotator.json"
+        fitted_annotator.save(path)
+        loaded = C2MNAnnotator.load(path, small_space)
+        assert loaded.is_fitted
+        assert loaded.name == fitted_annotator.name
+        assert loaded.config == fitted_annotator.config
+        # Weights survive json round-trip bitwise (repr round-trips floats).
+        assert (loaded.weights == fitted_annotator.weights).all()
+
+    def test_save_load_decodes_bitwise_identically(
+        self, fitted_annotator, small_space, small_split, tmp_path
+    ):
+        """Trained weights + config reloaded must reproduce every decode exactly."""
+        _, test = small_split
+        path = tmp_path / "annotator.json"
+        fitted_annotator.save(path)
+        loaded = C2MNAnnotator.load(path, small_space)
+        for labeled in test.sequences:
+            assert loaded.predict_labels(labeled.sequence) == (
+                fitted_annotator.predict_labels(labeled.sequence)
+            )
+            assert loaded.annotate(labeled.sequence) == (
+                fitted_annotator.annotate(labeled.sequence)
+            )
+
+    def test_unfitted_annotator_refuses_to_save(self, small_space, tmp_path):
+        annotator = C2MNAnnotator(small_space, config=C2MNConfig.fast())
+        with pytest.raises(ValueError, match="unfitted"):
+            annotator.save(tmp_path / "nope.json")
+
+    def test_dict_round_trip_preserves_variant_name_and_structure(
+        self, small_space, small_split
+    ):
+        from repro.core.variants import make_variant
+
+        train, _ = small_split
+        tiny = C2MNConfig.fast(max_iterations=1, mcmc_samples=2, lbfgs_iterations=1)
+        variant = make_variant("C2MN/Tran", small_space, config=tiny)
+        variant.fit(train.sequences[:1])
+        rebuilt = annotator_from_dict(annotator_to_dict(variant), small_space)
+        assert rebuilt.name == "C2MN/Tran"
+        assert rebuilt.config.use_transition is False
+        assert (rebuilt.weights == variant.weights).all()
+
+    def test_annotator_file_also_loads_as_model_weights(
+        self, fitted_annotator, tmp_path
+    ):
+        path = tmp_path / "annotator.json"
+        fitted_annotator.save(path)
+        weights, config = load_model_weights(path)
+        assert (weights == fitted_annotator.weights).all()
+        assert config == fitted_annotator.config

@@ -1,0 +1,50 @@
+"""Guard against committed build artifacts (bytecode, caches).
+
+Runs the same check as ``tools/check_hygiene.py`` inside the tier-1 suite so
+a stray ``git add -A`` of ``__pycache__`` fails fast, locally and in CI.
+Skipped when the checkout is not a git repository (e.g. an sdist).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_hygiene import violations  # noqa: E402
+
+
+def _tracked_files():
+    try:
+        output = subprocess.check_output(
+            ["git", "ls-files"], cwd=REPO_ROOT, text=True, stderr=subprocess.DEVNULL
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("not a git checkout")
+    return [line for line in output.splitlines() if line]
+
+
+def test_no_generated_artifacts_tracked():
+    bad = violations(_tracked_files())
+    assert not bad, (
+        "generated artifacts are committed (remove with git rm -r --cached): "
+        + ", ".join(bad)
+    )
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    assert "*.py[cod]" in gitignore
+
+
+def test_violation_patterns():
+    assert violations(["src/repro/__pycache__/x.pyc"]) == ["src/repro/__pycache__/x.pyc"]
+    assert violations(["a/b.pyc", "a/b.py"]) == ["a/b.pyc"]
+    assert violations([".pytest_cache/v/cache"]) == [".pytest_cache/v/cache"]
+    assert violations(["src/repro/core/annotator.py", "README.md"]) == []

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fail if generated artifacts (bytecode, caches) are committed to git.
+
+PR 1 accidentally committed ``__pycache__/*.pyc`` files; this guard keeps
+them out for good.  It lists the files git tracks and rejects anything
+matching the forbidden patterns below.  Run from anywhere inside the repo;
+used by CI and available locally as ``make hygiene-check``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path patterns that must never be committed.
+FORBIDDEN = (
+    re.compile(r"(^|/)__pycache__(/|$)"),
+    re.compile(r"\.py[cod]$"),
+    re.compile(r"(^|/)\.pytest_cache(/|$)"),
+    re.compile(r"(^|/)\.hypothesis(/|$)"),
+    re.compile(r"(^|/)\.benchmarks(/|$)"),
+    re.compile(r"(^|/)\.mypy_cache(/|$)"),
+    re.compile(r"(^|/)\.DS_Store$"),
+    re.compile(r"\.egg-info(/|$)"),
+)
+
+
+def tracked_files() -> list:
+    """Every path git tracks, relative to the repository root."""
+    output = subprocess.check_output(
+        ["git", "ls-files"], cwd=REPO_ROOT, text=True
+    )
+    return [line for line in output.splitlines() if line]
+
+
+def violations(paths) -> list:
+    """The subset of ``paths`` matching a forbidden pattern."""
+    return [
+        path
+        for path in paths
+        if any(pattern.search(path) for pattern in FORBIDDEN)
+    ]
+
+
+def main() -> int:
+    bad = violations(tracked_files())
+    if bad:
+        print(
+            f"FAIL {len(bad)} generated artifact(s) are committed "
+            "(bytecode/cache files must never be checked in):",
+            file=sys.stderr,
+        )
+        for path in bad:
+            print(f"  {path}", file=sys.stderr)
+        print(
+            "Remove them with: git rm -r --cached <path>  (they are "
+            "covered by .gitignore)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"hygiene-check: {len(tracked_files())} tracked files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
