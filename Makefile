@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -14,7 +14,15 @@ bench:
 
 # The performance benchmarks on their own.
 perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py benchmarks/test_perf_streaming.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py benchmarks/test_perf_streaming.py benchmarks/test_perf_runtime.py -q -s
+
+# Machine-readable runtime benchmarks -> BENCH_runtime.json (the CI artifact).
+bench-json:
+	$(PYTHON) -m repro.bench --tiny --out BENCH_runtime.json
+
+# Validate BENCH_*.json against the bench schema.
+bench-check:
+	$(PYTHON) tools/check_bench.py
 
 # Execute the python code blocks of README.md and docs/ARCHITECTURE.md.
 docs-check:

@@ -63,6 +63,7 @@ def test_fig12_fig13_query_precision_vs_interval(benchmark, mall_dataset, config
             assert 0.0 <= tkfrpq_series[name][interval] <= 1.0
 
     # Shape: C2MN's m-semantics answer queries at least as well as the weakest baseline.
-    mean = lambda series: sum(series.values()) / len(series)
+    def mean(series):
+        return sum(series.values()) / len(series)
     weakest = min(mean(tkprq_series[name]) for name in ("SMoT", "HMM+DC"))
     assert mean(tkprq_series["C2MN"]) >= weakest - 0.1

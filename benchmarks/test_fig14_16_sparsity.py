@@ -57,6 +57,7 @@ def test_fig14_15_16_effect_of_temporal_sparsity(benchmark, scale):
             assert 0.0 <= tkprq[name][t] <= 1.0
             assert 0.0 <= tkfrpq[name][t] <= 1.0
 
-    mean = lambda series: sum(series.values()) / len(series)
+    def mean(series):
+        return sum(series.values()) / len(series)
     weakest_pa = min(mean(pa[name]) for name in METHODS if name != "C2MN")
     assert mean(pa["C2MN"]) >= weakest_pa - 0.05

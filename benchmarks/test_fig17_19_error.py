@@ -57,7 +57,8 @@ def test_fig17_18_19_effect_of_positioning_error(benchmark, scale):
             assert 0.0 <= tkprq[name][mu] <= 1.0
             assert 0.0 <= tkfrpq[name][mu] <= 1.0
 
-    mean = lambda series: sum(series.values()) / len(series)
+    def mean(series):
+        return sum(series.values()) / len(series)
     weakest_pa = min(mean(pa[name]) for name in METHODS if name != "C2MN")
     assert mean(pa["C2MN"]) >= weakest_pa - 0.05
 

@@ -1,0 +1,85 @@
+"""Process-sharded batch decoding throughput (the PR-3 tentpole).
+
+Times ``annotate_many`` — the production batch path — serially and through
+the process backend of :mod:`repro.runtime` on a ``C2MNConfig.fast()`` mall
+workload, then asserts the two contract properties:
+
+* the sharded decode is bitwise-identical to the serial labels;
+* with ``workers=4`` it beats serial by at least 1.5x on a multi-core
+  machine.
+
+Pure-python decoding is GIL-bound, so the speedup only exists where there
+are cores to shard across: the wall-clock assertion is skipped below 2
+cores (the agreement assertion always runs).  As with the engine
+benchmark, heavily loaded machines can relax the floor without editing
+code via ``REPRO_PERF_FLOOR`` (CI sets 1.2, genuinely below the 1.5
+contract floor, so runner noise cannot fail the job; the env value can
+only lower the floor, never raise it).  The machine-readable counterpart
+of this test is ``python -m repro.bench`` (see ``tools/check_bench.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from _bench_utils import bench_scale, print_report, run_once
+
+from repro.bench import build_workload
+
+WORKERS = 4
+MIN_SPEEDUP = min(1.5, float(os.environ.get("REPRO_PERF_FLOOR", "1.5")))
+
+
+def test_perf_process_sharded_annotate_many(benchmark):
+    # The exact workload `python -m repro.bench` reports on (same builder),
+    # so the CI artifact and this asserted contract measure the same thing.
+    annotator, decode, _ = build_workload(bench_scale(), name="runtime-bench-mall")
+
+    # Warm the shared geometry caches so serial is not charged first-touch
+    # costs that the worker processes inherit through the broadcast pickle.
+    warm_labels = annotator.annotate_many(decode, backend="serial")
+
+    start = time.perf_counter()
+    serial_labels = annotator.annotate_many(decode, backend="serial")
+    serial_seconds = time.perf_counter() - start
+
+    def timed_process():
+        return annotator.annotate_many(decode, workers=WORKERS, backend="process")
+
+    start = time.perf_counter()
+    process_labels = run_once(benchmark, timed_process)
+    process_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / process_seconds
+    records = sum(len(sequence) for sequence in decode)
+    cores = os.cpu_count() or 1
+    print_report(
+        "Process-sharded annotate_many wall-clock",
+        "\n".join(
+            [
+                f"workload:  {len(decode)} sequences, {records} records",
+                f"cores:     {cores}",
+                f"serial:    {serial_seconds:8.3f} s"
+                f"  ({1e3 * serial_seconds / records:6.2f} ms/record)",
+                f"process:   {process_seconds:8.3f} s"
+                f"  (workers={WORKERS}, {1e3 * process_seconds / records:6.2f} ms/record)",
+                f"speedup:   {speedup:8.2f} x (floor: {MIN_SPEEDUP:.1f} x)",
+            ]
+        ),
+    )
+
+    assert serial_labels == warm_labels, "serial decode is not deterministic"
+    assert process_labels == serial_labels, (
+        "process-sharded decode disagrees with serial — the runtime is broken"
+    )
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} core(s): process sharding cannot beat serial here; "
+            "agreement was still asserted"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"process backend only {speedup:.2f}x faster on {cores} cores "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

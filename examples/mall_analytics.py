@@ -23,7 +23,7 @@ from repro.core import C2MNAnnotator, C2MNConfig
 from repro.evaluation.harness import ground_truth_semantics
 from repro.indoor import build_mall_space
 from repro.mobility.dataset import generate_dataset, train_test_split
-from repro.mobility.records import EVENT_PASS, EVENT_STAY
+from repro.mobility.records import EVENT_STAY
 from repro.queries import TkFRPQ, TkPRQ, top_k_precision
 
 

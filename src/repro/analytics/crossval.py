@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 from repro.evaluation.harness import EvaluationResult, MethodEvaluator
-from repro.evaluation.metrics import AccuracyScores
 from repro.mobility.dataset import AnnotationDataset, k_fold_splits
 
 

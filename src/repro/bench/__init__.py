@@ -1,0 +1,34 @@
+"""Machine-readable performance benchmarks (``python -m repro.bench``).
+
+This package is the repository's perf trajectory: it times the hot batch
+paths through every execution backend of :mod:`repro.runtime`, checks that
+all backends agree bitwise with the serial reference, and writes the
+measurements to a schema-versioned JSON report (``BENCH_runtime.json`` by
+default).  CI runs it at ``--tiny`` scale on every push, validates the
+output with ``tools/check_bench.py`` and uploads it as a workflow artifact,
+so regressions in the decode paths show up as numbers, not vibes.
+
+The report format is documented in ``docs/ARCHITECTURE.md`` (section
+"Benchmark reports") and enforced by :data:`REQUIRED_RESULT_KEYS` /
+``tools/check_bench.py``.
+"""
+
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    REPLICATION,
+    REQUIRED_RESULT_KEYS,
+    REQUIRED_TOP_KEYS,
+    build_workload,
+    run_runtime_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "REPLICATION",
+    "REQUIRED_RESULT_KEYS",
+    "REQUIRED_TOP_KEYS",
+    "build_workload",
+    "run_runtime_benchmarks",
+    "write_report",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.bench [--tiny] [--workers N] [--out PATH]``."""
+
+import sys
+
+from repro.bench.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""Build the runtime benchmark workload, time it, and emit the JSON report.
+
+The measured workload is deliberately the production shape: fit a C2MN on a
+training split, then ``annotate_many`` a decode set through each backend.
+The decode set replicates the test split a few times so even the tiny scale
+has enough sequences to shard meaningfully.  Every parallel run is compared
+bitwise against the serial labels — a backend that disagrees is broken, and
+the report records that as ``"agreement": false`` (which
+``tools/check_bench.py`` treats as a hard failure).
+
+Wall-clock numbers from shared CI runners are noisy by nature; the report
+therefore records the environment (CPU count, python, platform) next to the
+numbers, and the perf *assertions* live in ``benchmarks/test_perf_runtime.py``
+where they are gated on core count and the ``REPRO_PERF_FLOOR`` relaxation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.annotator import C2MNAnnotator
+from repro.core.config import C2MNConfig
+from repro.evaluation.experiments import ExperimentScale, build_real_style_dataset
+from repro.mobility.dataset import train_test_split
+
+#: Schema identifier written to (and required in) every report.
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Keys every report must carry at the top level.
+REQUIRED_TOP_KEYS = (
+    "schema",
+    "suite",
+    "created_at",
+    "python",
+    "platform",
+    "cpu_count",
+    "scale",
+    "workers",
+    "workload",
+    "results",
+)
+
+#: Keys every entry of ``results`` must carry.
+REQUIRED_RESULT_KEYS = (
+    "name",
+    "backend",
+    "workers",
+    "seconds",
+    "speedup_vs_serial",
+    "agreement",
+)
+
+#: How many times the test split is replicated into the decode workload —
+#: large enough that pool start-up and broadcast costs amortise away.
+REPLICATION = 8
+
+#: The model configuration shared by all benchmark runs (scaled-down fit).
+_BENCH_CONFIG = dict(max_iterations=3, mcmc_samples=6, lbfgs_iterations=4)
+
+
+def bench_annotator(space) -> C2MNAnnotator:
+    """An unfitted annotator with the benchmark model configuration."""
+    return C2MNAnnotator(space, config=C2MNConfig.fast(**_BENCH_CONFIG))
+
+
+def build_workload(
+    scale: Union[str, ExperimentScale] = "tiny",
+    *,
+    name: str = "bench",
+    replication: int = REPLICATION,
+):
+    """Build the canonical runtime benchmark workload.
+
+    Returns ``(annotator, decode, fit_seconds)``: a C2MN fitted on the
+    training half of a mall dataset at ``scale`` and the decode set (the
+    test half replicated ``replication`` times).  Shared by
+    :func:`run_runtime_benchmarks` and ``benchmarks/test_perf_runtime.py``
+    so the CI artifact and the asserted perf contract measure the same
+    workload.
+    """
+    dataset = build_real_style_dataset(_resolve_scale(scale), name=name)
+    train, test = train_test_split(dataset, train_fraction=0.5, seed=5)
+    decode = [labeled.sequence for labeled in test.sequences] * replication
+    annotator = bench_annotator(dataset.space)
+    fit_start = time.perf_counter()
+    annotator.fit(train.sequences)
+    fit_seconds = time.perf_counter() - fit_start
+    return annotator, decode, fit_seconds
+
+
+def _resolve_scale(scale: Union[str, ExperimentScale]) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    factories = {
+        "tiny": ExperimentScale.tiny,
+        "small": ExperimentScale.small,
+        "medium": ExperimentScale.medium,
+    }
+    if scale not in factories:
+        raise ValueError(f"scale must be one of {sorted(factories)}, got {scale!r}")
+    return factories[scale]()
+
+
+def _best_of(repeats: int, func) -> float:
+    """Minimum wall-clock over ``repeats`` runs (the least-noise estimator)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_runtime_benchmarks(
+    scale: Union[str, ExperimentScale] = "tiny",
+    *,
+    workers: int = 4,
+    repeats: int = 1,
+    scale_name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the runtime benchmark suite and return the report as a dict.
+
+    Times ``annotate_many`` through the serial, thread and process backends
+    plus a cold/warm pass with the derived-state cache attached, asserts
+    bitwise agreement of every variant with the serial labels, and packages
+    everything with the environment metadata the CI artifact needs.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    name = scale_name or (scale if isinstance(scale, str) else "custom")
+    annotator, decode, fit_seconds = build_workload(scale, name=f"bench-{name}")
+
+    # Warm the shared geometry caches (distance oracle, candidate queries) so
+    # the serial baseline is not penalised by first-touch costs the parallel
+    # runs then inherit through the broadcast annotator.
+    serial_labels = annotator.annotate_many(decode, backend="serial")
+
+    results: List[Dict[str, Any]] = []
+
+    def record(run_name: str, backend: str, run_workers: int, seconds: float,
+               serial_seconds: float, labels: Any) -> None:
+        results.append(
+            {
+                "name": run_name,
+                "backend": backend,
+                "workers": run_workers,
+                "seconds": round(seconds, 6),
+                "speedup_vs_serial": round(serial_seconds / seconds, 4)
+                if seconds > 0
+                else 0.0,
+                "agreement": labels == serial_labels,
+            }
+        )
+
+    serial_seconds = _best_of(
+        repeats, lambda: annotator.annotate_many(decode, backend="serial")
+    )
+    record("annotate_many", "serial", 1, serial_seconds, serial_seconds, serial_labels)
+
+    thread_out: List[Any] = []
+    thread_seconds = _best_of(
+        repeats,
+        lambda: thread_out.append(
+            annotator.annotate_many(decode, workers=workers, backend="thread")
+        ),
+    )
+    record("annotate_many", "thread", workers, thread_seconds, serial_seconds,
+           thread_out[-1])
+
+    process_out: List[Any] = []
+    process_seconds = _best_of(
+        repeats,
+        lambda: process_out.append(
+            annotator.annotate_many(decode, workers=workers, backend="process")
+        ),
+    )
+    record("annotate_many", "process", workers, process_seconds, serial_seconds,
+           process_out[-1])
+
+    # Derived-state cache: the "cold" pass starts empty (later replicas of a
+    # sequence already hit within the batch), the warm pass hits throughout.
+    cached = bench_annotator(annotator.space)
+    cached.enable_cache(max_entries=4 * len(decode))
+    cached._restore_weights(annotator.weights)
+    cold_start = time.perf_counter()
+    cold_labels = cached.annotate_many(decode, backend="serial")
+    cold_seconds = time.perf_counter() - cold_start
+    record("annotate_many_cached_cold", "serial", 1, cold_seconds, serial_seconds,
+           cold_labels)
+    warm_seconds = _best_of(
+        repeats, lambda: cached.annotate_many(decode, backend="serial")
+    )
+    warm_labels = cached.annotate_many(decode, backend="serial")
+    record("annotate_many_cached_warm", "serial", 1, warm_seconds, serial_seconds,
+           warm_labels)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "runtime",
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "scale": name,
+        "workers": workers,
+        "repeats": max(1, repeats),
+        "fit_seconds": round(fit_seconds, 6),
+        "workload": {
+            "sequences": len(decode),
+            "records": sum(len(sequence) for sequence in decode),
+            "replication": REPLICATION,
+        },
+        "results": results,
+    }
+
+
+def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a benchmark report as pretty-printed JSON; return the path."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """A short human-readable rendering of a report for terminal output."""
+    lines = [
+        f"suite={report['suite']} scale={report['scale']} "
+        f"workers={report['workers']} cpu_count={report['cpu_count']}",
+        f"workload: {report['workload']['sequences']} sequences, "
+        f"{report['workload']['records']} records "
+        f"(fit {report.get('fit_seconds', 0.0):.2f}s)",
+    ]
+    for entry in report["results"]:
+        lines.append(
+            f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
+            f"{entry['seconds']:8.3f}s  speedup {entry['speedup_vs_serial']:6.2f}x  "
+            f"agreement={'ok' if entry['agreement'] else 'FAIL'}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI driver of ``python -m repro.bench``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the runtime performance benchmarks and write a "
+        "schema-versioned JSON report (the CI perf artifact).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small", "medium"),
+        default="tiny",
+        help="workload scale (default: tiny, the CI setting)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_const",
+        const="tiny",
+        dest="scale",
+        help="shorthand for --scale tiny",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the thread/process runs (default: 4)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions per variant; best-of is reported (default: 1)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_runtime.json",
+        help="output path (default: BENCH_runtime.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_runtime_benchmarks(
+        args.scale, workers=args.workers, repeats=args.repeats
+    )
+    path = write_report(report, args.out)
+    print(format_summary(report))
+    print(f"wrote {path}")
+    if not all(entry["agreement"] for entry in report["results"]):
+        print("FAIL: at least one backend disagrees with the serial labels",
+              file=sys.stderr)
+        return 1
+    return 0

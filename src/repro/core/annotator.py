@@ -39,6 +39,12 @@ from repro.crf.model import C2MNModel
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.floorplan import IndoorSpace
 from repro.mobility.records import LabeledSequence, PositioningSequence
+from repro.runtime import (
+    DerivedStateCache,
+    config_fingerprint,
+    sequence_fingerprint,
+    space_fingerprint,
+)
 
 
 class C2MNAnnotator(AnnotatorBase):
@@ -50,6 +56,7 @@ class C2MNAnnotator(AnnotatorBase):
         *,
         config: Optional[C2MNConfig] = None,
         oracle: Optional[IndoorDistanceOracle] = None,
+        cache: Optional[DerivedStateCache] = None,
         name: str = "C2MN",
     ):
         super().__init__(space, config=config, name=name)
@@ -58,6 +65,13 @@ class C2MNAnnotator(AnnotatorBase):
         self._model = C2MNModel(self._extractor)
         self._engine = make_engine(self._model, self._config.engine)
         self._report: Optional[TrainingReport] = None
+        self._cache = cache
+        # Prepared state depends on the config AND the venue, so both go
+        # into the key — a cache shared across annotators on different
+        # spaces must never serve one venue's state to another.
+        self._config_key = (
+            f"{config_fingerprint(self._config)}:{space_fingerprint(space)}"
+        )
 
     # ------------------------------------------------------------ properties
     @property
@@ -72,6 +86,27 @@ class C2MNAnnotator(AnnotatorBase):
     @property
     def training_report(self) -> Optional[TrainingReport]:
         return self._report
+
+    @property
+    def cache(self) -> Optional[DerivedStateCache]:
+        """The derived-state cache, or ``None`` when caching is disabled."""
+        return self._cache
+
+    def enable_cache(self, max_entries: int = 256) -> DerivedStateCache:
+        """Attach (or return the existing) derived-state cache.
+
+        The cache memoises per-sequence preparation — density labels,
+        candidate queries, distances and the lazily built potential tables —
+        keyed by the config fingerprint and the raw sequence content, so
+        repeated decodes of the same sequences skip all label-independent
+        rebuild work.  The prepared state is weight-independent: refitting
+        the model does not invalidate it, while any config change changes
+        the key.  Worth enabling for streaming re-decodes and repeated
+        evaluation passes; pointless for one-shot batch decoding.
+        """
+        if self._cache is None:
+            self._cache = DerivedStateCache(max_entries=max_entries)
+        return self._cache
 
     @property
     def weights(self) -> np.ndarray:
@@ -95,11 +130,20 @@ class C2MNAnnotator(AnnotatorBase):
         return self._report
 
     # ------------------------------------------------------------- inference
+    def _prepared(self, sequence: PositioningSequence) -> SequenceData:
+        """Prepare ``sequence``, consulting the derived-state cache if attached."""
+        if self._cache is None:
+            return self._extractor.prepare(sequence)
+        key = f"prep:{self._config_key}:{sequence_fingerprint(sequence)}"
+        return self._cache.get_or_build(
+            key, lambda: self._extractor.prepare(sequence)
+        )
+
     def predict_labels(
         self, sequence: PositioningSequence
     ) -> Tuple[List[int], List[str]]:
         """Return the decoded region and event labels of one p-sequence."""
-        data = self._extractor.prepare(sequence)
+        data = self._prepared(sequence)
         return decode_icm(self._engine, data)
 
     # ----------------------------------------------------------- persistence
@@ -148,7 +192,7 @@ class C2MNAnnotator(AnnotatorBase):
         Useful as a sanity baseline and as the starting point the decoder
         refines; exposed for diagnostics and tests.
         """
-        data = self._extractor.prepare(sequence)
+        data = self._prepared(sequence)
         return initial_regions(data), initial_events(data)
 
     def prepare(self, sequence: PositioningSequence) -> SequenceData:

@@ -1,9 +1,18 @@
-"""Thread-pool mapping shared by the batch annotation and evaluation APIs."""
+"""Thin compatibility shim over :mod:`repro.runtime`.
+
+Historically this module owned the thread-pool mapping used by the batch
+annotation and evaluation APIs.  That role moved to the process-capable
+:class:`repro.runtime.Executor`; ``map_with_workers`` remains as a stable
+alias so existing callers (and downstream code written against the old
+seed) keep working unchanged — including the original validation contract,
+which is now enforced uniformly for every batch size.
+"""
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.runtime import Executor
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -13,17 +22,17 @@ def map_with_workers(
     func: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
     workers: Optional[int],
+    *,
+    backend: str = "thread",
 ) -> List[ResultT]:
-    """Map ``func`` over ``items``, optionally through a thread pool.
+    """Map ``func`` over ``items`` through a :class:`repro.runtime.Executor`.
 
-    ``workers`` of ``None`` or 1 (or a batch of at most one item) runs
-    serially; larger counts fan out over a :class:`ThreadPoolExecutor`.
-    Results always come back in input order regardless of completion order.
-    ``func`` must be thread-safe when ``workers`` exceeds 1.
+    ``workers`` of ``None`` or 1 runs serially; larger counts fan out over
+    the selected ``backend`` (``"thread"`` by default, matching the
+    historical behaviour; ``"serial"`` and ``"process"`` are also
+    accepted).  Results always come back in input order.  Invalid
+    ``workers`` values (< 1) raise :class:`ValueError` regardless of the
+    batch size.  ``func`` must be thread-safe for the thread backend and
+    picklable for the process backend.
     """
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be at least 1")
-    if workers is None or workers == 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(func, items))
+    return Executor(backend=backend, workers=workers).map(func, items)

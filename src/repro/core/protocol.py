@@ -36,8 +36,8 @@ from typing import (
 
 from repro.core.config import C2MNConfig
 from repro.core.merge import merge_record_labels
-from repro.core.parallel import map_with_workers
 from repro.indoor.floorplan import IndoorSpace
+from repro.runtime import Executor
 from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
 
 
@@ -79,6 +79,7 @@ class Annotator(Protocol):
         sequences: Sequence[PositioningSequence],
         *,
         workers: Optional[int] = None,
+        backend: str = "thread",
     ) -> List[Tuple[List[int], List[str]]]: ...
 
     def annotate_many(
@@ -86,6 +87,7 @@ class Annotator(Protocol):
         sequences: Sequence[PositioningSequence],
         *,
         workers: Optional[int] = None,
+        backend: str = "thread",
         region_grouping: Optional[Dict[int, int]] = None,
     ) -> List[List[MSemantics]]: ...
 
@@ -176,27 +178,35 @@ class AnnotatorBase(ABC):
         sequences: Sequence[PositioningSequence],
         *,
         workers: Optional[int] = None,
+        backend: str = "thread",
     ) -> List[Tuple[List[int], List[str]]]:
         """Decode a collection of p-sequences, optionally in parallel.
 
-        ``workers`` > 1 decodes with a thread pool; results are returned in
-        input order regardless of completion order.
+        ``workers`` > 1 fans out over ``backend``: ``"thread"`` (the
+        default, matching the historical behaviour), ``"serial"`` or
+        ``"process"``.  The process backend shards the sequences across
+        worker processes and broadcasts this annotator to each worker once
+        per pool — the only way GIL-bound decoding scales with cores.
+        Results are returned in input order regardless of completion order
+        and are identical across backends.
         """
-        return map_with_workers(self.predict_labels, sequences, workers)
+        executor = Executor(backend=backend, workers=workers)
+        return executor.map_broadcast(self, "predict_labels", sequences)
 
     def annotate_many(
         self,
         sequences: Sequence[PositioningSequence],
         *,
         workers: Optional[int] = None,
+        backend: str = "thread",
         region_grouping: Optional[Dict[int, int]] = None,
     ) -> List[List[MSemantics]]:
         """Annotate a collection of p-sequences, optionally in parallel.
 
-        Same threading model and ordering guarantee as
+        Same execution model and ordering guarantee as
         :meth:`predict_labels_many`.
         """
-        def annotate_one(sequence: PositioningSequence) -> List[MSemantics]:
-            return self.annotate(sequence, region_grouping=region_grouping)
-
-        return map_with_workers(annotate_one, sequences, workers)
+        executor = Executor(backend=backend, workers=workers)
+        return executor.map_broadcast(
+            self, "annotate", sequences, region_grouping=region_grouping
+        )

@@ -18,7 +18,7 @@ expensive region-distance cache is reused across variants.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.annotator import C2MNAnnotator
 from repro.core.config import C2MNConfig

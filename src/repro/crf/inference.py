@@ -31,7 +31,6 @@ import numpy as np
 from repro.clustering.stdbscan import DENSITY_NOISE
 from repro.crf.engine import InferenceEngine
 from repro.crf.features import SequenceData
-from repro.crf.model import EVENT_DOMAIN
 from repro.mobility.records import EVENT_PASS, EVENT_STAY
 
 

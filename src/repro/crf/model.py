@@ -16,14 +16,12 @@ domain.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.crf.cliques import CliqueTemplates, WeightLayout, segment_containing, segments_of_labels
 from repro.crf.features import EVENT_ORDER, FeatureExtractor, SequenceData
-from repro.mobility.records import EVENT_PASS, EVENT_STAY
 
 #: The event label domain, in the fixed order every engine tabulates against.
 EVENT_DOMAIN: Tuple[str, str] = EVENT_ORDER

@@ -35,7 +35,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.config import C2MNConfig
 from repro.core.variants import make_annotator
 from repro.evaluation.harness import EvaluationResult, MethodEvaluator, ground_truth_semantics
-from repro.evaluation.metrics import AccuracyScores
 from repro.indoor.builders import build_mall_space, build_office_building
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.floorplan import IndoorSpace
@@ -191,11 +190,17 @@ def run_accuracy_comparison(
     config: Optional[C2MNConfig] = None,
     train_fraction: float = 0.7,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> List[EvaluationResult]:
-    """Table IV: labeling accuracy of every compared method on one split."""
+    """Table IV: labeling accuracy of every compared method on one split.
+
+    ``workers``/``backend`` shard the test-set labeling of each method —
+    ``backend="process"`` spreads the decode across cores.
+    """
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator()
+    evaluator = MethodEvaluator(workers=workers, backend=backend)
     annotators = build_methods(methods, dataset.space, cfg)
     return evaluator.evaluate_many(annotators, train.sequences, test.sequences)
 
@@ -210,11 +215,15 @@ def run_training_fraction_sweep(
     methods: Sequence[str] = C2MN_FAMILY,
     config: Optional[C2MNConfig] = None,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[float, EvaluationResult]]:
     """Figures 5, 6 and 10: accuracy and training time vs training fraction."""
     cfg = config if config is not None else C2MNConfig.fast()
     results: Dict[str, Dict[float, EvaluationResult]] = {name: {} for name in methods}
-    evaluator = MethodEvaluator(keep_predictions=False)
+    evaluator = MethodEvaluator(
+        keep_predictions=False, workers=workers, backend=backend
+    )
     for fraction in fractions:
         train, test = train_test_split(dataset, train_fraction=fraction, seed=seed)
         annotators = build_methods(methods, dataset.space, cfg)
@@ -236,6 +245,8 @@ def run_mcmc_sweep(
     config: Optional[C2MNConfig] = None,
     train_fraction: float = 0.7,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[int, EvaluationResult]]:
     """Figures 7 and 8: RA and EA versus the number M of MCMC instances.
 
@@ -245,7 +256,9 @@ def run_mcmc_sweep(
     """
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator(keep_predictions=False)
+    evaluator = MethodEvaluator(
+        keep_predictions=False, workers=workers, backend=backend
+    )
     results: Dict[str, Dict[int, EvaluationResult]] = {name: {} for name in methods}
     for count in sample_counts:
         swept = replace(cfg, mcmc_samples=count)
@@ -360,6 +373,8 @@ def run_query_precision(
     setting: QuerySetting = QuerySetting(),
     train_fraction: float = 0.7,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[float, Tuple[float, float]]]:
     """Figures 12 and 13: TkPRQ/TkFRPQ precision versus the query interval QT.
 
@@ -369,7 +384,7 @@ def run_query_precision(
     """
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator()
+    evaluator = MethodEvaluator(workers=workers, backend=backend)
     annotators = build_methods(methods, dataset.space, cfg)
     results = evaluator.evaluate_many(annotators, train.sequences, test.sequences)
     truth = ground_truth_semantics(test.sequences)
@@ -404,6 +419,8 @@ def run_sparsity_sweep(
     query_interval: float = 1200.0,
     train_fraction: float = 0.7,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     """Figures 14–16: PA and query precision versus the maximum period T."""
     return _synthetic_sweep(
@@ -417,6 +434,8 @@ def run_sparsity_sweep(
         query_interval=query_interval,
         train_fraction=train_fraction,
         seed=seed,
+        workers=workers,
+        backend=backend,
     )
 
 
@@ -431,6 +450,8 @@ def run_error_sweep(
     query_interval: float = 1200.0,
     train_fraction: float = 0.7,
     seed: int = 17,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     """Figures 17–19: PA and query precision versus the positioning error μ."""
     return _synthetic_sweep(
@@ -444,6 +465,8 @@ def run_error_sweep(
         query_interval=query_interval,
         train_fraction=train_fraction,
         seed=seed,
+        workers=workers,
+        backend=backend,
     )
 
 
@@ -459,12 +482,14 @@ def _synthetic_sweep(
     query_interval: float,
     train_fraction: float,
     seed: int,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     cfg = config if config is not None else C2MNConfig.fast(uncertainty_radius=10.0)
     venue = build_office_building(
         floors=max(2, scale.floors), rooms_per_side=max(6, scale.shops_per_side)
     )
-    evaluator = MethodEvaluator()
+    evaluator = MethodEvaluator(workers=workers, backend=backend)
     outcome: Dict[str, Dict[float, Dict[str, float]]] = {name: {} for name in methods}
     for value in sweep_values:
         max_period = value if sweep_is_period else fixed_error

@@ -8,9 +8,11 @@ experiments, and record wall-clock timings.
 Methods are consumed through the :class:`repro.core.protocol.Annotator`
 protocol, so every C2MN variant and every baseline is handled identically.
 With ``workers=N`` the test sequences are labeled through the method's own
-``predict_labels_many`` thread pool (predictions keep input order); methods
-labeled this way must be thread-safe for prediction — everything derived
-from :class:`repro.core.protocol.AnnotatorBase` is.
+``predict_labels_many`` on the selected execution ``backend`` (predictions
+keep input order): ``"thread"`` requires thread-safe prediction —
+everything derived from :class:`repro.core.protocol.AnnotatorBase` is —
+while ``"process"`` shards the test set across worker processes, which is
+what actually scales the GIL-bound figure/table reproductions with cores.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.core.merge import merge_labeled_sequence
 from repro.core.protocol import Annotator
 from repro.evaluation.metrics import AccuracyScores, score_sequences
 from repro.mobility.records import LabeledSequence, MSemantics
+from repro.runtime import resolve_backend, validate_workers
 
 
 @dataclass
@@ -58,12 +61,13 @@ class MethodEvaluator:
         tradeoff: float = 0.7,
         keep_predictions: bool = True,
         workers: Optional[int] = None,
+        backend: str = "thread",
     ):
-        if workers is not None and workers < 1:
-            raise ValueError("workers must be at least 1")
+        validate_workers(workers)
         self.tradeoff = tradeoff
         self.keep_predictions = keep_predictions
         self.workers = workers
+        self.backend = resolve_backend(backend)
 
     def evaluate(
         self,
@@ -86,7 +90,9 @@ class MethodEvaluator:
         semantics: List[List[MSemantics]] = []
         start = time.perf_counter()
         label_pairs = method.predict_labels_many(
-            [truth.sequence for truth in test_sequences], workers=self.workers
+            [truth.sequence for truth in test_sequences],
+            workers=self.workers,
+            backend=self.backend,
         )
         for truth, (regions, events) in zip(test_sequences, label_pairs):
             predicted = LabeledSequence(

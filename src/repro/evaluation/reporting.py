@@ -7,7 +7,7 @@ aligned text tables without any third-party dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Sequence, Union
 
 Number = Union[int, float]
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.geometry.point import IndoorPoint
-from repro.indoor.entities import Partition, SemanticRegion
 from repro.indoor.floorplan import IndoorSpace
 from repro.indoor.topology import AccessibilityGraph
 

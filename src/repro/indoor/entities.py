@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.geometry.point import IndoorPoint, Point
+from repro.geometry.point import IndoorPoint
 from repro.geometry.polygon import Polygon
 
 

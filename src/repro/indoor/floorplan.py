@@ -14,9 +14,9 @@ floorplans with thousands of partitions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional
 
-from repro.geometry.point import IndoorPoint, Point
+from repro.geometry.point import IndoorPoint
 from repro.geometry.polygon import BoundingBox
 from repro.geometry.rtree import RTree
 from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase

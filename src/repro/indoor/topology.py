@@ -17,11 +17,11 @@ all-pairs cost up front.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
-from repro.indoor.entities import Door, Staircase
+from repro.indoor.entities import Staircase
 from repro.indoor.floorplan import IndoorSpace
 
 

@@ -19,8 +19,8 @@ throughout training and evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import IndoorPoint
 

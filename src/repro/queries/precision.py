@@ -7,7 +7,7 @@ ranked answers treated as sets.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Set, TypeVar
+from typing import Sequence, Set, TypeVar
 
 T = TypeVar("T")
 

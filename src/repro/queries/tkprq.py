@@ -15,7 +15,7 @@ identically over batch output and in-flight streaming traffic.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.mobility.records import EVENT_STAY, MSemantics
 

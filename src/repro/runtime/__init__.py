@@ -1,0 +1,53 @@
+"""Process-sharded execution runtime.
+
+The runtime layer is the one place batch work is parallelised.  It offers:
+
+* :class:`Executor` — a backend-pluggable mapper (``"serial"``, ``"thread"``,
+  ``"process"``) with contiguous dataset sharding, ordered result gathering
+  and per-worker model broadcast (a fitted annotator is pickled to each pool
+  worker once per pool, not once per item);
+* :class:`DerivedStateCache` — a bounded, thread-safe LRU for expensive
+  derived state (prepared sequences with their potential tables), keyed by
+  content fingerprints so repeated decodes of the same model skip rebuilds;
+* the fingerprint helpers (:func:`config_fingerprint`,
+  :func:`sequence_fingerprint`, :func:`weights_fingerprint`) used to build
+  those keys.
+
+``repro.core.parallel`` is a thin shim over this package; the ``*_many``
+batch methods, the evaluation harness, the experiment runners and the
+service layer all accept a ``backend=`` selecting the execution strategy.
+"""
+
+from repro.runtime.cache import (
+    CacheStats,
+    DerivedStateCache,
+    config_fingerprint,
+    fingerprint,
+    sequence_fingerprint,
+    space_fingerprint,
+    weights_fingerprint,
+)
+from repro.runtime.executor import (
+    BACKEND_NAMES,
+    Executor,
+    map_sharded,
+    resolve_backend,
+    shard_indices,
+    validate_workers,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CacheStats",
+    "DerivedStateCache",
+    "Executor",
+    "config_fingerprint",
+    "fingerprint",
+    "map_sharded",
+    "resolve_backend",
+    "sequence_fingerprint",
+    "shard_indices",
+    "space_fingerprint",
+    "validate_workers",
+    "weights_fingerprint",
+]

@@ -1,0 +1,204 @@
+"""Content-fingerprint-keyed cache for expensive derived state.
+
+Decoding a p-sequence pays for label-independent preparation before any
+inference happens: ST-DBSCAN density labels, candidate-region queries,
+per-step distances, and — on the vectorized engine — the potential tables.
+All of it depends only on the model configuration, the venue and the raw
+sequence, so it can be reused whenever the same model decodes the same
+sequence again (streaming re-decodes, repeated experiment runs, agreement
+checks between execution backends).
+
+:class:`DerivedStateCache` is a bounded, thread-safe LRU mapping content
+fingerprints to built state.  Keys are produced by the fingerprint helpers
+below: :func:`config_fingerprint` hashes every field of a
+:class:`~repro.core.config.C2MNConfig`, :func:`sequence_fingerprint` hashes
+the raw records of a p-sequence, :func:`weights_fingerprint` hashes a weight
+vector.  Two configs (or sequences) with equal content produce equal keys
+across processes and sessions — the keys are stable hashes, not ``id()``.
+
+Pickling a cache (e.g. inside an annotator broadcast to process-pool
+workers) transfers only its settings, never its entries: workers start
+cold rather than shipping megabytes of derived tables through the pipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Any, Callable, Dict, Optional
+
+#: Default entry bound — roughly one small evaluation split per model.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def fingerprint(*parts: Any) -> str:
+    """A stable hex digest over heterogeneous parts.
+
+    Strings and bytes hash as their raw bytes; everything else hashes as its
+    ``repr``.  Part boundaries are length-prefixed so ``("ab", "c")`` and
+    ``("a", "bc")`` cannot collide.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, bytes):
+            blob = part
+        elif isinstance(part, str):
+            blob = part.encode("utf-8")
+        else:
+            blob = repr(part).encode("utf-8")
+        digest.update(struct.pack("<Q", len(blob)))
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: Any) -> str:
+    """Fingerprint a configuration dataclass by its full field contents."""
+    if is_dataclass(config) and not isinstance(config, type):
+        fields: Dict[str, Any] = asdict(config)
+        return fingerprint(type(config).__name__, sorted(fields.items()))
+    return fingerprint(type(config).__name__, config)
+
+
+def sequence_fingerprint(sequence: Any) -> str:
+    """Fingerprint a p-sequence by object id and raw record content."""
+    blob = bytearray()
+    for record in sequence:
+        location = record.location
+        blob += struct.pack(
+            "<dddq", location.x, location.y, record.timestamp, location.floor
+        )
+    return fingerprint(getattr(sequence, "object_id", ""), bytes(blob))
+
+
+def space_fingerprint(space: Any) -> str:
+    """Fingerprint an indoor space by its semantic-region content.
+
+    Hashes, per region: id, name, floor, owning partitions and the vertices
+    of every geometry — the exact inputs the label-independent preparation
+    (candidate queries, overlaps, distances) depends on.  Two venues that
+    differ anywhere a decode could notice produce different digests, so a
+    :class:`DerivedStateCache` shared across annotators on different venues
+    never serves one venue's prepared state to another.
+    """
+    blob = bytearray()
+    for region in getattr(space, "regions", []):
+        header = f"{region.region_id}|{region.name}|{region.floor}|{region.partition_ids}"
+        blob += header.encode("utf-8")
+        for geometry in getattr(region, "geometries", []):
+            for vertex in getattr(geometry, "vertices", []):
+                blob += struct.pack("<dd", vertex.x, vertex.y)
+    return fingerprint(type(space).__name__, bytes(blob))
+
+
+def weights_fingerprint(weights: Any) -> str:
+    """Fingerprint a weight vector (NumPy array or sequence of floats)."""
+    tobytes = getattr(weights, "tobytes", None)
+    if tobytes is not None:
+        return fingerprint(getattr(weights, "shape", None), tobytes())
+    return fingerprint(tuple(float(w) for w in weights))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`DerivedStateCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DerivedStateCache:
+    """Bounded thread-safe LRU from content fingerprints to derived state.
+
+    ``get_or_build(key, builder)`` is the primary interface: it returns the
+    cached value for ``key`` or invokes ``builder()`` and caches the result.
+    The builder runs outside the lock, so a slow build never blocks other
+    threads' lookups; if two threads race to build the same key, the first
+    stored value wins and both callers observe it on their next lookup.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the value for ``key`` (refreshing recency) or ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert ``key`` → ``value``, evicting the least recent on overflow."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = builder()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries; the counters keep accumulating."""
+        with self._lock:
+            self._entries.clear()
+
+    # ----------------------------------------------------------- persistence
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle only the settings — entries and counters stay behind."""
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(max_entries=state.get("max_entries", DEFAULT_MAX_ENTRIES))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DerivedStateCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.protocol import Annotator
 from repro.mobility.records import MSemantics, PositioningSequence
+from repro.runtime import resolve_backend
 from repro.queries.tkfrpq import RegionPair, TkFRPQ
 from repro.queries.tkprq import TkPRQ
 from repro.service.session import StreamSession
@@ -49,6 +50,7 @@ class AnnotationService:
         store: Optional[SemanticsStore] = None,
         window: int = DEFAULT_WINDOW,
         guard: Optional[int] = None,
+        backend: str = "thread",
     ):
         if not annotator.is_fitted:
             raise ValueError(
@@ -61,6 +63,7 @@ class AnnotationService:
         self.store = store if store is not None else SemanticsStore()
         self.window = window
         self.guard = guard
+        self.backend = resolve_backend(backend)
         self._sessions: Dict[str, StreamSession] = {}
 
     # -------------------------------------------------------------- sessions
@@ -120,13 +123,23 @@ class AnnotationService:
         sequences: Sequence[PositioningSequence],
         *,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> List[List[MSemantics]]:
         """Annotate complete p-sequences and publish them to the store.
 
         The batch counterpart of the streaming path — same store, same query
-        surface — for backfilling historical traffic.
+        surface — for backfilling historical traffic.  ``backend`` defaults
+        to the service-level setting; ``backend="process"`` shards the
+        decode across worker processes (the annotator is broadcast to each
+        worker once per pool), which is how large backfills use every core.
+        Streaming sessions always decode in-process: their incremental
+        windows are far too small to amortise inter-process dispatch.
         """
-        semantics = self.annotator.annotate_many(sequences, workers=workers)
+        semantics = self.annotator.annotate_many(
+            sequences,
+            workers=workers,
+            backend=self.backend if backend is None else backend,
+        )
         for sequence, entries in zip(sequences, semantics):
             self.store.publish(sequence.object_id, entries)
         return semantics
@@ -170,6 +183,7 @@ class AnnotationService:
             "format": SERVICE_FORMAT,
             "window": self.window,
             "guard": self.guard,
+            "backend": self.backend,
             "annotator": annotator_to_dict(self.annotator),
         }
         Path(path).write_text(json.dumps(payload))
@@ -202,6 +216,7 @@ class AnnotationService:
             store=store,
             window=payload.get("window", cls.DEFAULT_WINDOW),
             guard=payload.get("guard"),
+            backend=payload.get("backend", "thread"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

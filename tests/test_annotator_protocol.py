@@ -145,8 +145,76 @@ class TestBatchContract:
         assert fitted_method.predict_labels_many([]) == []
         assert fitted_method.annotate_many([]) == []
 
-    def test_invalid_workers_rejected(self, fitted_method, small_split):
+    @pytest.mark.parametrize("bad_workers", [0, -1])
+    def test_invalid_workers_rejected(self, fitted_method, small_split, bad_workers):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        # Uniformly invalid regardless of batch size: full batch, single item
+        # (historically short-circuited past validation) and empty batch.
+        for batch in (sequences, sequences[:1], []):
+            with pytest.raises(ValueError):
+                fitted_method.predict_labels_many(batch, workers=bad_workers)
+            with pytest.raises(ValueError):
+                fitted_method.annotate_many(batch, workers=bad_workers)
+
+    def test_invalid_backend_rejected(self, fitted_method, small_split):
         _, test = small_split
         sequences = [labeled.sequence for labeled in test.sequences]
         with pytest.raises(ValueError):
-            fitted_method.predict_labels_many(sequences, workers=0)
+            fitted_method.predict_labels_many(sequences, backend="gpu")
+
+
+class TestProcessBackendDeterminism:
+    """Sharded process decoding must be bitwise-identical to the serial path.
+
+    Runs over the same parametrized ``fitted_method`` fixture as the rest of
+    the conformance suite, so C2MN, every structural variant and every
+    baseline is checked at several worker counts.
+    """
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_predict_labels_many_process_matches_serial(
+        self, fitted_method, small_split, workers
+    ):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        serial = fitted_method.predict_labels_many(sequences, backend="serial")
+        sharded = fitted_method.predict_labels_many(
+            sequences, workers=workers, backend="process"
+        )
+        assert sharded == serial
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_annotate_many_process_matches_serial(
+        self, fitted_method, small_split, workers
+    ):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        serial = fitted_method.annotate_many(sequences, backend="serial")
+        sharded = fitted_method.annotate_many(
+            sequences, workers=workers, backend="process"
+        )
+        assert sharded == serial
+
+    def test_annotate_many_process_with_region_grouping(
+        self, fitted_method, small_split, small_space
+    ):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        grouping = {region_id: region_id for region_id in small_space.region_ids}
+        serial = fitted_method.annotate_many(
+            sequences, backend="serial", region_grouping=grouping
+        )
+        sharded = fitted_method.annotate_many(
+            sequences, workers=2, backend="process", region_grouping=grouping
+        )
+        assert sharded == serial
+
+    def test_thread_backend_matches_serial(self, fitted_method, small_split):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences]
+        serial = fitted_method.predict_labels_many(sequences, backend="serial")
+        threaded = fitted_method.predict_labels_many(
+            sequences, workers=3, backend="thread"
+        )
+        assert threaded == serial

@@ -9,7 +9,6 @@ from repro.geometry.point import IndoorPoint
 from repro.mobility.records import (
     EVENT_PASS,
     EVENT_STAY,
-    LabeledSequence,
     PositioningRecord,
     PositioningSequence,
 )

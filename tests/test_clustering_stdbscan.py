@@ -9,7 +9,7 @@ from repro.clustering.stdbscan import (
     STDBSCAN,
 )
 from repro.geometry.point import IndoorPoint
-from repro.mobility.records import PositioningRecord, PositioningSequence
+from repro.mobility.records import PositioningRecord
 
 
 def _records(points):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import C2MNAnnotator, C2MNConfig, make_annotator, make_cmn, make_variant
+from repro.core import C2MNAnnotator, make_annotator, make_cmn, make_variant
 from repro.core.merge import merge_labeled_sequence, merge_record_labels
 from repro.core.variants import VARIANT_NAMES
 from repro.evaluation.metrics import score_sequences

@@ -1,6 +1,5 @@
 """Tests for the eight feature functions and sequence preparation."""
 
-import math
 
 import numpy as np
 import pytest
@@ -128,7 +127,6 @@ class TestSynchronizationFeatures:
 
     def test_fsc_prefers_consistent_region_pair(self, extractor, small_space):
         """A short observed step should favour region pairs that are close."""
-        config = extractor.config
         records = [
             PositioningRecord(IndoorPoint(4.0, 6.0, 0), 0.0),
             PositioningRecord(IndoorPoint(6.0, 6.0, 0), 10.0),

@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import C2MNConfig
-from repro.crf.cliques import CliqueTemplates, WeightLayout
 from repro.crf.features import FeatureExtractor
-from repro.crf.inference import initial_events, initial_regions
 from repro.crf.model import C2MNModel, EVENT_DOMAIN
 from repro.mobility.records import EVENT_PASS, EVENT_STAY
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import SMoTAnnotator
 from repro.evaluation.harness import EvaluationResult, MethodEvaluator, ground_truth_semantics
-from repro.evaluation.metrics import AccuracyScores, evaluate_labels, score_sequences
+from repro.evaluation.metrics import evaluate_labels, score_sequences
 from repro.evaluation.reporting import format_series, format_table
 from repro.geometry.point import IndoorPoint
 from repro.mobility.records import (

@@ -12,7 +12,6 @@ All three are implemented behind configuration switches; these tests pin the
 semantics of each extension.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for repro.geometry.polygon."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ held-out set, merge labels into m-semantics and answer queries — and check
 the qualitative claims (joint labeling helps, density beats speed for events).
 """
 
-import pytest
 
 from repro.baselines import SMoTAnnotator
 from repro.core import C2MNAnnotator, C2MNConfig, make_cmn

@@ -1,6 +1,5 @@
 """Tests for the waypoint simulator and the positioning-error model."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Validate benchmark reports (``BENCH_*.json``) against the bench schema.
+
+The CI ``bench`` job runs ``python -m repro.bench --tiny`` and then this
+validator; a malformed report — wrong schema version, missing keys, bad
+types, or any backend disagreeing with the serial labels — fails the job,
+so the uploaded perf artifact is always machine-readable and trustworthy.
+
+Usage::
+
+    python tools/check_bench.py BENCH_runtime.json [more.json ...]
+    python tools/check_bench.py            # validates every BENCH_*.json in cwd
+
+Exit status is 0 when every file validates, 1 otherwise.  Wall-clock
+*floors* are deliberately not enforced here (shared runners are noisy and
+single-core machines cannot show a process speedup); those assertions live
+in ``benchmarks/test_perf_runtime.py`` behind a core-count gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import (  # noqa: E402  (path bootstrap above)
+    BENCH_SCHEMA,
+    REQUIRED_RESULT_KEYS,
+    REQUIRED_TOP_KEYS,
+)
+from repro.runtime import BACKEND_NAMES  # noqa: E402
+
+_TOP_TYPES = {
+    "schema": str,
+    "suite": str,
+    "created_at": str,
+    "python": str,
+    "platform": str,
+    "cpu_count": int,
+    "scale": str,
+    "workers": int,
+    "workload": dict,
+    "results": list,
+}
+
+
+def validate_report(report: object, origin: str) -> list:
+    """Return a list of problem strings for one parsed report (empty = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return [f"{origin}: top level must be a JSON object"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in report:
+            problems.append(f"{origin}: missing top-level key {key!r}")
+        elif not isinstance(report[key], _TOP_TYPES[key]):
+            problems.append(
+                f"{origin}: key {key!r} must be {_TOP_TYPES[key].__name__}, "
+                f"got {type(report[key]).__name__}"
+            )
+    if problems:
+        return problems
+
+    if report["schema"] != BENCH_SCHEMA:
+        problems.append(
+            f"{origin}: unknown schema {report['schema']!r} "
+            f"(this validator understands {BENCH_SCHEMA!r})"
+        )
+    workload = report["workload"]
+    for key in ("sequences", "records"):
+        value = workload.get(key)
+        if not isinstance(value, int) or value < 1:
+            problems.append(f"{origin}: workload.{key} must be a positive int")
+    if report["workers"] < 1:
+        problems.append(f"{origin}: workers must be at least 1")
+    if not report["results"]:
+        problems.append(f"{origin}: results must not be empty")
+
+    backends_seen = set()
+    for index, entry in enumerate(report["results"]):
+        where = f"{origin}: results[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in REQUIRED_RESULT_KEYS:
+            if key not in entry:
+                problems.append(f"{where} missing key {key!r}")
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            problems.append(f"{where}: name must be a non-empty string")
+        if entry.get("backend") not in BACKEND_NAMES:
+            problems.append(
+                f"{where}: backend must be one of {BACKEND_NAMES}, "
+                f"got {entry.get('backend')!r}"
+            )
+        if not isinstance(entry.get("workers"), int) or entry.get("workers", 0) < 1:
+            problems.append(f"{where}: workers must be a positive int")
+        for key in ("seconds", "speedup_vs_serial"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value <= 0:
+                problems.append(f"{where}: {key} must be a positive number")
+        if entry.get("agreement") is not True:
+            problems.append(
+                f"{where}: agreement must be true — a parallel backend "
+                "disagreeing with the serial labels is a correctness bug"
+            )
+        backends_seen.add(entry.get("backend"))
+
+    if "serial" not in backends_seen:
+        problems.append(f"{origin}: no serial baseline entry in results")
+    if "process" not in backends_seen:
+        problems.append(f"{origin}: no process-backend entry in results")
+    return problems
+
+
+def check_file(path: Path) -> list:
+    """Parse and validate one report file; return its problem list."""
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable or invalid JSON ({error})"]
+    return validate_report(report, str(path))
+
+
+def main(argv: list) -> int:
+    paths = [Path(arg) for arg in argv]
+    if not paths:
+        paths = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not paths:
+        print("FAIL no BENCH_*.json files found (and none given)", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        if not path.exists():
+            print(f"FAIL missing report file: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {problem}", file=sys.stderr)
+        else:
+            report = json.loads(path.read_text(encoding="utf-8"))
+            print(
+                f"ok   {path} ({report['suite']}, scale={report['scale']}, "
+                f"{len(report['results'])} result rows)"
+            )
+    if failures:
+        print(f"bench-check: {failures} invalid file(s)", file=sys.stderr)
+        return 1
+    print(f"bench-check: {len(paths)} file(s) schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
