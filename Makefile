@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf bench-json bench-check docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check scenarios coverage docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -23,6 +23,22 @@ bench-json:
 # Validate BENCH_*.json against the bench schema.
 bench-check:
 	$(PYTHON) tools/check_bench.py
+
+# List the scenario catalogue, then materialise the smallest scenario
+# end-to-end (simulate -> corrupt -> preprocess -> fit -> annotate).
+scenarios:
+	$(PYTHON) -m repro.scenarios --list
+	$(PYTHON) -m repro.scenarios --smoke
+
+# Tier-1 coverage. Uses pytest-cov when installed (the CI gate); otherwise
+# falls back to the dependency-free settrace approximation in tools/.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term --cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed; running tools/measure_coverage.py instead"; \
+		$(PYTHON) tools/measure_coverage.py --fail-under 85 -x -q; \
+	fi
 
 # Execute the python code blocks of README.md and docs/ARCHITECTURE.md.
 docs-check:

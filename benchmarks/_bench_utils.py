@@ -10,7 +10,8 @@ from __future__ import annotations
 import os
 
 from repro.core.config import C2MNConfig
-from repro.evaluation.experiments import ExperimentScale
+from repro.evaluation.experiments import ExperimentScale, mall_scenario_spec
+from repro.scenarios import Scenario
 
 SCALES = {
     "tiny": ExperimentScale.tiny(),
@@ -27,6 +28,17 @@ def bench_scale() -> ExperimentScale:
             f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}"
         )
     return SCALES[name]
+
+
+def bench_mall_scenario(name: str = "bench-mall") -> Scenario:
+    """Materialise the mall workload at the selected bench scale.
+
+    Goes through the same :func:`~repro.evaluation.experiments.mall_scenario_spec`
+    the experiment runners and the bench CLI use, so the benchmark fixtures
+    and the rest of the repository name one shared workload definition
+    instead of hand-building venues here.
+    """
+    return mall_scenario_spec(bench_scale(), name=name).materialize()
 
 
 def bench_config() -> C2MNConfig:

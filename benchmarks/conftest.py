@@ -24,9 +24,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _bench_utils import bench_config, bench_scale  # noqa: E402
-
-from repro.evaluation.experiments import build_real_style_dataset  # noqa: E402
+from _bench_utils import bench_config, bench_mall_scenario, bench_scale  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -40,6 +38,10 @@ def config():
 
 
 @pytest.fixture(scope="session")
-def mall_dataset(scale):
-    """The mall dataset shared by the real-data experiments (Tables III/IV, Figures 5–13)."""
-    return build_real_style_dataset(scale, name="bench-mall")
+def mall_dataset():
+    """The mall dataset shared by the real-data experiments (Tables III/IV, Figures 5–13).
+
+    Materialised through the scenario layer so benchmarks, tests and the
+    bench CLI share one workload definition.
+    """
+    return bench_mall_scenario().dataset

@@ -14,7 +14,10 @@ The package provides:
 * the compared baselines (SMoT, HMM+DC, SAPDV, SAPDA) — :mod:`repro.baselines`;
 * semantics-oriented queries (TkPRQ, TkFRPQ) — :mod:`repro.queries`;
 * the evaluation harness reproducing every table and figure of Section V —
-  :mod:`repro.evaluation` and the ``benchmarks/`` directory of the repository.
+  :mod:`repro.evaluation` and the ``benchmarks/`` directory of the repository;
+* a declarative scenario catalogue — named venue × mobility × device
+  workloads materialising deterministically with golden fingerprints —
+  :mod:`repro.scenarios` (``python -m repro.scenarios`` lists it).
 
 Quick start::
 

@@ -20,6 +20,7 @@ from repro.bench.runner import (
     REQUIRED_TOP_KEYS,
     build_workload,
     run_runtime_benchmarks,
+    run_scenario_benchmarks,
     write_report,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "REQUIRED_TOP_KEYS",
     "build_workload",
     "run_runtime_benchmarks",
+    "run_scenario_benchmarks",
     "write_report",
 ]

@@ -29,6 +29,8 @@ from repro.core.annotator import C2MNAnnotator
 from repro.core.config import C2MNConfig
 from repro.evaluation.experiments import ExperimentScale, build_real_style_dataset
 from repro.mobility.dataset import train_test_split
+from repro.scenarios import materialize as materialize_scenario
+from repro.scenarios import scenario_names
 
 #: Schema identifier written to (and required in) every report.
 BENCH_SCHEMA = "repro.bench/1"
@@ -221,6 +223,116 @@ def run_runtime_benchmarks(
     }
 
 
+def run_scenario_benchmarks(
+    names: Sequence[str],
+    *,
+    workers: int = 4,
+    repeats: int = 1,
+    seed: Optional[int] = None,
+    replication: int = 4,
+) -> Dict[str, Any]:
+    """Time the annotation pipeline over registered scenarios.
+
+    For every scenario: materialise it (timed), fit the benchmark C2MN on
+    half of it (timed), then ``annotate_many`` the replicated other half
+    through the serial and process backends with bitwise agreement checks.
+    The report shares the ``repro.bench/1`` schema with the classic runtime
+    suite — per-scenario rows land in ``results`` (named
+    ``<scenario>:annotate_many``) and materialise/fit timings plus the
+    content fingerprint land in the ``scenarios`` section, so the CI
+    artifact records when a scenario's workload drifts.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    if replication < 1:
+        raise ValueError(f"replication must be at least 1, got {replication}")
+    if not names:
+        raise ValueError("need at least one scenario name")
+    results: List[Dict[str, Any]] = []
+    details: List[Dict[str, Any]] = []
+    total_sequences = 0
+    total_records = 0
+
+    for name in names:
+        mat_start = time.perf_counter()
+        scenario = materialize_scenario(name, seed)
+        mat_seconds = time.perf_counter() - mat_start
+        train, test = train_test_split(scenario.dataset, train_fraction=0.5, seed=5)
+        decode = [labeled.sequence for labeled in test.sequences] * replication
+        annotator = bench_annotator(scenario.space)
+        fit_start = time.perf_counter()
+        annotator.fit(train.sequences)
+        fit_seconds = time.perf_counter() - fit_start
+
+        serial_labels = annotator.annotate_many(decode, backend="serial")
+        serial_seconds = _best_of(
+            repeats, lambda: annotator.annotate_many(decode, backend="serial")
+        )
+        results.append(
+            {
+                "name": f"{name}:annotate_many",
+                "backend": "serial",
+                "workers": 1,
+                "seconds": round(serial_seconds, 6),
+                "speedup_vs_serial": 1.0,
+                "agreement": True,
+            }
+        )
+        process_out: List[Any] = []
+        process_seconds = _best_of(
+            repeats,
+            lambda: process_out.append(
+                annotator.annotate_many(decode, workers=workers, backend="process")
+            ),
+        )
+        results.append(
+            {
+                "name": f"{name}:annotate_many",
+                "backend": "process",
+                "workers": workers,
+                "seconds": round(process_seconds, 6),
+                "speedup_vs_serial": round(serial_seconds / process_seconds, 4)
+                if process_seconds > 0
+                else 0.0,
+                "agreement": process_out[-1] == serial_labels,
+            }
+        )
+        details.append(
+            {
+                "name": name,
+                "seed": scenario.seed,
+                "fingerprint": scenario.fingerprint,
+                "materialize_seconds": round(mat_seconds, 6),
+                "fit_seconds": round(fit_seconds, 6),
+                "sequences": len(decode),
+                "records": sum(len(sequence) for sequence in decode),
+            }
+        )
+        total_sequences += len(decode)
+        total_records += sum(len(sequence) for sequence in decode)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "scenarios",
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "scale": "scenario",
+        "workers": workers,
+        "repeats": max(1, repeats),
+        "workload": {
+            "sequences": total_sequences,
+            "records": total_records,
+            "replication": replication,
+        },
+        "scenarios": details,
+        "results": results,
+    }
+
+
 def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
     """Write a benchmark report as pretty-printed JSON; return the path."""
     target = Path(path)
@@ -236,9 +348,18 @@ def format_summary(report: Dict[str, Any]) -> str:
         f"suite={report['suite']} scale={report['scale']} "
         f"workers={report['workers']} cpu_count={report['cpu_count']}",
         f"workload: {report['workload']['sequences']} sequences, "
-        f"{report['workload']['records']} records "
-        f"(fit {report.get('fit_seconds', 0.0):.2f}s)",
+        f"{report['workload']['records']} records"
+        + (
+            f" (fit {report['fit_seconds']:.2f}s)"
+            if "fit_seconds" in report
+            else ""
+        ),
     ]
+    for detail in report.get("scenarios", []):
+        lines.append(
+            f"  scenario {detail['name']:22s} materialise {detail['materialize_seconds']:6.3f}s  "
+            f"fit {detail['fit_seconds']:6.3f}s  fingerprint {detail['fingerprint'][:16]}"
+        )
     for entry in report["results"]:
         lines.append(
             f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
@@ -260,7 +381,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--scale",
         choices=("tiny", "small", "medium"),
-        default="tiny",
+        default=None,
         help="workload scale (default: tiny, the CI setting)",
     )
     parser.add_argument(
@@ -269,6 +390,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         const="tiny",
         dest="scale",
         help="shorthand for --scale tiny",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=sorted(scenario_names()) + ["all"],
+        help="benchmark a registered scenario instead of the classic runtime "
+        "workload (repeatable; 'all' runs the whole catalogue)",
     )
     parser.add_argument(
         "--workers",
@@ -284,14 +414,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_runtime.json",
-        help="output path (default: BENCH_runtime.json)",
+        default=None,
+        help="output path (default: BENCH_runtime.json, or "
+        "BENCH_scenarios.json with --scenario)",
     )
     args = parser.parse_args(argv)
+    if args.scenario and args.scale is not None:
+        parser.error("--scale/--tiny do not apply to --scenario runs")
+    if args.out is None:
+        args.out = "BENCH_scenarios.json" if args.scenario else "BENCH_runtime.json"
 
-    report = run_runtime_benchmarks(
-        args.scale, workers=args.workers, repeats=args.repeats
-    )
+    if args.scenario:
+        names = (
+            scenario_names()
+            if "all" in args.scenario
+            else list(dict.fromkeys(args.scenario))
+        )
+        report = run_scenario_benchmarks(
+            names, workers=args.workers, repeats=args.repeats
+        )
+    else:
+        report = run_runtime_benchmarks(
+            args.scale or "tiny", workers=args.workers, repeats=args.repeats
+        )
     path = write_report(report, args.out)
     print(format_summary(report))
     print(f"wrote {path}")

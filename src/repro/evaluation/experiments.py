@@ -30,18 +30,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import C2MNConfig
 from repro.core.variants import make_annotator
 from repro.evaluation.harness import EvaluationResult, MethodEvaluator, ground_truth_semantics
-from repro.indoor.builders import build_mall_space, build_office_building
+from repro.indoor.builders import build_office_building
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.floorplan import IndoorSpace
-from repro.mobility.dataset import AnnotationDataset, generate_dataset, train_test_split
+from repro.mobility.dataset import AnnotationDataset, train_test_split
 from repro.queries.precision import top_k_precision
 from repro.queries.tkfrpq import TkFRPQ
 from repro.queries.tkprq import TkPRQ
+from repro.scenarios import DeviceSpec, MobilitySpec, ScenarioSpec, VenueSpec
+from repro.scenarios import materialize as materialize_scenario
+
+#: Runners accept a prepared dataset or the name of a registered scenario.
+DatasetOrScenario = Union[AnnotationDataset, str]
 
 #: Method names in the order of the paper's Table IV.
 TABLE4_METHODS = (
@@ -93,23 +98,82 @@ class ExperimentScale:
 # --------------------------------------------------------------------------
 # Dataset construction (Tables III and V)
 # --------------------------------------------------------------------------
+def resolve_dataset(
+    dataset: DatasetOrScenario, *, seed: Optional[int] = None
+) -> AnnotationDataset:
+    """Return ``dataset`` itself, or materialise it if it names a scenario.
+
+    Every experiment runner below funnels its ``dataset`` argument through
+    this helper, so ``run_accuracy_comparison("office-workday")`` and
+    ``run_accuracy_comparison(my_dataset)`` are equally valid.
+    """
+    if isinstance(dataset, AnnotationDataset):
+        return dataset
+    return materialize_scenario(dataset, seed).dataset
+
+
+def mall_scenario_spec(
+    scale: ExperimentScale = ExperimentScale.small(),
+    *,
+    name: str = "mall",
+) -> ScenarioSpec:
+    """The mall workload of one :class:`ExperimentScale` as a scenario spec.
+
+    This is the single definition of the "real-style" venue/dataset pair —
+    the experiment runners, the benchmarks and the bench CLI all construct
+    it here, so the hand-built copies that used to live in the test and
+    benchmark fixtures are gone.
+    """
+    return ScenarioSpec(
+        name=name,
+        venue=VenueSpec(
+            "mall",
+            params={"floors": scale.floors, "shops_per_side": scale.shops_per_side},
+        ),
+        mobility=MobilitySpec("waypoint"),
+        device=DeviceSpec(max_period=scale.max_period, error=scale.error),
+        objects=scale.objects,
+        duration=scale.duration,
+        min_duration=scale.min_duration,
+        seed=scale.seed,
+        description="Hangzhou-style mall at one experiment scale.",
+    )
+
+
+def office_scenario_spec(
+    *,
+    max_period: float,
+    error: float,
+    scale: ExperimentScale = ExperimentScale.small(),
+    name: Optional[str] = None,
+) -> ScenarioSpec:
+    """The Vita-like office workload for one (T, μ) setting as a scenario spec."""
+    return ScenarioSpec(
+        name=name or f"T{max_period:g}mu{error:g}",
+        venue=VenueSpec(
+            "office",
+            params={
+                "floors": max(2, scale.floors),
+                "rooms_per_side": max(6, scale.shops_per_side),
+            },
+        ),
+        mobility=MobilitySpec("waypoint"),
+        device=DeviceSpec(max_period=max_period, error=error),
+        objects=scale.objects,
+        duration=scale.duration,
+        min_duration=scale.min_duration,
+        seed=scale.seed,
+        description="Vita-like office building for one (T, mu) setting.",
+    )
+
+
 def build_real_style_dataset(
     scale: ExperimentScale = ExperimentScale.small(),
     *,
     name: str = "mall",
 ) -> AnnotationDataset:
     """Build the mall venue and its dataset (stand-in for the Hangzhou mall)."""
-    space = build_mall_space(floors=scale.floors, shops_per_side=scale.shops_per_side)
-    return generate_dataset(
-        space,
-        objects=scale.objects,
-        duration=scale.duration,
-        max_period=scale.max_period,
-        error=scale.error,
-        min_duration=scale.min_duration,
-        seed=scale.seed,
-        name=name,
-    )
+    return mall_scenario_spec(scale, name=name).materialize().dataset
 
 
 def build_synthetic_style_dataset(
@@ -120,24 +184,35 @@ def build_synthetic_style_dataset(
     space: Optional[IndoorSpace] = None,
     name: Optional[str] = None,
 ) -> AnnotationDataset:
-    """Build the Vita-like building dataset for one (T, μ) setting (Table V)."""
-    venue = space if space is not None else build_office_building(
-        floors=max(2, scale.floors), rooms_per_side=max(6, scale.shops_per_side)
+    """Build the Vita-like building dataset for one (T, μ) setting (Table V).
+
+    ``space`` reuses an already-built venue across the (T, μ) sweep — the
+    venue must match the spec's office parameters for the result to be the
+    same as a from-scratch materialisation.
+    """
+    spec = office_scenario_spec(
+        max_period=max_period, error=error, scale=scale, name=name
     )
+    if space is None:
+        return spec.materialize().dataset
+    from repro.mobility.dataset import generate_dataset
+
     return generate_dataset(
-        venue,
-        objects=scale.objects,
-        duration=scale.duration,
+        space,
+        objects=spec.objects,
+        duration=spec.duration,
         max_period=max_period,
         error=error,
-        min_duration=scale.min_duration,
-        seed=scale.seed,
-        name=name or f"T{max_period:g}mu{error:g}",
+        min_duration=spec.min_duration,
+        seed=spec.seed,
+        name=spec.name,
+        simulator=spec.mobility.build(space, spec.seed),
     )
 
 
-def real_dataset_statistics(dataset: AnnotationDataset) -> Dict[str, float]:
+def real_dataset_statistics(dataset: DatasetOrScenario) -> Dict[str, float]:
     """Table III analogue: statistics of the (simulated) real dataset."""
+    dataset = resolve_dataset(dataset)
     stats = dataset.statistics()
     stats.update(dataset.space.summary())
     return stats
@@ -184,7 +259,7 @@ def build_methods(
 
 
 def run_accuracy_comparison(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     methods: Sequence[str] = TABLE4_METHODS,
     config: Optional[C2MNConfig] = None,
@@ -196,8 +271,10 @@ def run_accuracy_comparison(
     """Table IV: labeling accuracy of every compared method on one split.
 
     ``workers``/``backend`` shard the test-set labeling of each method —
-    ``backend="process"`` spreads the decode across cores.
+    ``backend="process"`` spreads the decode across cores.  ``dataset`` may
+    be a prepared :class:`AnnotationDataset` or a registered scenario name.
     """
+    dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
     evaluator = MethodEvaluator(workers=workers, backend=backend)
@@ -209,7 +286,7 @@ def run_accuracy_comparison(
 # Training-fraction sweeps (Figures 5, 6 and 10)
 # --------------------------------------------------------------------------
 def run_training_fraction_sweep(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     fractions: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
     methods: Sequence[str] = C2MN_FAMILY,
@@ -219,6 +296,7 @@ def run_training_fraction_sweep(
     backend: str = "thread",
 ) -> Dict[str, Dict[float, EvaluationResult]]:
     """Figures 5, 6 and 10: accuracy and training time vs training fraction."""
+    dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     results: Dict[str, Dict[float, EvaluationResult]] = {name: {} for name in methods}
     evaluator = MethodEvaluator(
@@ -238,7 +316,7 @@ def run_training_fraction_sweep(
 # MCMC-instance sweep (Figures 7, 8)
 # --------------------------------------------------------------------------
 def run_mcmc_sweep(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     sample_counts: Sequence[int] = (4, 8, 16, 32),
     methods: Sequence[str] = C2MN_FAMILY,
@@ -254,6 +332,7 @@ def run_mcmc_sweep(
     proportionally to the reduced dataset size (the shape — saturation of RA
     as M grows, near-flat EA — is what the benchmarks check).
     """
+    dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
     evaluator = MethodEvaluator(
@@ -274,7 +353,7 @@ def run_mcmc_sweep(
 # Training-time sweeps (Figures 9, 10, 11)
 # --------------------------------------------------------------------------
 def run_training_time_sweep(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     max_iterations: Sequence[int] = (2, 4, 6, 8),
     methods: Sequence[str] = C2MN_FAMILY,
@@ -283,6 +362,7 @@ def run_training_time_sweep(
     seed: int = 17,
 ) -> Dict[str, Dict[int, float]]:
     """Figure 9: training time versus ``max_iter`` for the C2MN family."""
+    dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, _ = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
     times: Dict[str, Dict[int, float]] = {name: {} for name in methods}
@@ -297,7 +377,7 @@ def run_training_time_sweep(
 
 
 def run_first_configured_study(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     max_iterations: Sequence[int] = (2, 4, 6, 8),
     config: Optional[C2MNConfig] = None,
@@ -365,7 +445,7 @@ def query_precisions(
 
 
 def run_query_precision(
-    dataset: AnnotationDataset,
+    dataset: DatasetOrScenario,
     *,
     query_intervals: Sequence[float] = (600.0, 1200.0, 1800.0),
     methods: Sequence[str] = TABLE4_METHODS,
@@ -382,6 +462,7 @@ def run_query_precision(
     dataset's earliest timestamp (the paper uses 60/120/180 minutes of one
     day; the scaled datasets cover shorter spans).
     """
+    dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
     evaluator = MethodEvaluator(workers=workers, backend=backend)

@@ -19,13 +19,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.core.merge import merge_labeled_sequence
 from repro.core.protocol import Annotator
 from repro.evaluation.metrics import AccuracyScores, score_sequences
 from repro.mobility.records import LabeledSequence, MSemantics
 from repro.runtime import resolve_backend, validate_workers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios import Scenario
 
 
 @dataclass
@@ -126,6 +129,43 @@ class MethodEvaluator:
             self.evaluate(method, train_sequences, test_sequences)
             for method in methods
         ]
+
+    def evaluate_scenario(
+        self,
+        method: Annotator,
+        scenario: Union[str, Scenario],
+        *,
+        seed: Optional[int] = None,
+        train_fraction: float = 0.7,
+        split_seed: int = 17,
+        fit: bool = True,
+    ) -> EvaluationResult:
+        """Evaluate ``method`` on a scenario, by name or already materialised.
+
+        A ``str`` is materialised here (``seed`` overrides the spec default);
+        passing the ``Scenario`` you already materialised to build the method
+        avoids simulating the workload twice.  Either way the dataset is
+        split with ``train_fraction``/``split_seed`` and run through the
+        usual fit-and-score path.  The method must have been built over a
+        venue equal to the scenario's — typically via
+        ``make_annotator(name, scenario.space)``.
+        """
+        from repro.mobility.dataset import train_test_split
+        from repro.scenarios import materialize
+
+        if isinstance(scenario, str):
+            scenario = materialize(scenario, seed)
+        elif seed is not None and seed != scenario.seed:
+            raise ValueError(
+                f"seed={seed} conflicts with the already-materialised "
+                f"scenario {scenario.name!r} (seed {scenario.seed}); "
+                "pass the name to re-materialise"
+            )
+        dataset = scenario.dataset
+        train, test = train_test_split(
+            dataset, train_fraction=train_fraction, seed=split_seed
+        )
+        return self.evaluate(method, train.sequences, test.sequences, fit=fit)
 
 
 def ground_truth_semantics(

@@ -12,15 +12,20 @@ This subpackage implements the indoor-space model the paper relies on:
   and cached expected region-to-region distances used by the ``fst`` and
   ``fsc`` feature functions.
 * :mod:`repro.indoor.builders` — deterministic floorplan generators: a
-  multi-floor shopping mall (stand-in for the Hangzhou mall of Section V-B)
-  and a Vita-like office building (Section V-C).
+  multi-floor shopping mall (stand-in for the Hangzhou mall of Section V-B),
+  a Vita-like office building (Section V-C) and a transit-hub/hospital-style
+  concourse venue (scenario catalogue).
 """
 
 from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
 from repro.indoor.floorplan import IndoorSpace
 from repro.indoor.topology import AccessibilityGraph
 from repro.indoor.distance import IndoorDistanceOracle
-from repro.indoor.builders import build_mall_space, build_office_building
+from repro.indoor.builders import (
+    build_concourse_hub,
+    build_mall_space,
+    build_office_building,
+)
 
 __all__ = [
     "Door",
@@ -30,6 +35,7 @@ __all__ = [
     "IndoorSpace",
     "AccessibilityGraph",
     "IndoorDistanceOracle",
+    "build_concourse_hub",
     "build_mall_space",
     "build_office_building",
 ]

@@ -1,6 +1,6 @@
 """Deterministic floorplan builders.
 
-Two venues are needed to reproduce the paper's evaluation:
+Two venues reproduce the paper's evaluation; a third extends it:
 
 * **A multi-floor shopping mall** (stand-in for the seven-floor Hangzhou mall
   of Section V-B).  Each floor is a rectangular slab with a central hallway
@@ -11,8 +11,13 @@ Two venues are needed to reproduce the paper's evaluation:
   semantic regions).  Our builder produces the same style of venue: rooms
   along double-loaded corridors, a configurable fraction of rooms promoted to
   semantic regions, and staircases at the corridor ends.
+* **A transit-hub/hospital-style concourse** (scenario catalogue): large open
+  concourse halls with *few* doors between them and small bays (gates, wards)
+  along one edge.  The open halls are themselves semantic regions, so the
+  label space mixes big low-density regions with small dense ones — the
+  opposite geometry regime of the mall and office venues.
 
-Both builders are fully deterministic given their arguments so experiments are
+All builders are fully deterministic given their arguments so experiments are
 reproducible without storing floorplan files.
 """
 
@@ -367,6 +372,150 @@ def build_office_building(
                 partition_lower=lower_last,
                 partition_upper=upper_last,
                 travel_distance=10.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+def build_concourse_hub(
+    *,
+    floors: int = 1,
+    halls: int = 3,
+    bays_per_hall: int = 4,
+    hall_width: float = 30.0,
+    hall_depth: float = 24.0,
+    bay_width: float = 6.0,
+    bay_depth: float = 8.0,
+    name: str = "transit-hub",
+) -> IndoorSpace:
+    """Build a transit-hub/hospital-style venue of large open concourses.
+
+    Layout per floor (plan view)::
+
+        +------+------+------+------+   ...   +------+------+
+        | bay  | bay  | bay  | bay  |         | bay  | bay  |   gates / wards
+        +------+--+---+------+--+---+---------+--+---+------+
+        |          |            |                |          |
+        |  hall 0  d   hall 1   d     hall 2     d  hall 3  |   open concourses
+        |          |            |                |          |
+        +----------+------------+----------------+----------+
+
+    Each hall is one big open partition connected to its neighbour by a
+    *single* door (``d``), so the accessibility graph is sparse — the venue
+    has far fewer doors per square meter than the mall or office archetypes.
+    Every hall and every bay is a semantic region; halls are category
+    ``"concourse"``, bays alternate ``"gate"`` / ``"ward"``.  Staircases at
+    the first and last hall connect consecutive floors.
+    """
+    if floors < 1:
+        raise ValueError("a concourse hub needs at least one floor")
+    if halls < 1:
+        raise ValueError("need at least one concourse hall")
+    if bays_per_hall < 1:
+        raise ValueError("need at least one bay per hall")
+    if bays_per_hall * bay_width > hall_width:
+        raise ValueError("bays do not fit along the hall edge")
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    hall_ends_per_floor: List[Tuple[int, int]] = []
+
+    for floor in range(floors):
+        hall_ids: List[int] = []
+        for hall in range(halls):
+            min_x = hall * hall_width
+            max_x = (hall + 1) * hall_width
+            pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=pid,
+                    geometry=Rectangle(min_x, 0.0, max_x, hall_depth),
+                    floor=floor,
+                    kind="concourse",
+                )
+            )
+            hall_ids.append(pid)
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-H{hall:02d}",
+                    partition_ids=(pid,),
+                    floor=floor,
+                    category="concourse",
+                )
+            )
+            if hall > 0:
+                # The single opening between neighbouring concourses.
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(min_x, hall_depth / 2.0, floor),
+                        partition_ids=(hall_ids[hall - 1], pid),
+                    )
+                )
+        for hall in range(halls):
+            hall_min_x = hall * hall_width
+            for bay in range(bays_per_hall):
+                min_x = hall_min_x + bay * bay_width
+                max_x = min_x + bay_width
+                pid = next_partition()
+                partitions.append(
+                    Partition(
+                        partition_id=pid,
+                        geometry=Rectangle(min_x, hall_depth, max_x, hall_depth + bay_depth),
+                        floor=floor,
+                        kind="bay",
+                    )
+                )
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint((min_x + max_x) / 2.0, hall_depth, floor),
+                        partition_ids=(pid, hall_ids[hall]),
+                    )
+                )
+                regions.append(
+                    SemanticRegion(
+                        region_id=next_region(),
+                        name=f"F{floor}-B{hall:02d}-{bay:02d}",
+                        partition_ids=(pid,),
+                        floor=floor,
+                        category="gate" if (hall + bay) % 2 == 0 else "ward",
+                    )
+                )
+        hall_ends_per_floor.append((hall_ids[0], hall_ids[-1]))
+
+    hub_length = halls * hall_width
+    for floor in range(floors - 1):
+        lower_first, lower_last = hall_ends_per_floor[floor]
+        upper_first, upper_last = hall_ends_per_floor[floor + 1]
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(hall_width / 2.0, hall_depth / 2.0, floor),
+                location_upper=IndoorPoint(hall_width / 2.0, hall_depth / 2.0, floor + 1),
+                partition_lower=lower_first,
+                partition_upper=upper_first,
+                travel_distance=14.0,
+            )
+        )
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(hub_length - hall_width / 2.0, hall_depth / 2.0, floor),
+                location_upper=IndoorPoint(hub_length - hall_width / 2.0, hall_depth / 2.0, floor + 1),
+                partition_lower=lower_last,
+                partition_upper=upper_last,
+                travel_distance=14.0,
             )
         )
 

@@ -4,7 +4,9 @@
   m-semantics and labeled sequences (the data model of Section II).
 * :mod:`repro.mobility.simulator` — a waypoint-model indoor mobility
   simulator producing per-second ground truth (substitute for the Vita
-  generator [11] and for the proprietary mall Wi-Fi dataset).
+  generator [11] and for the proprietary mall Wi-Fi dataset), plus the
+  schedule-driven :class:`CommuterSimulator` and the peak-hours
+  :class:`PeakHoursSimulator` crowd profile used by the scenario catalogue.
 * :mod:`repro.mobility.positioning` — the positioning-error model that turns
   ground-truth trajectories into noisy, sparsely sampled p-sequences
   (maximum period T, error μ, false floors, outliers — Section V-C).
@@ -22,7 +24,13 @@ from repro.mobility.records import (
     PositioningRecord,
     PositioningSequence,
 )
-from repro.mobility.simulator import GroundTruthPoint, GroundTruthTrajectory, WaypointSimulator
+from repro.mobility.simulator import (
+    CommuterSimulator,
+    GroundTruthPoint,
+    GroundTruthTrajectory,
+    PeakHoursSimulator,
+    WaypointSimulator,
+)
 from repro.mobility.positioning import PositioningErrorModel
 from repro.mobility.preprocessing import filter_short_sequences, split_on_time_gaps
 from repro.mobility.dataset import AnnotationDataset, train_test_split, k_fold_splits
@@ -34,8 +42,10 @@ __all__ = [
     "MSemantics",
     "PositioningRecord",
     "PositioningSequence",
+    "CommuterSimulator",
     "GroundTruthPoint",
     "GroundTruthTrajectory",
+    "PeakHoursSimulator",
     "WaypointSimulator",
     "PositioningErrorModel",
     "filter_short_sequences",

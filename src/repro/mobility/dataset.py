@@ -141,27 +141,40 @@ def generate_dataset(
     error: float = 5.0,
     false_floor_probability: float = 0.03,
     outlier_probability: float = 0.03,
+    dropout_probability: float = 0.0,
+    dropout_duration: Tuple[float, float] = (30.0, 120.0),
     max_gap: float = 180.0,
     min_duration: float = 300.0,
     min_stay: float = 45.0,
     max_stay: float = 300.0,
     seed: int = 41,
     name: str = "synthetic",
+    simulator: Optional[WaypointSimulator] = None,
 ) -> AnnotationDataset:
     """Run the full simulate → corrupt → preprocess pipeline.
 
-    This is the single entry point used by examples, tests and benchmarks to
-    produce reproducible datasets.  The defaults are scaled down relative to
-    the paper (which simulates 10,000 objects over four hours) so the whole
-    evaluation suite runs on a laptop; the benchmark harness passes larger
-    values where needed.
+    This is the single entry point used by examples, tests, benchmarks and
+    the scenario registry to produce reproducible datasets.  The defaults are
+    scaled down relative to the paper (which simulates 10,000 objects over
+    four hours) so the whole evaluation suite runs on a laptop; the benchmark
+    harness passes larger values where needed.
+
+    ``simulator`` injects a pre-built mobility simulator (e.g. a
+    :class:`~repro.mobility.simulator.CommuterSimulator` from a scenario's
+    mobility profile) in place of the default random-waypoint one; it must
+    have been constructed over ``space``.  When omitted, a
+    :class:`WaypointSimulator` with ``min_stay``/``max_stay``/``seed`` is
+    used, exactly as before the scenario layer existed.
     """
-    simulator = WaypointSimulator(
-        space,
-        min_stay=min_stay,
-        max_stay=max_stay,
-        seed=seed,
-    )
+    if simulator is None:
+        simulator = WaypointSimulator(
+            space,
+            min_stay=min_stay,
+            max_stay=max_stay,
+            seed=seed,
+        )
+    elif simulator.space is not space:
+        raise ValueError("the injected simulator was built over a different space")
     trajectories: List[GroundTruthTrajectory] = simulator.simulate_population(
         objects, duration=duration
     )
@@ -170,6 +183,8 @@ def generate_dataset(
         error=error,
         false_floor_probability=false_floor_probability,
         outlier_probability=outlier_probability,
+        dropout_probability=dropout_probability,
+        dropout_duration=dropout_duration,
         seed=seed + 1,
     )
     labeled = error_model.corrupt_population(trajectories, space)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry.point import IndoorPoint
 from repro.indoor.floorplan import IndoorSpace
@@ -53,6 +53,14 @@ class PositioningErrorModel:
         Probability that a report is an outlier at 2.5μ–10μ meters (paper: 3%).
     min_period:
         Lower bound of the inter-report gap; defaults to 1 second.
+    dropout_probability:
+        Probability that, after a report, the device goes silent for a burst
+        (battery saving, dead zones, sensor faults).  The burst length is
+        drawn uniformly from ``dropout_duration`` and added on top of the
+        regular inter-report gap.  The default 0 adds no randomness at all,
+        so datasets generated without dropout are bitwise unchanged.
+    dropout_duration:
+        ``(min, max)`` burst length in seconds.
     seed:
         Seed of the private random generator (deterministic corruption).
     """
@@ -62,6 +70,8 @@ class PositioningErrorModel:
     false_floor_probability: float = 0.03
     outlier_probability: float = 0.03
     min_period: float = 1.0
+    dropout_probability: float = 0.0
+    dropout_duration: Tuple[float, float] = (30.0, 120.0)
     seed: int = 29
 
     def __post_init__(self) -> None:
@@ -69,10 +79,13 @@ class PositioningErrorModel:
             raise ValueError("periods must satisfy 0 < min_period <= max_period")
         if self.error < 0:
             raise ValueError("positioning error must be non-negative")
-        for name in ("false_floor_probability", "outlier_probability"):
+        for name in ("false_floor_probability", "outlier_probability", "dropout_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
+        low, high = self.dropout_duration
+        if low < 0 or high < low:
+            raise ValueError("dropout_duration must satisfy 0 <= min <= max")
         self._rng = random.Random(self.seed)
 
     # ------------------------------------------------------------------- API
@@ -106,6 +119,10 @@ class PositioningErrorModel:
             regions.append(truth.region_id)
             events.append(truth.event)
             t += self._rng.uniform(self.min_period, self.max_period)
+            # The zero-probability default draws nothing, keeping the random
+            # stream — and therefore every existing dataset — bitwise intact.
+            if self.dropout_probability > 0.0 and self._rng.random() < self.dropout_probability:
+                t += self._rng.uniform(*self.dropout_duration)
         if len(records) < 2:
             return None
         sequence = PositioningSequence(records, object_id=trajectory.object_id, sort=False)

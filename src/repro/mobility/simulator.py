@@ -20,7 +20,25 @@ the same behaviour:
   region (destination region while staying, nearest region while passing) and
   the event label (``stay`` while dwelling, ``pass`` while moving).
 
-The simulator is deterministic given its seed.
+Two further mobility profiles extend the paper's single random-waypoint
+model for the scenario catalogue, both reusing the path planning and
+recording machinery through the :meth:`WaypointSimulator._begin_object`,
+:meth:`WaypointSimulator._pick_destination`,
+:meth:`WaypointSimulator._stay_duration` and
+:meth:`WaypointSimulator._leg_speed` hooks:
+
+* :class:`CommuterSimulator` — schedule-driven commuters: each object draws
+  a small set of *anchor* regions (home desk, ward, gate) plus per-object
+  dwell and speed factors, gravitates to its anchors with high probability
+  and dwells longer there;
+* :class:`PeakHoursSimulator` — a crowd profile: destination choice is
+  popularity-weighted (a deterministic heavy-tailed ranking over regions)
+  and stays shorten inside a configurable peak-hours window, producing the
+  churn of a rush-hour concourse.
+
+All simulators are deterministic given their seed; the hooks of the base
+class draw from the same generator in the same order as before they were
+extracted, so existing waypoint datasets are bitwise unchanged.
 """
 
 from __future__ import annotations
@@ -145,6 +163,7 @@ class WaypointSimulator:
             raise ValueError("duration must be positive")
         rng = self._rng
         regions = self._space.regions
+        self._begin_object(object_id)
         current_region = (
             self._space.region(start_region)
             if start_region is not None
@@ -203,8 +222,15 @@ class WaypointSimulator:
                 )
         return trajectories
 
-    # ------------------------------------------------------------- internals
+    # ----------------------------------------------------- profile hooks
+    # Subclasses override these to implement other mobility profiles; the
+    # defaults draw from ``self._rng`` in exactly the order the inline code
+    # used to, so waypoint datasets are bitwise-stable across the refactor.
+    def _begin_object(self, object_id: str) -> None:
+        """Per-object setup before simulation starts (no-op for waypoint)."""
+
     def _pick_destination(self, current: SemanticRegion) -> SemanticRegion:
+        """Choose the next destination region (uniform, never the current)."""
         regions = self._space.regions
         if len(regions) == 1:
             return current
@@ -212,6 +238,20 @@ class WaypointSimulator:
         while choice.region_id == current.region_id:
             choice = self._rng.choice(regions)
         return choice
+
+    def _stay_duration(self, region: SemanticRegion, now: float) -> float:
+        """Sample the dwell time at ``region`` starting at time ``now``."""
+        return self._rng.uniform(self._min_stay, self._max_stay)
+
+    def _leg_speed(self, now: float) -> float:
+        """Sample the walking speed for one leg starting at time ``now``."""
+        return self._rng.uniform(self._min_speed, self._max_speed)
+
+    def _clamp_stay(self, duration: float) -> float:
+        """Clamp a profile-scaled dwell time back into ``[min_stay, max_stay]``."""
+        return max(self._min_stay, min(self._max_stay, duration))
+
+    # ------------------------------------------------------------- internals
 
     def _point_inside(self, region: SemanticRegion) -> IndoorPoint:
         """Sample a point inside the region (rejection sampling on the bbox)."""
@@ -274,7 +314,7 @@ class WaypointSimulator:
         now: float,
         end_time: float,
     ) -> float:
-        stay_duration = self._rng.uniform(self._min_stay, self._max_stay)
+        stay_duration = self._stay_duration(region, now)
         stay_end = min(now + stay_duration, end_time)
         t = now
         while t <= stay_end:
@@ -300,7 +340,7 @@ class WaypointSimulator:
         destination: SemanticRegion,
     ) -> Tuple[float, IndoorPoint]:
         """Walk along the waypoints, recording one pass sample per period."""
-        speed = self._rng.uniform(self._min_speed, self._max_speed)
+        speed = self._leg_speed(now)
         current = waypoints[0]
         t = now
         for target in list(waypoints[1:]):
@@ -342,3 +382,134 @@ class WaypointSimulator:
             return containing.region_id
         nearest = self._space.nearest_region(point)
         return nearest.region_id if nearest is not None else destination.region_id
+
+
+class CommuterSimulator(WaypointSimulator):
+    """Schedule-driven commuters with per-object dwell/speed distributions.
+
+    Every simulated object draws, once, a personal schedule: ``anchor_count``
+    anchor regions (desk, ward, departure gate), a dwell factor and a speed
+    factor.  With probability ``anchor_affinity`` the next destination is one
+    of the object's anchors; dwell times scale by the object's dwell factor
+    (and by ``anchor_dwell_factor`` at an anchor) and are clamped back into
+    ``[min_stay, max_stay]`` so the simulator-wide stay bounds keep holding.
+    """
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        anchor_count: int = 2,
+        anchor_affinity: float = 0.75,
+        anchor_dwell_factor: float = 1.8,
+        dwell_scale_range: Tuple[float, float] = (0.5, 1.5),
+        speed_scale_range: Tuple[float, float] = (0.8, 1.2),
+        **kwargs,
+    ):
+        super().__init__(space, **kwargs)
+        if anchor_count < 1:
+            raise ValueError("anchor_count must be at least 1")
+        if not 0.0 <= anchor_affinity <= 1.0:
+            raise ValueError("anchor_affinity must be a probability")
+        if anchor_dwell_factor <= 0:
+            raise ValueError("anchor_dwell_factor must be positive")
+        for name, (low, high) in (
+            ("dwell_scale_range", dwell_scale_range),
+            ("speed_scale_range", speed_scale_range),
+        ):
+            if low <= 0 or high < low:
+                raise ValueError(f"{name} must satisfy 0 < low <= high")
+        self._anchor_count = anchor_count
+        self._anchor_affinity = anchor_affinity
+        self._anchor_dwell_factor = anchor_dwell_factor
+        self._dwell_scale_range = dwell_scale_range
+        self._speed_scale_range = speed_scale_range
+        self._anchor_ids: Tuple[int, ...] = ()
+        self._dwell_scale = 1.0
+        self._speed_scale = 1.0
+
+    def _begin_object(self, object_id: str) -> None:
+        rng = self._rng
+        regions = self._space.regions
+        count = min(self._anchor_count, len(regions))
+        anchors = rng.sample(regions, count)
+        self._anchor_ids = tuple(region.region_id for region in anchors)
+        self._dwell_scale = rng.uniform(*self._dwell_scale_range)
+        self._speed_scale = rng.uniform(*self._speed_scale_range)
+
+    def _pick_destination(self, current: SemanticRegion) -> SemanticRegion:
+        candidates = [rid for rid in self._anchor_ids if rid != current.region_id]
+        if candidates and self._rng.random() < self._anchor_affinity:
+            return self._space.region(self._rng.choice(candidates))
+        return super()._pick_destination(current)
+
+    def _stay_duration(self, region: SemanticRegion, now: float) -> float:
+        duration = super()._stay_duration(region, now) * self._dwell_scale
+        if region.region_id in self._anchor_ids:
+            duration *= self._anchor_dwell_factor
+        return self._clamp_stay(duration)
+
+    def _leg_speed(self, now: float) -> float:
+        speed = super()._leg_speed(now) * self._speed_scale
+        return max(self._min_speed, min(self._max_speed, speed))
+
+
+class PeakHoursSimulator(WaypointSimulator):
+    """Crowd profile: popularity-weighted destinations plus a peak-hours window.
+
+    A deterministic heavy-tailed popularity ranking (weight ``1 / (1+rank) **
+    popularity_bias``, ranking shuffled once from the seed) biases destination
+    choice toward a few hot regions.  Inside ``[peak_start, peak_end)``
+    (simulation seconds) dwell times shrink by ``peak_stay_factor`` — the
+    churn of a rush-hour concourse — and are clamped back into
+    ``[min_stay, max_stay]``.
+    """
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        popularity_bias: float = 1.0,
+        peak_start: float = 0.0,
+        peak_end: float = 0.0,
+        peak_stay_factor: float = 0.35,
+        **kwargs,
+    ):
+        super().__init__(space, **kwargs)
+        if popularity_bias < 0:
+            raise ValueError("popularity_bias must be non-negative")
+        if peak_end < peak_start:
+            raise ValueError("peak window must satisfy peak_start <= peak_end")
+        if not 0.0 < peak_stay_factor <= 1.0:
+            raise ValueError("peak_stay_factor must be in (0, 1]")
+        self._peak_start = peak_start
+        self._peak_end = peak_end
+        self._peak_stay_factor = peak_stay_factor
+        ranks = list(range(len(self._space.regions)))
+        self._rng.shuffle(ranks)
+        self._weights = [
+            (1.0 / (1.0 + rank)) ** popularity_bias for rank in ranks
+        ]
+
+    def _pick_destination(self, current: SemanticRegion) -> SemanticRegion:
+        regions = self._space.regions
+        if len(regions) == 1:
+            return current
+        total = 0.0
+        cumulative: List[Tuple[float, SemanticRegion]] = []
+        for region, weight in zip(regions, self._weights):
+            if region.region_id == current.region_id:
+                continue
+            total += weight
+            cumulative.append((total, region))
+        draw = self._rng.random() * total
+        for bound, region in cumulative:
+            if draw < bound:
+                return region
+        return cumulative[-1][1]
+
+    def _stay_duration(self, region: SemanticRegion, now: float) -> float:
+        duration = super()._stay_duration(region, now)
+        if self._peak_start <= now < self._peak_end:
+            duration *= self._peak_stay_factor
+        return self._clamp_stay(duration)

@@ -1,0 +1,139 @@
+"""CLI for the scenario registry: ``python -m repro.scenarios``.
+
+* no arguments / ``--list`` — print the catalogue as a table;
+* ``--materialize NAME [--seed N]`` — materialise one scenario and print
+  its statistics and content fingerprint;
+* ``--smoke`` — materialise the smallest registered scenario, split it,
+  fit the SMoT baseline and annotate the test half: an end-to-end check
+  that the whole simulate → corrupt → preprocess → annotate pipeline works
+  (the ``make scenarios`` target runs ``--list`` plus this);
+* ``--write-goldens PATH`` — regenerate the golden-trace fingerprint file
+  asserted by ``tests/test_scenario_golden.py`` (run it after an
+  *intentional* change to builders/simulators/preprocessing and review the
+  diff; accidental drift is exactly what the suite exists to catch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.scenarios.registry import get_scenario, materialize, scenario_specs
+
+
+def _list_catalogue() -> int:
+    rows = [spec.summary() for spec in scenario_specs()]
+    header = f"{'name':24s} {'venue':10s} {'mobility':9s} {'objs':>4s} {'dur(s)':>7s} {'T':>4s} {'mu':>4s} {'drop':>5s}  description"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:24s} {row['venue']:10s} {row['mobility']:9s} "
+            f"{row['objects']:4d} {row['duration']:7.0f} {row['max_period']:4.0f} "
+            f"{row['error']:4.1f} {row['dropout']:5.2f}  {row['description']}"
+        )
+    print(f"{len(rows)} registered scenarios")
+    return 0
+
+
+def _materialize(name: str, seed: Optional[int]) -> int:
+    started = time.perf_counter()
+    scenario = materialize(name, seed)
+    elapsed = time.perf_counter() - started
+    stats = scenario.statistics()
+    print(f"scenario     {scenario.name} (seed {scenario.seed})")
+    print(f"materialised {elapsed:.2f}s")
+    print(f"fingerprint  {scenario.fingerprint}")
+    for key in ("sequences", "records", "avg_records_per_sequence",
+                "avg_sampling_interval", "stay_fraction",
+                "partitions", "doors", "regions", "floors"):
+        print(f"{key:28s} {stats[key]}")
+    return 0
+
+
+def _smallest_scenario_name() -> str:
+    return min(
+        scenario_specs(), key=lambda spec: spec.objects * spec.duration
+    ).name
+
+
+def _smoke(seed: Optional[int]) -> int:
+    from repro.baselines import SMoTAnnotator
+    from repro.mobility.dataset import train_test_split
+
+    name = _smallest_scenario_name()
+    started = time.perf_counter()
+    scenario = materialize(name, seed)
+    train, test = train_test_split(scenario.dataset, train_fraction=0.7, seed=5)
+    annotator = SMoTAnnotator(scenario.space)
+    annotator.fit(train.sequences)
+    semantics = annotator.annotate_many(
+        [labeled.sequence for labeled in test.sequences]
+    )
+    elapsed = time.perf_counter() - started
+    published = sum(len(entries) for entries in semantics)
+    print(
+        f"smoke ok: {name} materialised, SMoT fitted on {len(train)} sequences, "
+        f"annotated {len(test)} test sequences into {published} m-semantics "
+        f"({elapsed:.2f}s, fingerprint {scenario.fingerprint[:16]}…)"
+    )
+    return 0
+
+
+def _write_goldens(path: Path) -> int:
+    goldens = {}
+    for spec in scenario_specs():
+        scenario = spec.materialize()
+        goldens[spec.name] = {
+            "seed": scenario.seed,
+            "fingerprint": scenario.fingerprint,
+            "sequences": len(scenario.dataset),
+            "records": scenario.dataset.total_records,
+        }
+        print(f"{spec.name:24s} seed={scenario.seed:<4d} {scenario.fingerprint}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(goldens)} scenarios)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List, materialise and smoke-check the scenario catalogue.",
+    )
+    parser.add_argument("--list", action="store_true", help="list the registry (default)")
+    parser.add_argument("--materialize", metavar="NAME", help="materialise one scenario")
+    parser.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="materialise the smallest scenario end-to-end (fit + annotate)",
+    )
+    parser.add_argument(
+        "--write-goldens",
+        metavar="PATH",
+        help="regenerate the golden fingerprint file (review the diff!)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.materialize:
+        try:
+            get_scenario(args.materialize)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        return _materialize(args.materialize, args.seed)
+    if args.smoke:
+        return _smoke(args.seed)
+    if args.write_goldens:
+        return _write_goldens(Path(args.write_goldens))
+    return _list_catalogue()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

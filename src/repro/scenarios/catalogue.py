@@ -1,0 +1,180 @@
+"""The built-in scenario catalogue.
+
+Eight named scenarios over three venue archetypes (mall, office, transit
+concourse) and three mobility profiles (random waypoint, schedule-driven
+commuters, peak-hours crowd).  Two of them — ``mall-tiny`` and
+``office-tiny`` — reproduce the historical hand-built test fixtures
+*bitwise* (same venue parameters, same pipeline, same seeds), so rebasing
+the test and benchmark fixtures onto the registry changed no data.
+
+All catalogue scenarios are deliberately laptop-small: the golden-trace
+regression suite materialises every one of them on each tier-1 run.  Larger
+workloads parameterise :class:`~repro.evaluation.experiments.ExperimentScale`
+or register their own spec.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import DeviceSpec, MobilitySpec, ScenarioSpec, VenueSpec
+
+#: The minimum catalogue breadth the acceptance tests assert.
+MIN_SCENARIOS = 6
+MIN_ARCHETYPES = 3
+MIN_PROFILES = 3
+
+
+def _register_builtin_scenarios() -> None:
+    # ------------------------------------------------------------- fixtures
+    # Bitwise equal to the former tests/conftest.py `small_dataset`.
+    register_scenario(ScenarioSpec(
+        name="mall-tiny",
+        venue=VenueSpec("mall", params={"floors": 1, "shops_per_side": 4}),
+        mobility=MobilitySpec("waypoint"),
+        device=DeviceSpec(max_period=8.0, error=4.0),
+        objects=6,
+        duration=1200.0,
+        min_duration=200.0,
+        seed=3,
+        description="One-floor mall, eight shops — the workhorse unit-test venue.",
+        tags=("tiny", "fixture"),
+    ))
+    # Bitwise equal to the former tests/conftest.py `office_dataset`.
+    register_scenario(ScenarioSpec(
+        name="office-tiny",
+        venue=VenueSpec(
+            "office",
+            params={"floors": 2, "rooms_per_side": 5, "region_fraction": 0.7},
+        ),
+        mobility=MobilitySpec("waypoint"),
+        device=DeviceSpec(max_period=8.0, error=4.0),
+        objects=6,
+        duration=1200.0,
+        min_duration=200.0,
+        seed=9,
+        description="Two-floor Vita-like office — the synthetic-data test venue.",
+        tags=("tiny", "fixture"),
+    ))
+
+    # ------------------------------------------------------------ catalogue
+    register_scenario(ScenarioSpec(
+        name="mall-weekday",
+        venue=VenueSpec("mall", params={"floors": 2, "shops_per_side": 6}),
+        mobility=MobilitySpec("waypoint"),
+        device=DeviceSpec(max_period=10.0, error=5.0),
+        objects=8,
+        duration=1500.0,
+        seed=11,
+        description="Two-floor mall under the paper's random-waypoint shoppers.",
+        tags=("mall",),
+    ))
+    register_scenario(ScenarioSpec(
+        name="mall-rush-hour",
+        venue=VenueSpec("mall", params={"floors": 1, "shops_per_side": 6}),
+        mobility=MobilitySpec(
+            "crowd",
+            min_stay=30.0,
+            max_stay=240.0,
+            params={
+                "popularity_bias": 1.2,
+                "peak_start": 300.0,
+                "peak_end": 900.0,
+                "peak_stay_factor": 0.4,
+            },
+        ),
+        device=DeviceSpec(max_period=6.0, error=5.0),
+        objects=8,
+        duration=1200.0,
+        seed=21,
+        description="Lunch-rush mall: a few hot shops, short churned stays mid-window.",
+        tags=("mall", "peak"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="office-workday",
+        venue=VenueSpec(
+            "office",
+            params={"floors": 2, "rooms_per_side": 6, "region_fraction": 0.6},
+        ),
+        mobility=MobilitySpec(
+            "commuter",
+            min_stay=60.0,
+            max_stay=420.0,
+            params={"anchor_count": 2, "anchor_affinity": 0.75},
+        ),
+        device=DeviceSpec(max_period=8.0, error=3.0),
+        objects=8,
+        duration=1500.0,
+        seed=31,
+        description="Office commuters shuttling between their desk and meeting rooms.",
+        tags=("office", "commuter"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="office-sparse-night",
+        venue=VenueSpec(
+            "office",
+            params={"floors": 2, "rooms_per_side": 6, "region_fraction": 0.6},
+        ),
+        mobility=MobilitySpec("waypoint", min_stay=90.0, max_stay=600.0),
+        device=DeviceSpec(
+            max_period=15.0,
+            error=7.0,
+            dropout_probability=0.1,
+            dropout_duration=(30.0, 90.0),
+        ),
+        objects=6,
+        duration=1500.0,
+        min_duration=240.0,
+        seed=37,
+        description="Night shift: sparse sampling, high error, sensor-dropout bursts.",
+        tags=("office", "sparse", "dropout"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="transit-morning-peak",
+        venue=VenueSpec("concourse", params={"halls": 3, "bays_per_hall": 4}),
+        mobility=MobilitySpec(
+            "crowd",
+            min_stay=20.0,
+            max_stay=180.0,
+            params={
+                "popularity_bias": 1.5,
+                "peak_start": 0.0,
+                "peak_end": 600.0,
+                "peak_stay_factor": 0.35,
+            },
+        ),
+        device=DeviceSpec(max_period=5.0, error=6.0),
+        objects=8,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=43,
+        description="Transit hub at the morning peak: open concourses, heavy churn.",
+        tags=("concourse", "peak"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="transit-commuters",
+        venue=VenueSpec(
+            "concourse",
+            params={"floors": 2, "halls": 2, "bays_per_hall": 3},
+        ),
+        mobility=MobilitySpec(
+            "commuter",
+            min_stay=30.0,
+            max_stay=300.0,
+            params={"anchor_count": 2, "anchor_affinity": 0.8},
+        ),
+        device=DeviceSpec(
+            max_period=10.0,
+            error=6.0,
+            dropout_probability=0.08,
+            dropout_duration=(20.0, 60.0),
+        ),
+        objects=6,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=47,
+        description="Two-level hub: commuters bound to their gates, patchy coverage.",
+        tags=("concourse", "commuter", "dropout"),
+    ))
+
+
+_register_builtin_scenarios()

@@ -1,0 +1,269 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` composes three orthogonal profiles into one named,
+reproducible workload:
+
+* a :class:`VenueSpec` — which floorplan archetype to build (``"mall"``,
+  ``"office"`` or ``"concourse"``) and with what parameters;
+* a :class:`MobilitySpec` — how objects move: ``"waypoint"`` (the paper's
+  random-waypoint model), ``"commuter"`` (schedule-driven objects with
+  per-object dwell/speed distributions) or ``"crowd"`` (popularity-weighted
+  destinations with a peak-hours window);
+* a :class:`DeviceSpec` — how the positioning infrastructure reports:
+  sampling sparsity (maximum period T), error level μ, false floors,
+  outliers and sensor-dropout bursts.
+
+``ScenarioSpec.materialize(seed)`` runs the shared simulate → corrupt →
+preprocess pipeline (:func:`repro.mobility.dataset.generate_dataset`) and
+returns a :class:`Scenario`: the built :class:`IndoorSpace`, the labeled
+:class:`AnnotationDataset` and a content fingerprint over both.  The same
+spec and seed always produce the bitwise-identical dataset — that is what
+the golden-trace regression suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.indoor.builders import (
+    build_concourse_hub,
+    build_mall_space,
+    build_office_building,
+)
+from repro.indoor.floorplan import IndoorSpace
+from repro.mobility.dataset import AnnotationDataset, generate_dataset
+from repro.mobility.positioning import PositioningErrorModel
+from repro.mobility.simulator import (
+    CommuterSimulator,
+    PeakHoursSimulator,
+    WaypointSimulator,
+)
+from repro.runtime import fingerprint, sequence_fingerprint, space_fingerprint
+
+#: Venue archetype name → builder callable.
+VENUE_ARCHETYPES = {
+    "mall": build_mall_space,
+    "office": build_office_building,
+    "concourse": build_concourse_hub,
+}
+
+#: Mobility profile name → simulator class.
+MOBILITY_PROFILES = {
+    "waypoint": WaypointSimulator,
+    "commuter": CommuterSimulator,
+    "crowd": PeakHoursSimulator,
+}
+
+
+def _frozen_params(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a params mapping into a sorted, hashable tuple of pairs."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class VenueSpec:
+    """One floorplan archetype plus its builder arguments."""
+
+    archetype: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.archetype not in VENUE_ARCHETYPES:
+            raise ValueError(
+                f"unknown venue archetype {self.archetype!r}; "
+                f"choose from {sorted(VENUE_ARCHETYPES)}"
+            )
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", _frozen_params(self.params))
+
+    def build(self) -> IndoorSpace:
+        """Build the venue (deterministic: builders take no ambient state)."""
+        return VENUE_ARCHETYPES[self.archetype](**dict(self.params))
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """One mobility profile plus the shared stay/speed bounds."""
+
+    profile: str = "waypoint"
+    min_stay: float = 45.0
+    max_stay: float = 300.0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.profile not in MOBILITY_PROFILES:
+            raise ValueError(
+                f"unknown mobility profile {self.profile!r}; "
+                f"choose from {sorted(MOBILITY_PROFILES)}"
+            )
+        if not 0 <= self.min_stay <= self.max_stay:
+            raise ValueError("stay bounds must satisfy 0 <= min_stay <= max_stay")
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", _frozen_params(self.params))
+
+    def build(self, space: IndoorSpace, seed: int) -> WaypointSimulator:
+        """Instantiate the simulator for this profile over ``space``."""
+        simulator_cls = MOBILITY_PROFILES[self.profile]
+        return simulator_cls(
+            space,
+            min_stay=self.min_stay,
+            max_stay=self.max_stay,
+            seed=seed,
+            **dict(self.params),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """The positioning/device profile: sampling, error and dropout bursts."""
+
+    max_period: float = 10.0
+    error: float = 5.0
+    false_floor_probability: float = 0.03
+    outlier_probability: float = 0.03
+    dropout_probability: float = 0.0
+    dropout_duration: Tuple[float, float] = (30.0, 120.0)
+
+    def __post_init__(self) -> None:
+        # Fail at registration with exactly the rules materialize() will
+        # apply: build a throwaway error model so the two can never drift.
+        PositioningErrorModel(
+            max_period=self.max_period,
+            error=self.error,
+            false_floor_probability=self.false_floor_probability,
+            outlier_probability=self.outlier_probability,
+            dropout_probability=self.dropout_probability,
+            dropout_duration=self.dropout_duration,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, fully declarative workload: venue × mobility × device."""
+
+    name: str
+    venue: VenueSpec
+    mobility: MobilitySpec = MobilitySpec()
+    device: DeviceSpec = DeviceSpec()
+    objects: int = 8
+    duration: float = 1200.0
+    max_gap: float = 180.0
+    min_duration: float = 300.0
+    seed: int = 41
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if self.objects < 1:
+            raise ValueError("a scenario needs at least one object")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this spec with a different default seed."""
+        return replace(self, seed=seed)
+
+    def materialize(self, seed: Optional[int] = None) -> "Scenario":
+        """Deterministically build the venue and generate the dataset.
+
+        ``seed`` overrides the spec's default seed; it feeds the mobility
+        simulator directly and the error model as ``seed + 1``, exactly the
+        scheme :func:`~repro.mobility.dataset.generate_dataset` has always
+        used, so scenarios that mirror the historical fixtures reproduce
+        them bitwise.
+        """
+        used_seed = self.seed if seed is None else seed
+        space = self.venue.build()
+        simulator = self.mobility.build(space, used_seed)
+        dataset = generate_dataset(
+            space,
+            objects=self.objects,
+            duration=self.duration,
+            max_period=self.device.max_period,
+            error=self.device.error,
+            false_floor_probability=self.device.false_floor_probability,
+            outlier_probability=self.device.outlier_probability,
+            dropout_probability=self.device.dropout_probability,
+            dropout_duration=self.device.dropout_duration,
+            max_gap=self.max_gap,
+            min_duration=self.min_duration,
+            seed=used_seed,
+            name=self.name,
+            simulator=simulator,
+        )
+        return Scenario(spec=self, seed=used_seed, space=space, dataset=dataset)
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat description row (used by the CLI listing and docs)."""
+        return {
+            "name": self.name,
+            "venue": self.venue.archetype,
+            "mobility": self.mobility.profile,
+            "objects": self.objects,
+            "duration": self.duration,
+            "max_period": self.device.max_period,
+            "error": self.device.error,
+            "dropout": self.device.dropout_probability,
+            "seed": self.seed,
+            "tags": ",".join(self.tags),
+            "description": self.description,
+        }
+
+
+@dataclass
+class Scenario:
+    """A materialised scenario: venue + dataset + content fingerprint."""
+
+    spec: ScenarioSpec
+    seed: int
+    space: IndoorSpace
+    dataset: AnnotationDataset
+    _fingerprint: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint over the venue and every labeled sequence.
+
+        Reuses the runtime fingerprint machinery: the venue hashes through
+        :func:`repro.runtime.space_fingerprint`, every sequence through
+        :func:`repro.runtime.sequence_fingerprint` plus its ground-truth
+        region/event labels.  Any drift anywhere in the builders, the
+        simulators, the error model or the preprocessing changes this
+        digest — which is exactly what the golden-trace suite asserts.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = scenario_fingerprint(self.space, self.dataset, self.seed)
+        return self._fingerprint
+
+    def statistics(self) -> Dict[str, float]:
+        """Dataset statistics plus venue summary (Table III/V style)."""
+        stats = self.dataset.statistics()
+        stats.update(self.space.summary())
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Scenario({self.name!r}, seed={self.seed}, "
+            f"sequences={len(self.dataset)}, records={self.dataset.total_records})"
+        )
+
+
+def scenario_fingerprint(
+    space: IndoorSpace, dataset: AnnotationDataset, seed: int
+) -> str:
+    """The golden-trace digest of one materialised scenario."""
+    parts = [space_fingerprint(space), str(seed)]
+    for labeled in dataset.sequences:
+        parts.append(sequence_fingerprint(labeled.sequence))
+        parts.append(repr(labeled.region_labels))
+        parts.append(repr(labeled.event_labels))
+    return fingerprint(*parts)

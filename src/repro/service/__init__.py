@@ -12,7 +12,10 @@ is annotated.  This subsystem serves *in-flight* traffic instead:
 * finalized m-semantics land in the shared :class:`SemanticsStore`, over
   which the paper's TkPRQ/TkFRPQ and the behaviour analytics run live;
 * ``service.save(path)`` / ``AnnotationService.load(path, space)`` ship a
-  trained model without retraining.
+  trained model without retraining;
+* :func:`replay_scenario` replays a registered scenario's traffic through
+  streaming sessions in global timestamp order — the stress/soak path of
+  the scenario catalogue.
 
 See ``examples/streaming_service.py`` for an end-to-end tour and
 ``docs/ARCHITECTURE.md`` for how the window/guard mechanics work.
@@ -21,9 +24,12 @@ See ``examples/streaming_service.py`` for an end-to-end tour and
 from repro.service.service import AnnotationService
 from repro.service.session import StreamSession
 from repro.service.store import SemanticsStore
+from repro.service.replay import ReplayReport, replay_scenario
 
 __all__ = [
     "AnnotationService",
     "StreamSession",
     "SemanticsStore",
+    "ReplayReport",
+    "replay_scenario",
 ]

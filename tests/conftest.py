@@ -2,6 +2,12 @@
 
 Expensive objects (floorplans, datasets, trained annotators) are built once
 per session and reused; tests must treat them as read-only.
+
+The venue/dataset fixtures are materialised from the scenario registry
+(:mod:`repro.scenarios`) instead of being hand-built here: ``mall-tiny``
+and ``office-tiny`` are the registered twins of the historical fixtures
+(bitwise-identical data), so tests, benchmarks, docs and the bench CLI all
+name the same workloads.
 """
 
 from __future__ import annotations
@@ -9,28 +15,40 @@ from __future__ import annotations
 import pytest
 
 from repro.core import C2MNAnnotator, C2MNConfig
-from repro.indoor import build_mall_space, build_office_building
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.topology import AccessibilityGraph
-from repro.mobility.dataset import generate_dataset, train_test_split
+from repro.mobility.dataset import train_test_split
+from repro.scenarios import VenueSpec, materialize
 
 
 @pytest.fixture(scope="session")
-def small_space():
+def mall_tiny_scenario():
+    """The materialised ``mall-tiny`` scenario (venue + dataset + fingerprint)."""
+    return materialize("mall-tiny")
+
+
+@pytest.fixture(scope="session")
+def office_tiny_scenario():
+    """The materialised ``office-tiny`` scenario."""
+    return materialize("office-tiny")
+
+
+@pytest.fixture(scope="session")
+def small_space(mall_tiny_scenario):
     """A one-floor mall with eight shops — the workhorse venue for unit tests."""
-    return build_mall_space(floors=1, shops_per_side=4)
+    return mall_tiny_scenario.space
 
 
 @pytest.fixture(scope="session")
 def two_floor_space():
     """A two-floor mall with staircases, for topology and cross-floor tests."""
-    return build_mall_space(floors=2, shops_per_side=4)
+    return VenueSpec("mall", params={"floors": 2, "shops_per_side": 4}).build()
 
 
 @pytest.fixture(scope="session")
-def office_space():
+def office_space(office_tiny_scenario):
     """A small Vita-like office building (synthetic-data venue)."""
-    return build_office_building(floors=2, rooms_per_side=5, region_fraction=0.7)
+    return office_tiny_scenario.space
 
 
 @pytest.fixture(scope="session")
@@ -44,18 +62,9 @@ def small_oracle(small_space, small_graph):
 
 
 @pytest.fixture(scope="session")
-def small_dataset(small_space):
+def small_dataset(mall_tiny_scenario):
     """A small labeled dataset over the one-floor mall."""
-    return generate_dataset(
-        small_space,
-        objects=6,
-        duration=1200.0,
-        min_duration=200.0,
-        max_period=8.0,
-        error=4.0,
-        seed=3,
-        name="test-mall",
-    )
+    return mall_tiny_scenario.dataset
 
 
 @pytest.fixture(scope="session")
@@ -78,15 +87,6 @@ def fitted_annotator(small_space, small_split, fast_config):
 
 
 @pytest.fixture(scope="session")
-def office_dataset(office_space):
+def office_dataset(office_tiny_scenario):
     """A small labeled dataset over the office building (synthetic venue)."""
-    return generate_dataset(
-        office_space,
-        objects=6,
-        duration=1200.0,
-        min_duration=200.0,
-        max_period=8.0,
-        error=4.0,
-        seed=9,
-        name="test-office",
-    )
+    return office_tiny_scenario.dataset

@@ -2,6 +2,7 @@
 
 import math
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.clustering.stdbscan import DENSITY_BORDER, DENSITY_CORE, DENSITY_NOISE, STDBSCAN
@@ -199,3 +200,97 @@ def test_stdbscan_labels_are_consistent(points):
     # Cluster ids are consecutive starting at 0.
     used = sorted({c for c in result.cluster_ids if c >= 0})
     assert used == list(range(len(used)))
+
+
+# ------------------------------------------------- simulator and scenarios
+@pytest.fixture(scope="module")
+def pb_venue():
+    """A micro venue shared by the simulator/scenario properties below."""
+    from repro.indoor.builders import build_mall_space
+
+    return build_mall_space(floors=1, shops_per_side=3)
+
+
+simulator_profiles = st.sampled_from(["waypoint", "commuter", "crowd"])
+
+
+@given(
+    profile=simulator_profiles,
+    seed=st.integers(min_value=0, max_value=10_000),
+    min_stay=st.floats(min_value=5.0, max_value=40.0, allow_nan=False),
+    stay_span=st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulator_invariants(pb_venue, profile, seed, min_stay, stay_span):
+    """Ground truth obeys the simulator contract for every mobility profile.
+
+    * timestamps are strictly increasing and at least one sample period
+      apart (the per-second recording cadence);
+    * every emitted region id exists in the venue;
+    * stay durations respect ``[min_stay, max_stay]``: every stay run lasts
+      at most ``max_stay`` and every run that the simulation end did not
+      truncate lasts at least ``min_stay`` (both up to the one-second
+      sampling quantisation).
+    """
+    from repro.mobility.simulator import (
+        CommuterSimulator,
+        PeakHoursSimulator,
+        WaypointSimulator,
+    )
+
+    max_stay = min_stay + stay_span
+    simulator_cls = {
+        "waypoint": WaypointSimulator,
+        "commuter": CommuterSimulator,
+        "crowd": PeakHoursSimulator,
+    }[profile]
+    simulator = simulator_cls(
+        pb_venue, min_stay=min_stay, max_stay=max_stay, seed=seed
+    )
+    trajectory = simulator.simulate_object("pb-0", duration=400.0)
+
+    timestamps = [point.timestamp for point in trajectory.points]
+    assert all(b > a for a, b in zip(timestamps, timestamps[1:]))
+    assert all(b - a >= 1.0 - 1e-9 for a, b in zip(timestamps, timestamps[1:]))
+
+    region_ids = set(pb_venue.region_ids)
+    assert all(point.region_id in region_ids for point in trajectory.points)
+
+    visits = trajectory.stay_visits()
+    for region, begin, end in visits:
+        assert region in region_ids
+        # A recorded stay run never exceeds the sampled stay duration
+        # (duration <= max_stay up to the one-second sampling quantisation).
+        assert (end - begin) <= max_stay + 1.0
+    # Runs the simulation end could not have truncated respect min_stay too.
+    for region, begin, end in visits[:-1]:
+        assert (end - begin) >= min_stay - 1.0 - 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_scenario_materialisation_is_seed_deterministic(seed):
+    """Same (scenario, seed) → bitwise-equal datasets and fingerprints."""
+    from repro.scenarios import ScenarioSpec, VenueSpec, MobilitySpec, DeviceSpec
+
+    spec = ScenarioSpec(
+        name="pb-micro",
+        venue=VenueSpec("mall", params={"floors": 1, "shops_per_side": 3}),
+        mobility=MobilitySpec("waypoint", min_stay=20.0, max_stay=90.0),
+        device=DeviceSpec(max_period=6.0, error=3.0),
+        objects=2,
+        duration=400.0,
+        min_duration=60.0,
+    )
+    first = spec.materialize(seed)
+    second = spec.materialize(seed)
+    assert first.fingerprint == second.fingerprint
+    for a, b in zip(first.dataset.sequences, second.dataset.sequences):
+        assert a.region_labels == b.region_labels
+        assert a.event_labels == b.event_labels
+        assert [(r.timestamp, r.x, r.y, r.floor) for r in a.sequence] == [
+            (r.timestamp, r.x, r.y, r.floor) for r in b.sequence
+        ]
+    region_ids = set(first.space.region_ids)
+    for labeled in first.dataset.sequences:
+        assert set(labeled.region_labels) <= region_ids

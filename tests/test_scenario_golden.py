@@ -1,0 +1,93 @@
+"""Golden-trace regression suite over the scenario catalogue.
+
+``tests/data/golden_scenarios.json`` commits, per registered scenario, the
+content fingerprint of its materialisation at the spec's default seed
+(venue geometry + every p-sequence's raw records + ground-truth labels).
+These tests re-materialise every scenario and assert the digest *bitwise*,
+so any drift anywhere in the floorplan builders, the mobility simulators,
+the positioning-error model or the preprocessing fails tier-1 immediately —
+before it silently shifts every accuracy number in the benchmarks.
+
+After an *intentional* pipeline change, regenerate with::
+
+    python -m repro.scenarios --write-goldens tests/data/golden_scenarios.json
+
+and review the diff: only the scenarios your change should affect may move.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    MOBILITY_PROFILES,
+    VENUE_ARCHETYPES,
+    get_scenario,
+    materialize,
+    scenario_names,
+    scenario_specs,
+)
+from repro.scenarios.catalogue import MIN_ARCHETYPES, MIN_PROFILES, MIN_SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_scenarios.json"
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def materialized():
+    """Materialise each scenario at most once for the whole module."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = materialize(name)
+        return cache[name]
+
+    return get
+
+
+def test_golden_file_covers_exactly_the_registry(goldens):
+    assert sorted(goldens) == scenario_names(), (
+        "the golden file and the registry disagree; regenerate with "
+        "python -m repro.scenarios --write-goldens tests/data/golden_scenarios.json"
+    )
+
+
+def test_catalogue_breadth():
+    """The acceptance floor: ≥6 scenarios over ≥3 venues and ≥3 profiles."""
+    specs = scenario_specs()
+    assert len(specs) >= MIN_SCENARIOS
+    archetypes = {spec.venue.archetype for spec in specs}
+    profiles = {spec.mobility.profile for spec in specs}
+    assert len(archetypes) >= MIN_ARCHETYPES
+    assert archetypes <= set(VENUE_ARCHETYPES)
+    assert len(profiles) >= MIN_PROFILES
+    assert profiles <= set(MOBILITY_PROFILES)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_matches_golden_fingerprint(name, goldens, materialized):
+    golden = goldens[name]
+    assert get_scenario(name).seed == golden["seed"]
+    scenario = materialized(name)
+    assert len(scenario.dataset) == golden["sequences"]
+    assert scenario.dataset.total_records == golden["records"]
+    assert scenario.fingerprint == golden["fingerprint"], (
+        f"scenario {name!r} drifted from its golden trace — some change in "
+        "builders/simulator/error-model/preprocessing altered the generated "
+        "data; if intentional, regenerate the goldens and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_region_label_exists_in_the_venue(name, materialized):
+    """Materialised ground truth never references a region the venue lacks."""
+    scenario = materialized(name)
+    region_ids = set(scenario.space.region_ids)
+    for labeled in scenario.dataset.sequences:
+        assert set(labeled.region_labels) <= region_ids, name

@@ -1,0 +1,421 @@
+"""The declarative scenario subsystem: specs, registry, profiles, wiring.
+
+Covers spec validation, registry behaviour, the new venue archetype and
+mobility profiles, dropout bursts, seed determinism, and every integration
+surface of the scenario layer: experiment runners, the evaluation harness,
+``repro.bench --scenario``, the streaming replay and the CLI.
+"""
+
+import pytest
+
+from repro.bench.runner import main as bench_main
+from repro.bench.runner import run_scenario_benchmarks
+from repro.evaluation.experiments import (
+    ExperimentScale,
+    build_real_style_dataset,
+    mall_scenario_spec,
+    resolve_dataset,
+    run_accuracy_comparison,
+)
+from repro.evaluation.harness import MethodEvaluator
+from repro.core.variants import make_annotator
+from repro.indoor.builders import build_concourse_hub
+from repro.mobility.positioning import PositioningErrorModel
+from repro.mobility.simulator import (
+    CommuterSimulator,
+    PeakHoursSimulator,
+    WaypointSimulator,
+)
+from repro.scenarios import (
+    DeviceSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    VenueSpec,
+    get_scenario,
+    materialize,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+from repro.service import replay_scenario
+
+
+# ---------------------------------------------------------------- specs
+class TestSpecs:
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ValueError, match="archetype"):
+            VenueSpec("stadium")
+
+    def test_unknown_mobility_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            MobilitySpec("teleport")
+
+    def test_device_spec_validation(self):
+        with pytest.raises(ValueError, match="max_period"):
+            DeviceSpec(max_period=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            DeviceSpec(dropout_probability=1.5)
+
+    def test_scenario_spec_validation(self):
+        venue = VenueSpec("mall", params={"floors": 1, "shops_per_side": 3})
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="", venue=venue)
+        with pytest.raises(ValueError, match="object"):
+            ScenarioSpec(name="x", venue=venue, objects=0)
+
+    def test_params_mapping_is_normalised(self):
+        a = VenueSpec("mall", params={"floors": 1, "shops_per_side": 3})
+        b = VenueSpec("mall", params={"shops_per_side": 3, "floors": 1})
+        assert a == b
+        assert a.build().summary() == b.build().summary()
+
+
+# -------------------------------------------------------------- registry
+class TestRegistry:
+    def test_catalogue_is_registered(self):
+        names = scenario_names()
+        assert "mall-tiny" in names
+        assert "transit-morning-peak" in names
+
+    def test_unknown_name_lists_catalogue(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_scenario("atlantis")
+
+    def test_duplicate_registration_needs_replace(self):
+        spec = get_scenario("mall-tiny")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+        register_scenario(spec, replace=True)  # same spec back — harmless
+
+    def test_register_and_unregister_custom_scenario(self):
+        spec = ScenarioSpec(
+            name="unit-test-lab",
+            venue=VenueSpec("mall", params={"floors": 1, "shops_per_side": 3}),
+            objects=2,
+            duration=300.0,
+            min_duration=60.0,
+        )
+        try:
+            register_scenario(spec)
+            assert get_scenario("unit-test-lab") is spec
+        finally:
+            unregister_scenario("unit-test-lab")
+        assert "unit-test-lab" not in scenario_names()
+
+
+# ----------------------------------------------------------- determinism
+class TestDeterminism:
+    def test_same_seed_bitwise_same(self):
+        first = materialize("transit-commuters")
+        second = materialize("transit-commuters")
+        assert first.fingerprint == second.fingerprint
+        for a, b in zip(first.dataset.sequences, second.dataset.sequences):
+            assert a.region_labels == b.region_labels
+            assert [r.timestamp for r in a.sequence] == [r.timestamp for r in b.sequence]
+
+    def test_different_seed_differs(self):
+        base = materialize("mall-tiny")
+        other = materialize("mall-tiny", seed=base.seed + 1)
+        assert other.fingerprint != base.fingerprint
+
+    def test_with_seed_copies_spec(self):
+        spec = get_scenario("mall-tiny")
+        moved = spec.with_seed(99)
+        assert moved.seed == 99 and spec.seed == 3
+        assert moved.materialize().fingerprint == spec.materialize(99).fingerprint
+
+
+# ---------------------------------------------------------- new archetype
+class TestConcourseHub:
+    def test_structure_is_sparse_in_doors(self):
+        space = build_concourse_hub(halls=3, bays_per_hall=4)
+        summary = space.summary()
+        # 3 halls + 12 bays partitions; 2 hall-hall doors + 12 bay doors.
+        assert summary["partitions"] == 15
+        assert summary["doors"] == 14
+        assert summary["regions"] == 15  # every hall and bay is a region
+        categories = {region.category for region in space.regions}
+        assert categories == {"concourse", "gate", "ward"}
+
+    def test_multi_floor_staircases(self):
+        space = build_concourse_hub(floors=2, halls=2, bays_per_hall=3)
+        assert space.summary()["staircases"] == 2
+        assert space.floors == [0, 1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="floor"):
+            build_concourse_hub(floors=0)
+        with pytest.raises(ValueError, match="fit"):
+            build_concourse_hub(bays_per_hall=10, bay_width=6.0, hall_width=30.0)
+
+
+# ----------------------------------------------------- mobility profiles
+class TestMobilityProfiles:
+    @pytest.fixture(scope="class")
+    def venue(self):
+        return build_concourse_hub(halls=2, bays_per_hall=3)
+
+    def test_commuter_sticks_to_anchors(self, venue):
+        simulator = CommuterSimulator(
+            venue,
+            anchor_count=2,
+            anchor_affinity=1.0,
+            min_stay=10.0,
+            max_stay=40.0,
+            seed=5,
+        )
+        trajectory = simulator.simulate_object("c-0", duration=900.0)
+        anchor_ids = set(simulator._anchor_ids)
+        stayed_in = {region for region, _, _ in trajectory.stay_visits()}
+        # After the random initial region, every stay happens at an anchor.
+        assert stayed_in <= anchor_ids | {trajectory.points[0].region_id}
+
+    def test_commuter_is_seed_deterministic(self, venue):
+        def run(seed):
+            simulator = CommuterSimulator(venue, min_stay=10.0, max_stay=60.0, seed=seed)
+            trajectory = simulator.simulate_object("c-0", duration=600.0)
+            return [(p.timestamp, p.region_id, p.event) for p in trajectory.points]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_crowd_peak_window_shortens_stays(self, venue):
+        def mean_stay(peak_factor):
+            simulator = PeakHoursSimulator(
+                venue,
+                min_stay=10.0,
+                max_stay=300.0,
+                peak_start=0.0,
+                peak_end=4000.0,
+                peak_stay_factor=peak_factor,
+                seed=11,
+            )
+            trajectory = simulator.simulate_object("p-0", duration=3600.0)
+            visits = trajectory.stay_visits()
+            durations = [end - start for _, start, end in visits[:-1]]  # last may be cut
+            return sum(durations) / len(durations)
+
+        assert mean_stay(0.2) < mean_stay(1.0)
+
+    def test_crowd_validation(self, venue):
+        with pytest.raises(ValueError, match="peak_stay_factor"):
+            PeakHoursSimulator(venue, peak_stay_factor=0.0)
+        with pytest.raises(ValueError, match="peak"):
+            PeakHoursSimulator(venue, peak_start=100.0, peak_end=50.0)
+
+    def test_commuter_validation(self, venue):
+        with pytest.raises(ValueError, match="anchor_count"):
+            CommuterSimulator(venue, anchor_count=0)
+        with pytest.raises(ValueError, match="anchor_affinity"):
+            CommuterSimulator(venue, anchor_affinity=1.5)
+
+
+# ------------------------------------------------------- dropout bursts
+class TestDropoutBursts:
+    def test_dropout_thins_reports(self):
+        venue = build_concourse_hub(halls=2, bays_per_hall=3)
+        simulator = WaypointSimulator(venue, min_stay=20.0, max_stay=120.0, seed=3)
+        trajectory = simulator.simulate_object("d-0", duration=1800.0)
+        dense = PositioningErrorModel(max_period=5.0, error=2.0, seed=4)
+        sparse = PositioningErrorModel(
+            max_period=5.0,
+            error=2.0,
+            dropout_probability=0.25,
+            dropout_duration=(60.0, 180.0),
+            seed=4,
+        )
+        dense_seq = dense.corrupt_trajectory(trajectory, venue)
+        sparse_seq = sparse.corrupt_trajectory(trajectory, venue)
+        assert len(sparse_seq.sequence) < len(dense_seq.sequence)
+
+    def test_zero_dropout_stream_is_bitwise_unchanged(self):
+        """dropout_probability=0 must not consume randomness: old datasets stand."""
+        venue = build_concourse_hub(halls=2, bays_per_hall=3)
+        simulator = WaypointSimulator(venue, min_stay=20.0, max_stay=120.0, seed=3)
+        trajectory = simulator.simulate_object("d-0", duration=600.0)
+        plain = PositioningErrorModel(max_period=5.0, error=2.0, seed=4)
+        explicit = PositioningErrorModel(
+            max_period=5.0, error=2.0, dropout_probability=0.0, seed=4
+        )
+        a = plain.corrupt_trajectory(trajectory, venue)
+        b = explicit.corrupt_trajectory(trajectory, venue)
+        assert [(r.timestamp, r.x, r.y) for r in a.sequence] == [
+            (r.timestamp, r.x, r.y) for r in b.sequence
+        ]
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError, match="dropout_duration"):
+            PositioningErrorModel(dropout_duration=(50.0, 10.0))
+
+
+# ------------------------------------------------- evaluation integration
+class TestEvaluationIntegration:
+    def test_resolve_dataset_passthrough_and_by_name(self, small_dataset):
+        assert resolve_dataset(small_dataset) is small_dataset
+        by_name = resolve_dataset("mall-tiny")
+        assert len(by_name) == len(small_dataset)
+
+    def test_runner_accepts_scenario_name(self):
+        results = run_accuracy_comparison("mall-tiny", methods=("SMoT",))
+        assert results[0].method == "SMoT"
+        assert 0.0 <= results[0].scores.region_accuracy <= 1.0
+
+    def test_method_evaluator_evaluate_scenario(self):
+        scenario = materialize("mall-tiny")
+        method = make_annotator("SMoT", scenario.space)
+        by_name = MethodEvaluator().evaluate_scenario(method, "mall-tiny")
+        assert by_name.scores.region_accuracy > 0.0
+        # Passing the materialised Scenario skips the second materialisation
+        # and must score identically.
+        by_object = MethodEvaluator().evaluate_scenario(method, scenario)
+        assert by_object.scores == by_name.scores
+        with pytest.raises(ValueError, match="conflicts"):
+            MethodEvaluator().evaluate_scenario(method, scenario, seed=999)
+
+    def test_build_real_style_dataset_goes_through_the_spec(self):
+        scale = ExperimentScale.tiny()
+        direct = mall_scenario_spec(scale, name="mall").materialize().dataset
+        rebased = build_real_style_dataset(scale)
+        assert [s.region_labels for s in rebased.sequences] == [
+            s.region_labels for s in direct.sequences
+        ]
+
+
+# ------------------------------------------------------ bench integration
+class TestBenchIntegration:
+    def test_bench_cli_accepts_every_registered_scenario(self, capsys):
+        """`python -m repro.bench --scenario X` parses for the whole catalogue."""
+        for name in scenario_names():
+            with pytest.raises(SystemExit) as excinfo:
+                bench_main(["--scenario", name, "--help"])
+            assert excinfo.value.code == 0
+            capsys.readouterr()
+
+    def test_bench_cli_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            bench_main(["--scenario", "atlantis", "--out", "/tmp/never.json"])
+        capsys.readouterr()
+
+    def test_run_scenario_benchmarks_report_shape(self):
+        report = run_scenario_benchmarks(
+            ["transit-commuters"], workers=2, replication=1
+        )
+        assert report["suite"] == "scenarios"
+        assert {entry["backend"] for entry in report["results"]} == {"serial", "process"}
+        assert all(entry["agreement"] for entry in report["results"])
+        detail = report["scenarios"][0]
+        assert detail["name"] == "transit-commuters"
+        assert detail["fingerprint"] == materialize("transit-commuters").fingerprint
+
+        # The report passes the repo's own schema validator.
+        import sys
+        from pathlib import Path
+
+        tools_dir = str(Path(__file__).resolve().parents[1] / "tools")
+        sys.path.insert(0, tools_dir)
+        try:
+            from check_bench import validate_report
+        finally:
+            sys.path.remove(tools_dir)
+        assert validate_report(report, "inline") == []
+
+
+# ------------------------------------- cross-backend conformance (PR 3 ext.)
+class TestCrossBackendScenarioDeterminism:
+    """Scenario-generated workloads decode bitwise-identically on every backend.
+
+    Extends the execution-runtime conformance suite to the new catalogue:
+    the commuter+dropout concourse scenario exercises venue geometry and
+    record patterns the mall fixture never produced, and sharded decoding
+    must still be a pure throughput knob over them.
+    """
+
+    @pytest.fixture(scope="class")
+    def scenario_annotator_and_decode(self):
+        from repro.core import C2MNAnnotator, C2MNConfig
+        from repro.mobility.dataset import train_test_split
+
+        scenario = materialize("transit-commuters")
+        train, test = train_test_split(scenario.dataset, train_fraction=0.5, seed=5)
+        annotator = C2MNAnnotator(
+            scenario.space,
+            config=C2MNConfig.fast(max_iterations=2, mcmc_samples=4, lbfgs_iterations=3),
+        )
+        annotator.fit(train.sequences)
+        decode = [labeled.sequence for labeled in test.sequences]
+        serial = annotator.predict_labels_many(decode, backend="serial")
+        return annotator, decode, serial
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_backends_match_serial_bitwise(
+        self, scenario_annotator_and_decode, backend, workers
+    ):
+        annotator, decode, serial = scenario_annotator_and_decode
+        sharded = annotator.predict_labels_many(
+            decode, workers=workers, backend=backend
+        )
+        assert sharded == serial
+
+
+# ---------------------------------------------------- service integration
+class TestScenarioReplay:
+    def test_windowed_replay_publishes_and_is_deterministic(self, fitted_annotator):
+        service, report = replay_scenario(
+            "mall-tiny", annotator=fitted_annotator, window=16
+        )
+        assert report.records > 0
+        assert report.published > 0
+        assert report.decodes == report.records
+        assert len(service.store) == report.objects
+        _, again = replay_scenario("mall-tiny", annotator=fitted_annotator, window=16)
+        assert again.published == report.published
+
+    def test_exact_replay_matches_batch(self, fitted_annotator):
+        _, report = replay_scenario(
+            "mall-tiny", annotator=fitted_annotator, exact=True
+        )
+        assert report.exact
+        assert report.batch_agreement is True
+
+    def test_live_queries_after_replay(self, fitted_annotator):
+        service, _ = replay_scenario(
+            "mall-tiny", annotator=fitted_annotator, window=16
+        )
+        top = service.popular_regions(3)
+        assert len(top) > 0
+        assert all(count > 0 for _, count in top)
+
+
+# ------------------------------------------------------------------- CLI
+class TestScenariosCli:
+    def test_list(self, capsys):
+        assert scenarios_main([]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_materialize(self, capsys):
+        assert scenarios_main(["--materialize", "mall-tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+
+    def test_materialize_unknown_fails(self, capsys):
+        assert scenarios_main(["--materialize", "atlantis"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown scenario 'atlantis'" in err
+        assert "mall-tiny" in err  # the catalogue is listed
+
+    def test_smoke(self, capsys):
+        assert scenarios_main(["--smoke"]) == 0
+        assert "smoke ok" in capsys.readouterr().out
+
+    def test_write_goldens_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "goldens.json"
+        assert scenarios_main(["--write-goldens", str(target)]) == 0
+        capsys.readouterr()
+        import json
+
+        written = json.loads(target.read_text())
+        assert sorted(written) == scenario_names()
