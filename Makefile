@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf bench-json bench-check scenarios coverage docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios coverage docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -14,15 +14,28 @@ bench:
 
 # The performance benchmarks on their own.
 perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py benchmarks/test_perf_streaming.py benchmarks/test_perf_runtime.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_inference_engine.py benchmarks/test_perf_streaming.py benchmarks/test_perf_runtime.py benchmarks/test_perf_queries.py -q -s
 
 # Machine-readable runtime benchmarks -> BENCH_runtime.json (the CI artifact).
 bench-json:
 	$(PYTHON) -m repro.bench --tiny --out BENCH_runtime.json
 
+# Query-engine smoke: the example tour plus the machine-readable
+# indexed-vs-scan suite -> BENCH_queries.json.
+queries:
+	$(PYTHON) examples/query_tour.py
+	$(PYTHON) -m repro.bench --tiny --queries --out BENCH_queries.json
+
 # Validate BENCH_*.json against the bench schema.
 bench-check:
 	$(PYTHON) tools/check_bench.py
+
+# The perf-regression gate CI runs: regenerate the tiny runtime + query
+# reports and compare them against the committed baselines.
+bench-compare:
+	$(PYTHON) -m repro.bench --tiny --out BENCH_runtime.json
+	$(PYTHON) -m repro.bench --tiny --queries --out BENCH_queries.json
+	$(PYTHON) tools/check_bench.py BENCH_runtime.json BENCH_queries.json --compare benchmarks/baselines --tolerance 0.5
 
 # List the scenario catalogue, then materialise the smallest scenario
 # end-to-end (simulate -> corrupt -> preprocess -> fit -> annotate).

@@ -1,0 +1,96 @@
+"""Indexed vs scan top-k query latency (the semantic-region index tentpole).
+
+Runs the same deterministic query set ``python -m repro.bench --queries``
+times — full-range, bounded, open-ended and region-filtered TkPRQ/TkFRPQ at
+several k — over the largest catalogue scenario's replicated ground-truth
+m-semantics, once as the linear scan and once through a bulk-built
+:class:`repro.index.SemanticsIndex`, and asserts the two contract
+properties:
+
+* every indexed answer is bit-identical to the scan answer (always
+  asserted, never relaxed);
+* the indexed pass beats the scan by at least 5x end to end.
+
+Unlike the process-sharding floor this one does not depend on core count —
+the index wins algorithmically — but shared-runner noise still exists, so
+``REPRO_PERF_FLOOR`` can lower (never raise) the floor, exactly like the
+other perf benchmarks.  The machine-readable counterpart is
+``python -m repro.bench --queries`` validated by ``tools/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _bench_utils import print_report, run_once
+
+from repro.bench.queries import (
+    QUERY_LOOPS,
+    _answers,
+    _make_tkfrpq,
+    _make_tkprq,
+    build_query_set,
+    build_query_workload,
+)
+from repro.index import SemanticsIndex
+
+#: The biggest catalogue workload (most m-semantics entries at tiny scale).
+SCENARIO = "transit-morning-peak"
+REPLICATION = 6
+MIN_SPEEDUP = min(5.0, float(os.environ.get("REPRO_PERF_FLOOR", "5.0")))
+
+
+def _run_query_set(target, queries):
+    answers = []
+    for _ in range(QUERY_LOOPS):
+        answers = _answers(target, queries, _make_tkprq)
+        answers += _answers(target, queries, _make_tkfrpq)
+    return answers
+
+
+def test_perf_indexed_queries_beat_scan(benchmark):
+    scenario, semantics = build_query_workload(SCENARIO, replication=REPLICATION)
+    queries = build_query_set(semantics, scenario.space.region_ids)
+
+    build_start = time.perf_counter()
+    index = SemanticsIndex.from_semantics(semantics)
+    build_seconds = time.perf_counter() - build_start
+
+    # Warm both paths once (answers also feed the equivalence assertion).
+    scan_answers = _run_query_set(semantics, queries)
+    indexed_answers = _run_query_set(index, queries)
+
+    start = time.perf_counter()
+    _run_query_set(semantics, queries)
+    scan_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_once(benchmark, lambda: _run_query_set(index, queries))
+    indexed_seconds = time.perf_counter() - start
+
+    speedup = scan_seconds / indexed_seconds if indexed_seconds > 0 else float("inf")
+    stats = index.stats()
+    print_report(
+        "Indexed vs scan top-k query latency",
+        "\n".join(
+            [
+                f"workload:  {stats['objects']} objects, {stats['entries']} "
+                f"m-semantics, {stats['postings']} postings, "
+                f"{stats['regions']} regions ({SCENARIO} x{REPLICATION})",
+                f"queries:   {2 * len(queries)} shapes x 3 ks x {QUERY_LOOPS} loops",
+                f"build:     {build_seconds:8.4f} s (one-off bulk build)",
+                f"scan:      {scan_seconds:8.4f} s",
+                f"indexed:   {indexed_seconds:8.4f} s",
+                f"speedup:   {speedup:8.2f} x (floor: {MIN_SPEEDUP:.1f} x)",
+            ]
+        ),
+    )
+
+    assert indexed_answers == scan_answers, (
+        "indexed answers diverge from the scan — the index engine is broken"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"indexed queries only {speedup:.2f}x faster than the scan "
+        f"(floor {MIN_SPEEDUP:.1f}x)"
+    )

@@ -4,6 +4,14 @@ All functions take ``semantics_per_object`` — an iterable with one m-semantics
 sequence per object, i.e. exactly what :meth:`C2MNAnnotator.annotate_many`
 returns or what :func:`repro.evaluation.harness.ground_truth_semantics`
 produces from labeled data.
+
+Inputs carrying a live :class:`repro.index.SemanticsIndex` (the index
+itself, or a :class:`repro.service.SemanticsStore` with one attached) are
+served from the index's incrementally-maintained integer counters where the
+result is exactly reproducible that way: :func:`conversion_rates` and the
+stays-only :func:`region_transition_counts` / :func:`top_transitions`.
+:func:`dwell_time_statistics` always scans — its floating-point
+accumulation order is part of its observable output.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.index import resolve_index
 from repro.mobility.records import EVENT_STAY, MSemantics
 
 
@@ -47,14 +56,18 @@ def conversion_rates(
     min_visits:
         Regions with fewer total visits are dropped (noise suppression).
     """
-    stays: Counter = Counter()
-    passes: Counter = Counter()
-    for semantics in semantics_per_object:
-        for ms in semantics:
-            if ms.event == EVENT_STAY:
-                stays[ms.region_id] += 1
-            else:
-                passes[ms.region_id] += 1
+    index = resolve_index(semantics_per_object)
+    if index is not None:
+        stays, passes = index.conversion_counters()
+    else:
+        stays = Counter()
+        passes = Counter()
+        for semantics in semantics_per_object:
+            for ms in semantics:
+                if ms.event == EVENT_STAY:
+                    stays[ms.region_id] += 1
+                else:
+                    passes[ms.region_id] += 1
     stats = [
         ConversionStats(region_id=region, stays=stays[region], passes=passes[region])
         for region in set(stays) | set(passes)
@@ -101,6 +114,10 @@ def region_transition_counts(
     mining; consecutive duplicates are collapsed so lingering in one region
     does not inflate self transitions.
     """
+    if stays_only:
+        index = resolve_index(semantics_per_object)
+        if index is not None:
+            return index.transition_counts()
     counts: Counter = Counter()
     for semantics in semantics_per_object:
         visited: List[int] = []

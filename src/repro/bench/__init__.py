@@ -23,13 +23,25 @@ from repro.bench.runner import (
     run_scenario_benchmarks,
     write_report,
 )
+from repro.bench.queries import (
+    QUERY_KS,
+    QUERY_REPLICATION,
+    build_query_set,
+    build_query_workload,
+    run_query_benchmarks,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
     "REPLICATION",
     "REQUIRED_RESULT_KEYS",
     "REQUIRED_TOP_KEYS",
+    "QUERY_KS",
+    "QUERY_REPLICATION",
+    "build_query_set",
+    "build_query_workload",
     "build_workload",
+    "run_query_benchmarks",
     "run_runtime_benchmarks",
     "run_scenario_benchmarks",
     "write_report",

@@ -356,10 +356,17 @@ def format_summary(report: Dict[str, Any]) -> str:
         ),
     ]
     for detail in report.get("scenarios", []):
-        lines.append(
-            f"  scenario {detail['name']:22s} materialise {detail['materialize_seconds']:6.3f}s  "
-            f"fit {detail['fit_seconds']:6.3f}s  fingerprint {detail['fingerprint'][:16]}"
-        )
+        if "materialize_seconds" in detail:
+            lines.append(
+                f"  scenario {detail['name']:22s} materialise {detail['materialize_seconds']:6.3f}s  "
+                f"fit {detail['fit_seconds']:6.3f}s  fingerprint {detail['fingerprint'][:16]}"
+            )
+        else:
+            lines.append(
+                f"  scenario {detail['name']:22s} objects {detail['objects']:5d}  "
+                f"postings {detail['postings']:6d}  "
+                f"index build {detail['index_build_seconds']:6.3f}s"
+            )
     for entry in report["results"]:
         lines.append(
             f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
@@ -401,6 +408,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workload (repeatable; 'all' runs the whole catalogue)",
     )
     parser.add_argument(
+        "--queries",
+        action="store_true",
+        help="run the query suite (indexed vs scan TkPRQ/TkFRPQ) instead of "
+        "the annotation runtime workload; --scale sets the replication and "
+        "--scenario restricts the scenario set",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -419,17 +433,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "BENCH_scenarios.json with --scenario)",
     )
     args = parser.parse_args(argv)
-    if args.scenario and args.scale is not None:
+    if args.scenario and args.scale is not None and not args.queries:
         parser.error("--scale/--tiny do not apply to --scenario runs")
     if args.out is None:
-        args.out = "BENCH_scenarios.json" if args.scenario else "BENCH_runtime.json"
+        if args.queries:
+            args.out = "BENCH_queries.json"
+        elif args.scenario:
+            args.out = "BENCH_scenarios.json"
+        else:
+            args.out = "BENCH_runtime.json"
 
-    if args.scenario:
-        names = (
-            scenario_names()
-            if "all" in args.scenario
-            else list(dict.fromkeys(args.scenario))
+    names = (
+        scenario_names()
+        if not args.scenario or "all" in args.scenario
+        else list(dict.fromkeys(args.scenario))
+    )
+    if args.queries:
+        from repro.bench.queries import run_query_benchmarks
+
+        report = run_query_benchmarks(
+            names, scale=args.scale or "tiny", repeats=args.repeats
         )
+    elif args.scenario:
         report = run_scenario_benchmarks(
             names, workers=args.workers, repeats=args.repeats
         )

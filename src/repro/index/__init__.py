@@ -1,0 +1,25 @@
+"""Incremental semantic-region index and top-k query engine.
+
+* :mod:`repro.index.engine` — :class:`SemanticsIndex`: region → time-sorted
+  visit postings (inverted + interval index over stay m-semantics),
+  per-object region sets for pair queries, and exact per-region counters
+  for analytics; incrementally maintained on every
+  ``SemanticsStore.publish`` or bulk-built from batch output.
+* :mod:`repro.index.planner` — the planner that routes each TkPRQ/TkFRPQ
+  evaluation to the index when one is attached and to the linear scan
+  otherwise, with bit-identical results either way.
+
+``docs/ARCHITECTURE.md`` (section "The index layer") documents the postings
+layout and the planner's fallback rule.
+"""
+
+from repro.index.engine import SemanticsIndex, iter_object_semantics
+from repro.index.planner import QueryPlan, plan_query, resolve_index
+
+__all__ = [
+    "SemanticsIndex",
+    "iter_object_semantics",
+    "QueryPlan",
+    "plan_query",
+    "resolve_index",
+]

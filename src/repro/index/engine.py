@@ -1,0 +1,412 @@
+"""The incremental semantic-region index: inverted postings over m-semantics.
+
+:class:`SemanticsIndex` maintains, for every region, a time-sorted list of
+*visit postings* — one ``(start_time, end_time, object_id)`` triple per stay
+m-semantics — plus per-object region sets for pair queries and exact integer
+counters (stay/pass totals, collapsed stay transitions) for the analytics
+fast paths.  It is built either incrementally (``add`` on every
+``SemanticsStore.publish``) or in bulk from batch ``annotate_many`` output or
+a materialised scenario (:meth:`SemanticsIndex.from_semantics`).
+
+Queries answered from the index are *bit-identical* to the linear scan in
+:mod:`repro.queries`: the same visits are counted (a stay contributes when
+its time period intersects the closed query interval), ranked with the same
+``(-count, key)`` order, and ties at rank k resolve identically.  TkPRQ adds
+threshold-style early termination: regions are visited in descending order
+of their total posting count (an upper bound on any interval-restricted
+count), so once the running top-k cannot be displaced the remaining regions
+are never touched.
+
+All public methods take the index's internal lock, so a query always sees a
+consistent snapshot even while streaming sessions keep publishing; see
+:mod:`repro.service.store` for the store-side locking discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from collections import Counter, defaultdict
+from heapq import heappush, heapreplace
+from itertools import combinations
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.mobility.records import EVENT_STAY, MSemantics
+
+#: A visit posting: the stay's time period plus the object that stayed.
+Posting = Tuple[float, float, str]
+
+RegionPair = Tuple[int, int]
+
+
+class _RegionBucket:
+    """Postings of one region, kept sorted by start time (lazily).
+
+    Appends are O(1); the first query after a mutation sorts the postings
+    and rebuilds the derived arrays (`starts` aligned with the postings,
+    `ends` independently sorted, the distinct-object set), which bounded
+    interval counting needs for its bisects.
+    """
+
+    __slots__ = ("postings", "_starts", "_ends", "_objects")
+
+    def __init__(self) -> None:
+        self.postings: List[Posting] = []
+        self._starts: Optional[List[float]] = None
+        self._ends: Optional[List[float]] = None
+        self._objects: Optional[Set[str]] = None
+
+    def add(self, posting: Posting) -> None:
+        self.postings.append(posting)
+        self._starts = None
+        self._ends = None
+        self._objects = None
+
+    def _ensure(self) -> None:
+        if self._starts is None:
+            self.postings.sort()
+            self._starts = [posting[0] for posting in self.postings]
+            self._ends = sorted(posting[1] for posting in self.postings)
+            self._objects = {posting[2] for posting in self.postings}
+
+    @property
+    def total(self) -> int:
+        """Total visit count — the upper bound for any interval restriction."""
+        return len(self.postings)
+
+    def count_in(self, start: Optional[float], end: Optional[float]) -> int:
+        """Visits whose period intersects the closed interval ``[start, end]``.
+
+        A posting is excluded when it ends before ``start`` or begins after
+        ``end``; for ``start <= end`` the two exclusion sets are disjoint
+        (a posting cannot do both), so the count is one subtraction per
+        bound over the sorted endpoint arrays.  An inverted interval
+        (``start > end``) would double-subtract, so that rare case counts
+        by direct iteration — same answer as the scan's filter.
+        """
+        if start is None and end is None:
+            return len(self.postings)
+        self._ensure()
+        if start is not None and end is not None and start > end:
+            return sum(
+                1
+                for posting in self.postings
+                if posting[0] <= end and posting[1] >= start
+            )
+        count = len(self.postings)
+        if end is not None:
+            count -= len(self.postings) - bisect_right(self._starts, end)
+        if start is not None:
+            count -= bisect_left(self._ends, start)
+        return count
+
+    def objects_in(self, start: Optional[float], end: Optional[float]) -> Set[str]:
+        """Distinct objects with at least one visit intersecting the interval."""
+        self._ensure()
+        if start is None and end is None:
+            return self._objects
+        if end is not None:
+            candidates = self.postings[: bisect_right(self._starts, end)]
+        else:
+            candidates = self.postings
+        if start is None:
+            return {posting[2] for posting in candidates}
+        return {posting[2] for posting in candidates if posting[1] >= start}
+
+
+class SemanticsIndex:
+    """Inverted + interval index over stay m-semantics, incrementally maintained.
+
+    Feed it *all* m-semantics (stays and passes): stays become visit
+    postings and drive the top-k query engines; both event kinds feed the
+    exact per-region counters behind the analytics fast paths.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._regions: Dict[int, _RegionBucket] = {}
+        self._object_regions: Dict[str, Set[int]] = {}
+        self._stay_counts: Counter = Counter()
+        self._pass_counts: Counter = Counter()
+        self._transitions: Counter = Counter()
+        self._last_stay: Dict[str, int] = {}
+        self._entries = 0
+        # Pair counters memoised per (start, end, filter) between mutations:
+        # the expensive per-object set expansion runs once per distinct
+        # interval, and every publish invalidates the lot.
+        self._pair_cache: Dict[Tuple, Counter] = {}
+
+    _PAIR_CACHE_LIMIT = 256
+
+    # -------------------------------------------------------------- building
+    def add(self, object_id: str, semantics: Iterable[MSemantics]) -> None:
+        """Ingest one object's m-semantics (must arrive in time order per object)."""
+        with self._lock:
+            for ms in semantics:
+                self._entries += 1
+                if ms.event != EVENT_STAY:
+                    self._pass_counts[ms.region_id] += 1
+                    continue
+                region = ms.region_id
+                self._stay_counts[region] += 1
+                bucket = self._regions.get(region)
+                if bucket is None:
+                    bucket = self._regions[region] = _RegionBucket()
+                bucket.add((ms.start_time, ms.end_time, object_id))
+                self._object_regions.setdefault(object_id, set()).add(region)
+                last = self._last_stay.get(object_id)
+                if last is not None and last != region:
+                    self._transitions[(last, region)] += 1
+                self._last_stay[object_id] = region
+            self._pair_cache.clear()
+
+    def add_many(
+        self, items: Iterable[Tuple[str, Sequence[MSemantics]]]
+    ) -> None:
+        """Bulk-ingest ``(object_id, semantics)`` pairs."""
+        with self._lock:
+            for object_id, semantics in items:
+                self.add(object_id, semantics)
+
+    def rebuild(self, items: Iterable[Tuple[str, Sequence[MSemantics]]]) -> None:
+        """Drop everything and re-ingest (used after ``SemanticsStore.clear``)."""
+        with self._lock:
+            self._regions.clear()
+            self._object_regions.clear()
+            self._stay_counts.clear()
+            self._pass_counts.clear()
+            self._transitions.clear()
+            self._last_stay.clear()
+            self._entries = 0
+            self._pair_cache.clear()
+            self.add_many(items)
+
+    @classmethod
+    def from_semantics(cls, semantics_per_object) -> "SemanticsIndex":
+        """Bulk-build from any query input shape.
+
+        Mappings keep their object ids; plain iterables (batch
+        ``annotate_many`` output, ground-truth lists) get positional ids.
+        """
+        index = cls()
+        index.add_many(iter_object_semantics(semantics_per_object))
+        return index
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def total_entries(self) -> int:
+        """All ingested m-semantics, stays and passes."""
+        with self._lock:
+            return self._entries
+
+    @property
+    def total_postings(self) -> int:
+        """All stay visit postings across regions."""
+        with self._lock:
+            return sum(bucket.total for bucket in self._regions.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Sizing summary: regions, objects, postings, entries."""
+        with self._lock:
+            return {
+                "regions": len(self._regions),
+                "objects": len(self._object_regions),
+                "postings": sum(b.total for b in self._regions.values()),
+                "entries": self._entries,
+            }
+
+    # ------------------------------------------------------------- counting
+    def count_visits(
+        self,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        query_regions: Optional[Set[int]] = None,
+    ) -> Counter:
+        """Per-region stay visit counts — the indexed mirror of
+        :func:`repro.queries.tkprq.count_region_visits`."""
+        with self._lock:
+            counts: Counter = Counter()
+            for region in self._candidate_regions(query_regions):
+                visits = self._regions[region].count_in(start, end)
+                if visits:
+                    counts[region] = visits
+            return counts
+
+    def count_pairs(
+        self,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        query_regions: Optional[Set[int]] = None,
+    ) -> Counter:
+        """Per unordered region pair, the objects that stayed at both — the
+        indexed mirror of :func:`repro.queries.tkfrpq.count_region_pairs`.
+
+        Objects with identical visited-region sets are collapsed first and
+        each distinct set contributes its multiplicity per pair, so the
+        quadratic pair expansion runs once per distinct visit pattern
+        rather than once per object.  Returns a copy; the counter itself is
+        memoised per interval/filter until the next mutation.
+        """
+        with self._lock:
+            return Counter(self._pair_counts(start, end, query_regions))
+
+    def _pair_counts(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        query_regions: Optional[Set[int]],
+    ) -> Counter:
+        key = (
+            start,
+            end,
+            None if query_regions is None else frozenset(query_regions),
+        )
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        set_counts: Counter = Counter(
+            frozenset(visited)
+            for visited in self._visited_region_sets(start, end, query_regions)
+        )
+        counts: Counter = Counter()
+        for visited, multiplicity in set_counts.items():
+            for pair in combinations(sorted(visited), 2):
+                counts[pair] += multiplicity
+        if len(self._pair_cache) >= self._PAIR_CACHE_LIMIT:
+            self._pair_cache.clear()
+        self._pair_cache[key] = counts
+        return counts
+
+    def _candidate_regions(self, query_regions: Optional[Set[int]]) -> List[int]:
+        if query_regions is None:
+            return list(self._regions)
+        return [region for region in query_regions if region in self._regions]
+
+    def _visited_region_sets(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        query_regions: Optional[Set[int]],
+    ) -> Iterable[Set[int]]:
+        """Per-object sets of regions visited within the interval."""
+        if start is None and end is None:
+            # Full range: the per-object region sets are maintained directly.
+            if query_regions is None:
+                return list(self._object_regions.values())
+            return [
+                regions & query_regions
+                for regions in self._object_regions.values()
+            ]
+        # Bounded: region-major — each bucket's bisect prunes by start time,
+        # so only postings near the interval are touched.
+        visited: Dict[str, Set[int]] = defaultdict(set)
+        for region in self._candidate_regions(query_regions):
+            for object_id in self._regions[region].objects_in(start, end):
+                visited[object_id].add(region)
+        return list(visited.values())
+
+    # ---------------------------------------------------------------- top-k
+    def top_k_regions(
+        self,
+        k: int,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        query_regions: Optional[Set[int]] = None,
+    ) -> List[Tuple[int, int]]:
+        """TkPRQ with threshold-style early termination.
+
+        Regions are examined in descending order of total posting count,
+        which upper-bounds any interval-restricted count; once k answers are
+        held and the next bound is strictly below the weakest of them, no
+        remaining region can enter the top-k (equal bounds continue, because
+        a tie is broken by the smaller region id).  Returns the exact
+        ``sorted(counts.items(), key=(-count, region))[:k]`` of the scan.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        with self._lock:
+            candidates = self._candidate_regions(query_regions)
+            candidates.sort(key=lambda region: (-self._regions[region].total, region))
+            # Min-heap of the running top-k; the root is the weakest member
+            # ((count, -region): lowest count first, largest id among ties).
+            heap: List[Tuple[int, int]] = []
+            for region in candidates:
+                bucket = self._regions[region]
+                if len(heap) == k and bucket.total < heap[0][0]:
+                    break
+                count = bucket.count_in(start, end)
+                if count == 0:
+                    continue
+                entry = (count, -region)
+                if len(heap) < k:
+                    heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapreplace(heap, entry)
+            ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
+            return [(-negated, count) for count, negated in ranked]
+
+    def top_k_pairs(
+        self,
+        k: int,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        query_regions: Optional[Set[int]] = None,
+    ) -> List[Tuple[RegionPair, int]]:
+        """TkFRPQ from the per-object region sets (bit-identical to the scan)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        with self._lock:
+            counts = self._pair_counts(start, end, query_regions)
+            ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+            return ranked[:k]
+
+    # ------------------------------------------------------------- analytics
+    def conversion_counters(self) -> Tuple[Counter, Counter]:
+        """Copies of the per-region (stay, pass) counters."""
+        with self._lock:
+            return Counter(self._stay_counts), Counter(self._pass_counts)
+
+    def transition_counts(self) -> Counter:
+        """Copy of the collapsed stay-to-stay transition counter."""
+        with self._lock:
+            return Counter(self._transitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.stats()
+        return (
+            f"SemanticsIndex(regions={stats['regions']}, "
+            f"objects={stats['objects']}, postings={stats['postings']})"
+        )
+
+
+def iter_object_semantics(
+    semantics_per_object,
+) -> Iterable[Tuple[str, Sequence[MSemantics]]]:
+    """Normalise any query input shape into ``(object_id, semantics)`` pairs.
+
+    Mappings contribute their items; store-like objects (anything with an
+    ``as_dict`` snapshot method) contribute theirs; plain iterables — batch
+    ``annotate_many`` output, ground-truth lists — get positional ids.
+    """
+    if isinstance(semantics_per_object, Mapping):
+        return semantics_per_object.items()
+    as_dict = getattr(semantics_per_object, "as_dict", None)
+    if callable(as_dict):
+        return as_dict().items()
+    return (
+        (f"object-{position}", semantics)
+        for position, semantics in enumerate(semantics_per_object)
+    )

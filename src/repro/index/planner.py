@@ -1,0 +1,74 @@
+"""The query planner: route a query to the index or to the linear scan.
+
+The rule is deliberately small and explicit:
+
+1. If the query input *is* a :class:`~repro.index.engine.SemanticsIndex`,
+   or is a store with a live attached index (anything exposing a
+   ``live_index`` attribute holding one), the index answers the query.
+2. A degenerate interval (``start > end``) falls back to the scan when the
+   input can be scanned: the index's fast disjoint-exclusion counting only
+   holds for well-formed intervals, and the scan defines the semantics.
+   A *bare* index has nothing to scan, so it answers degenerate intervals
+   itself through the slow-but-equivalent direct filter.
+3. Everything else — plain lists, mappings, stores without an index — is
+   scanned.
+
+Both routes return bit-identical answers (asserted across the whole
+scenario catalogue in the test suite); the planner only chooses the faster
+physical plan, never a different logical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.index.engine import SemanticsIndex
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The route one query evaluation will take, and why."""
+
+    use_index: bool
+    reason: str
+    index: Optional[SemanticsIndex] = None
+
+
+def resolve_index(semantics_per_object) -> Optional[SemanticsIndex]:
+    """Find a usable index behind any query input shape (or ``None``).
+
+    Accepts a bare :class:`SemanticsIndex` or any object carrying one in a
+    ``live_index`` attribute (a :class:`repro.service.store.SemanticsStore`
+    with an attached index).
+    """
+    if isinstance(semantics_per_object, SemanticsIndex):
+        return semantics_per_object
+    live = getattr(semantics_per_object, "live_index", None)
+    if isinstance(live, SemanticsIndex):
+        return live
+    return None
+
+
+def plan_query(
+    semantics_per_object,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> QueryPlan:
+    """Choose between the index engine and the scan for one evaluation."""
+    index = resolve_index(semantics_per_object)
+    if index is None:
+        return QueryPlan(use_index=False, reason="no index attached to the input")
+    if start is not None and end is not None and start > end:
+        if isinstance(semantics_per_object, SemanticsIndex):
+            return QueryPlan(
+                use_index=True,
+                reason="degenerate interval on a bare index (nothing to scan; "
+                "the index filters directly)",
+                index=index,
+            )
+        return QueryPlan(
+            use_index=False,
+            reason="degenerate interval (start > end) is defined by the scan",
+        )
+    return QueryPlan(use_index=True, reason="live semantic-region index", index=index)

@@ -8,8 +8,11 @@
   from annotated m-semantics against answers computed from the ground truth.
 
 All queries accept any per-object collection of m-semantics: a list (batch
-``annotate_many`` output), a mapping keyed by object id, or a live
-:class:`repro.service.SemanticsStore` fed by streaming sessions.
+``annotate_many`` output), a mapping keyed by object id, a live
+:class:`repro.service.SemanticsStore` fed by streaming sessions, or a
+:class:`repro.index.SemanticsIndex`.  Inputs carrying an index are answered
+by the inverted-postings engine via the :mod:`repro.index.planner`;
+everything else takes the linear scan.  The two routes are bit-identical.
 """
 
 from repro.queries.tkprq import TkPRQ, count_region_visits

@@ -12,6 +12,7 @@ from collections import Counter
 from itertools import combinations
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.index.planner import QueryPlan, plan_query
 from repro.mobility.records import EVENT_STAY, MSemantics
 from repro.queries.tkprq import per_object_sequences
 
@@ -67,10 +68,29 @@ class TkFRPQ:
         self.start = start
         self.end = end
 
+    def explain(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> QueryPlan:
+        """The physical plan :meth:`evaluate` would take for this input."""
+        return plan_query(semantics_per_object, self.start, self.end)
+
     def evaluate(
         self, semantics_per_object: Iterable[Sequence[MSemantics]]
     ) -> List[Tuple[RegionPair, int]]:
-        """Return the top-k ``((region_a, region_b), count)`` entries."""
+        """Return the top-k ``((region_a, region_b), count)`` entries.
+
+        Index-backed inputs answer from the per-object region sets (full
+        range) or interval-pruned postings (bounded); the scan is the
+        fallback and the semantic reference.  Both are bit-identical.
+        """
+        plan = plan_query(semantics_per_object, self.start, self.end)
+        if plan.use_index:
+            return plan.index.top_k_pairs(
+                self.k,
+                start=self.start,
+                end=self.end,
+                query_regions=self.query_regions,
+            )
         counts = count_region_pairs(
             semantics_per_object,
             start=self.start,

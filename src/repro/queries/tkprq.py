@@ -7,9 +7,14 @@ query time interval ``[start, end]``; an m-semantics contributes a visit to
 its region when it is a stay and its time period intersects the interval.
 
 ``semantics_per_object`` accepts any iterable of per-object sequences — a
-list (as returned by ``annotate_many``), a mapping keyed by object id, or a
-live :class:`repro.service.store.SemanticsStore`, so the query runs
-identically over batch output and in-flight streaming traffic.
+list (as returned by ``annotate_many``), a mapping keyed by object id, a
+live :class:`repro.service.store.SemanticsStore`, or a
+:class:`repro.index.SemanticsIndex` — so the query runs identically over
+batch output and in-flight streaming traffic.  Evaluation goes through the
+:mod:`repro.index.planner`: when the input is an index (or a store with one
+attached) the inverted postings answer the query with threshold-style
+early termination; otherwise the linear scan below does.  Both routes are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.index.planner import QueryPlan, plan_query
 from repro.mobility.records import EVENT_STAY, MSemantics
 
 
@@ -74,13 +80,30 @@ class TkPRQ:
         self.start = start
         self.end = end
 
+    def explain(
+        self, semantics_per_object: Iterable[Sequence[MSemantics]]
+    ) -> QueryPlan:
+        """The physical plan :meth:`evaluate` would take for this input."""
+        return plan_query(semantics_per_object, self.start, self.end)
+
     def evaluate(
         self, semantics_per_object: Iterable[Sequence[MSemantics]]
     ) -> List[Tuple[int, int]]:
         """Return the top-k ``(region_id, visit_count)`` pairs, most visited first.
 
-        Ties are broken by region id so the result is deterministic.
+        Ties are broken by region id so the result is deterministic.  When
+        the input carries a :class:`repro.index.SemanticsIndex` the answer
+        comes from the postings with early termination; the scan is the
+        fallback and the semantic reference.
         """
+        plan = plan_query(semantics_per_object, self.start, self.end)
+        if plan.use_index:
+            return plan.index.top_k_regions(
+                self.k,
+                start=self.start,
+                end=self.end,
+                query_regions=self.query_regions,
+            )
         counts = count_region_visits(
             semantics_per_object,
             start=self.start,

@@ -13,9 +13,11 @@ The runtime layer is the one place batch work is parallelised.  It offers:
   :func:`sequence_fingerprint`, :func:`weights_fingerprint`) used to build
   those keys.
 
-``repro.core.parallel`` is a thin shim over this package; the ``*_many``
-batch methods, the evaluation harness, the experiment runners and the
-service layer all accept a ``backend=`` selecting the execution strategy.
+The ``*_many`` batch methods, the evaluation harness, the experiment
+runners and the service layer all accept a ``backend=`` selecting the
+execution strategy; :func:`map_with_workers` (formerly the
+``repro.core.parallel`` shim, now retired) is the thread-first one-shot
+mapper for anything else.
 """
 
 from repro.runtime.cache import (
@@ -31,6 +33,7 @@ from repro.runtime.executor import (
     BACKEND_NAMES,
     Executor,
     map_sharded,
+    map_with_workers,
     resolve_backend,
     shard_indices,
     validate_workers,
@@ -44,6 +47,7 @@ __all__ = [
     "config_fingerprint",
     "fingerprint",
     "map_sharded",
+    "map_with_workers",
     "resolve_backend",
     "sequence_fingerprint",
     "shard_indices",

@@ -215,3 +215,24 @@ def map_sharded(
 ) -> List[ResultT]:
     """One-shot convenience wrapper: ``Executor(backend, workers).map(...)``."""
     return Executor(backend=backend, workers=workers).map(func, items)
+
+
+def map_with_workers(
+    func: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: Optional[int],
+    *,
+    backend: str = "thread",
+) -> List[ResultT]:
+    """Map ``func`` over ``items`` through an :class:`Executor`.
+
+    The seed-era batch-mapping entry point (formerly the
+    ``repro.core.parallel`` shim, now retired): ``workers`` of ``None`` or
+    1 runs serially; larger counts fan out over ``backend`` (``"thread"``
+    by default, matching the historical behaviour).  Results always come
+    back in input order, and invalid ``workers`` values (< 1) raise
+    :class:`ValueError` regardless of the batch size.  ``func`` must be
+    thread-safe for the thread backend and picklable for the process
+    backend.
+    """
+    return Executor(backend=backend, workers=workers).map(func, items)

@@ -10,7 +10,10 @@ is annotated.  This subsystem serves *in-flight* traffic instead:
   window (full-sequence decode stays available as the exact fallback) and
   finalizes m-semantics once the window has moved past them;
 * finalized m-semantics land in the shared :class:`SemanticsStore`, over
-  which the paper's TkPRQ/TkFRPQ and the behaviour analytics run live;
+  which the paper's TkPRQ/TkFRPQ and the behaviour analytics run live —
+  attach a :class:`repro.index.SemanticsIndex` with
+  ``service.enable_index()`` and those queries answer from incrementally
+  maintained postings instead of scanning the store;
 * ``service.save(path)`` / ``AnnotationService.load(path, space)`` ship a
   trained model without retraining;
 * :func:`replay_scenario` replays a registered scenario's traffic through

@@ -8,9 +8,12 @@ together with a :class:`repro.service.store.SemanticsStore` and exposes:
   m-semantics to the store as they become final;
 * :meth:`AnnotationService.annotate_batch` — the batch path through the same
   store, for backfills and offline workloads;
-* :meth:`AnnotationService.popular_regions` / :meth:`frequent_pairs` — the
-  paper's TkPRQ and TkFRPQ evaluated live over everything published so far,
-  in-flight sessions included;
+* :meth:`AnnotationService.query_popular_regions` /
+  :meth:`query_frequent_pairs` — the paper's TkPRQ and TkFRPQ evaluated
+  live over everything published so far, in-flight sessions included;
+  with :meth:`enable_index` the store carries a live
+  :class:`repro.index.SemanticsIndex` and these answer from the postings
+  (bit-identically) instead of scanning every published m-semantics;
 * :meth:`AnnotationService.save` / :meth:`AnnotationService.load` — JSON
   persistence of the trained model and service settings (built on
   :mod:`repro.persistence`), so a trained service ships without retraining.
@@ -26,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.protocol import Annotator
+from repro.index import SemanticsIndex
 from repro.mobility.records import MSemantics, PositioningSequence
 from repro.runtime import resolve_backend
 from repro.queries.tkfrpq import RegionPair, TkFRPQ
@@ -51,6 +55,7 @@ class AnnotationService:
         window: int = DEFAULT_WINDOW,
         guard: Optional[int] = None,
         backend: str = "thread",
+        indexed: bool = False,
     ):
         if not annotator.is_fitted:
             raise ValueError(
@@ -65,6 +70,8 @@ class AnnotationService:
         self.guard = guard
         self.backend = resolve_backend(backend)
         self._sessions: Dict[str, StreamSession] = {}
+        if indexed:
+            self.store.attach_index()
 
     # -------------------------------------------------------------- sessions
     def session(
@@ -145,7 +152,25 @@ class AnnotationService:
         return semantics
 
     # ---------------------------------------------------------- live queries
-    def popular_regions(
+    def enable_index(self) -> SemanticsIndex:
+        """Attach a live semantic-region index to this service's store.
+
+        Subsequent ``query_*`` calls are answered from the index (updated on
+        every publish, under the store's lock discipline) instead of a full
+        scan; results stay bit-identical.  Idempotent.
+        """
+        return self.store.attach_index()
+
+    def disable_index(self) -> None:
+        """Detach the store's index; queries fall back to the linear scan."""
+        self.store.detach_index()
+
+    @property
+    def index(self) -> Optional[SemanticsIndex]:
+        """The store's live index, if enabled."""
+        return self.store.live_index
+
+    def query_popular_regions(
         self,
         k: int,
         *,
@@ -157,7 +182,7 @@ class AnnotationService:
         query = TkPRQ(k, query_regions=query_regions, start=start, end=end)
         return query.evaluate(self.store)
 
-    def frequent_pairs(
+    def query_frequent_pairs(
         self,
         k: int,
         *,
@@ -168,6 +193,10 @@ class AnnotationService:
         """TkFRPQ over everything published so far (in-flight traffic included)."""
         query = TkFRPQ(k, query_regions=query_regions, start=start, end=end)
         return query.evaluate(self.store)
+
+    # Historical names, kept as thin delegates.
+    popular_regions = query_popular_regions
+    frequent_pairs = query_frequent_pairs
 
     # ----------------------------------------------------------- persistence
     def save(self, path: PathLike) -> None:
@@ -184,6 +213,7 @@ class AnnotationService:
             "window": self.window,
             "guard": self.guard,
             "backend": self.backend,
+            "indexed": self.store.live_index is not None,
             "annotator": annotator_to_dict(self.annotator),
         }
         Path(path).write_text(json.dumps(payload))
@@ -217,6 +247,7 @@ class AnnotationService:
             window=payload.get("window", cls.DEFAULT_WINDOW),
             guard=payload.get("guard"),
             backend=payload.get("backend", "thread"),
+            indexed=payload.get("indexed", False),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

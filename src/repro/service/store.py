@@ -10,6 +10,12 @@ keep appending to it.
 
 The store is thread-safe: concurrent sessions (one per moving object) publish
 under a lock, and readers always observe consistent per-object snapshots.
+
+A store can carry a live :class:`repro.index.SemanticsIndex`
+(:meth:`SemanticsStore.attach_index` / :meth:`detach_index`): every publish
+then updates the index inside the store lock, so queries evaluated over the
+store are answered from the postings instead of a full scan — with
+bit-identical results — while sessions keep publishing concurrently.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from repro.index import SemanticsIndex
 from repro.mobility.records import MSemantics
 from repro.persistence.serializers import semantics_from_dicts, semantics_to_dicts
 
@@ -31,6 +38,7 @@ class SemanticsStore:
     def __init__(self):
         self._semantics: Dict[str, List[MSemantics]] = {}
         self._lock = threading.Lock()
+        self._index: Optional[SemanticsIndex] = None
 
     # ------------------------------------------------------------ publishing
     def publish(self, object_id: str, semantics: Iterable[MSemantics]) -> None:
@@ -38,13 +46,16 @@ class SemanticsStore:
 
         Entries must arrive in time order per object (streaming sessions and
         batch annotation both guarantee this); the non-overlap invariant of
-        Definition 3 is the publisher's responsibility.
+        Definition 3 is the publisher's responsibility.  An attached index
+        is updated under the same lock, so it never diverges from the store.
         """
         entries = list(semantics)
         if not entries:
             return
         with self._lock:
             self._semantics.setdefault(object_id, []).extend(entries)
+            if self._index is not None:
+                self._index.add(object_id, entries)
 
     def clear(self, object_id: Optional[str] = None) -> None:
         """Drop one object's sequence (or everything when no id is given)."""
@@ -53,6 +64,34 @@ class SemanticsStore:
                 self._semantics.clear()
             else:
                 self._semantics.pop(object_id, None)
+            if self._index is not None:
+                self._index.rebuild(self._semantics.items())
+
+    # ----------------------------------------------------------------- index
+    def attach_index(self) -> SemanticsIndex:
+        """Attach (or return the already-attached) live semantic-region index.
+
+        The index is bulk-built from the current contents under the store
+        lock and kept incrementally up to date by every subsequent
+        :meth:`publish`.  Queries that receive this store then route through
+        the index automatically (see :mod:`repro.index.planner`).
+        """
+        with self._lock:
+            if self._index is None:
+                index = SemanticsIndex()
+                index.add_many(self._semantics.items())
+                self._index = index
+            return self._index
+
+    def detach_index(self) -> None:
+        """Drop the live index; queries fall back to the linear scan."""
+        with self._lock:
+            self._index = None
+
+    @property
+    def live_index(self) -> Optional[SemanticsIndex]:
+        """The attached index, if any — what the query planner looks for."""
+        return self._index
 
     # --------------------------------------------------------------- reading
     def objects(self) -> List[str]:
@@ -95,12 +134,14 @@ class SemanticsStore:
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path: PathLike) -> "SemanticsStore":
-        """Read a store written by :meth:`save`."""
+    def load(cls, path: PathLike, *, indexed: bool = False) -> "SemanticsStore":
+        """Read a store written by :meth:`save`; ``indexed`` attaches an index."""
         payload = json.loads(Path(path).read_text())
         store = cls()
         for object_id, entries in payload.items():
             store.publish(object_id, semantics_from_dicts(entries))
+        if indexed:
+            store.attach_index()
         return store
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -1,0 +1,144 @@
+"""Tests of the bench-report validator and the perf-regression compare gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", Path(__file__).resolve().parent.parent / "tools" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def _report(suite="queries", results=None):
+    return {
+        "schema": "repro.bench/1",
+        "suite": suite,
+        "created_at": "2026-07-29T00:00:00+00:00",
+        "python": "3.11.7",
+        "platform": "test",
+        "cpu_count": 4,
+        "scale": "tiny",
+        "workers": 1,
+        "workload": {"sequences": 10, "records": 100},
+        "results": results
+        if results is not None
+        else [
+            _row("s:tkprq:scan", speedup=1.0),
+            _row("s:tkprq:indexed", speedup=8.0),
+        ],
+    }
+
+
+def _row(name, *, backend="serial", workers=1, speedup=1.0, agreement=True):
+    return {
+        "name": name,
+        "backend": backend,
+        "workers": workers,
+        "seconds": 0.5,
+        "speedup_vs_serial": speedup,
+        "agreement": agreement,
+    }
+
+
+class TestValidate:
+    def test_queries_suite_valid_without_process_rows(self):
+        assert check_bench.validate_report(_report(), "r") == []
+
+    def test_runtime_suite_requires_process_rows(self):
+        problems = check_bench.validate_report(_report(suite="runtime"), "r")
+        assert any("process-backend" in problem for problem in problems)
+
+    def test_disagreement_fails_validation(self):
+        report = _report(results=[_row("q:scan"), _row("q:indexed", agreement=False)])
+        problems = check_bench.validate_report(report, "r")
+        assert any("agreement" in problem for problem in problems)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        assert check_bench.compare_reports(_report(), _report(), 0.25, "r") == []
+
+    def test_speedup_regression_beyond_tolerance_fails(self):
+        current = _report(
+            results=[_row("s:tkprq:scan"), _row("s:tkprq:indexed", speedup=3.0)]
+        )
+        problems = check_bench.compare_reports(current, _report(), 0.25, "r")
+        assert any("regressed" in problem for problem in problems)
+
+    def test_speedup_within_tolerance_passes(self):
+        current = _report(
+            results=[_row("s:tkprq:scan"), _row("s:tkprq:indexed", speedup=6.5)]
+        )
+        assert check_bench.compare_reports(current, _report(), 0.25, "r") == []
+
+    def test_missing_row_fails(self):
+        current = _report(results=[_row("s:tkprq:scan")])
+        problems = check_bench.compare_reports(current, _report(), 0.25, "r")
+        assert any("missing" in problem for problem in problems)
+
+    def test_new_rows_are_fine(self):
+        current = _report(
+            results=[
+                _row("s:tkprq:scan"),
+                _row("s:tkprq:indexed", speedup=8.0),
+                _row("s:new-metric", speedup=1.0),
+            ]
+        )
+        assert check_bench.compare_reports(current, _report(), 0.25, "r") == []
+
+    def test_agreement_regression_is_zero_tolerance(self):
+        current = _report(
+            results=[
+                _row("s:tkprq:scan"),
+                _row("s:tkprq:indexed", speedup=8.0, agreement=False),
+            ]
+        )
+        problems = check_bench.compare_reports(current, _report(), 0.99, "r")
+        assert any("agreement regressed" in problem for problem in problems)
+
+    def test_suite_mismatch_fails(self):
+        problems = check_bench.compare_reports(
+            _report(suite="runtime"), _report(suite="queries"), 0.25, "r"
+        )
+        assert any("does not match" in problem for problem in problems)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_end_to_end_compare_pass_and_fail(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        self._write(baseline_dir, "BENCH_queries.json", _report())
+        good = self._write(tmp_path, "BENCH_queries.json", _report())
+        assert check_bench.main(
+            [str(good), "--compare", str(baseline_dir), "--tolerance", "0.25"]
+        ) == 0
+        bad = self._write(
+            tmp_path,
+            "BENCH_bad.json",
+            _report(results=[_row("s:tkprq:scan"), _row("s:tkprq:indexed", speedup=2.0)]),
+        )
+        assert check_bench.main(
+            [str(bad), "--compare", str(baseline_dir), "--tolerance", "0.25"]
+        ) == 1
+
+    def test_missing_baseline_fails(self, tmp_path):
+        report = self._write(tmp_path, "BENCH_queries.json", _report())
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert check_bench.main([str(report), "--compare", str(empty)]) == 1
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        report = self._write(tmp_path, "BENCH_queries.json", _report())
+        with pytest.raises(SystemExit):
+            check_bench.main([str(report), "--tolerance", "1.5"])

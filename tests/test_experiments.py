@@ -134,3 +134,20 @@ class TestQueryPrecision:
         )
         assert tkprq == pytest.approx(1.0)
         assert tkfrpq in (pytest.approx(1.0), 0.0)  # 0.0 only if no pair exists
+
+    def test_query_precisions_indexed_equals_scan(self, tiny_dataset):
+        """The indexed precision runner is a pure physical-plan change."""
+        train, test = train_test_split(tiny_dataset, train_fraction=0.7, seed=17)
+        truth = ground_truth_semantics(test.sequences)
+        evaluator = MethodEvaluator()
+        methods = build_methods(("SMoT",), tiny_dataset.space, FAST)
+        result = evaluator.evaluate(methods[0], train.sequences, test.sequences)
+        earliest = min(seq.sequence.start_time for seq in test.sequences)
+        kwargs = dict(interval=(earliest, earliest + 900.0))
+        indexed = query_precisions(
+            result, truth, tiny_dataset.space.region_ids, indexed=True, **kwargs
+        )
+        scanned = query_precisions(
+            result, truth, tiny_dataset.space.region_ids, indexed=False, **kwargs
+        )
+        assert indexed == scanned

@@ -13,7 +13,6 @@ import pickle
 import pytest
 
 from repro.core import C2MNAnnotator, C2MNConfig
-from repro.core.parallel import map_with_workers
 from repro.mobility.records import PositioningSequence
 from repro.runtime import (
     BACKEND_NAMES,
@@ -22,6 +21,7 @@ from repro.runtime import (
     config_fingerprint,
     fingerprint,
     map_sharded,
+    map_with_workers,
     resolve_backend,
     sequence_fingerprint,
     shard_indices,
@@ -152,7 +152,7 @@ class TestExecutorMap:
             9,
         ]
 
-    def test_map_with_workers_shim_threads_by_default(self):
+    def test_map_with_workers_threads_by_default(self):
         items = list(range(9))
         assert map_with_workers(_square, items, None) == [_square(i) for i in items]
         assert map_with_workers(_square, items, 3) == [_square(i) for i in items]

@@ -258,6 +258,48 @@ class TestLiveQueries:
         stats = conversion_rates(service.store)
         assert stats, "batch-published semantics must produce analytics"
 
+
+class TestServiceIndex:
+    def test_enable_index_keeps_queries_identical(self, service, small_split):
+        _, test = small_split
+        service.annotate_batch([labeled.sequence for labeled in test.sequences])
+        scan_regions = service.query_popular_regions(3)
+        scan_pairs = service.query_frequent_pairs(3)
+        assert service.index is None
+        index = service.enable_index()
+        assert service.index is index
+        assert TkPRQ(3).explain(service.store).use_index
+        assert service.query_popular_regions(3) == scan_regions
+        assert service.query_frequent_pairs(3) == scan_pairs
+        service.disable_index()
+        assert service.index is None
+        assert service.query_popular_regions(3) == scan_regions
+
+    def test_streaming_publishes_into_the_index(
+        self, service, short_sequences, fitted_annotator
+    ):
+        service.enable_index()
+        session = service.session("indexed-stream")
+        stream_whole_sequence(session, short_sequences[0])
+        # Every published m-semantics must have reached the index.
+        assert service.store.total_semantics > 0
+        assert service.index.total_entries == service.store.total_semantics
+        snapshot = list(service.store.as_dict().values())
+        assert service.query_popular_regions(5) == TkPRQ(5).evaluate(snapshot)
+
+    def test_indexed_flag_round_trips_through_save_load(
+        self, service, small_space, tmp_path
+    ):
+        service.enable_index()
+        path = tmp_path / "service.json"
+        service.save(path)
+        reloaded = AnnotationService.load(path, small_space)
+        assert reloaded.index is not None
+
+    def test_constructor_indexed_flag(self, fitted_annotator):
+        indexed_service = AnnotationService(fitted_annotator, indexed=True)
+        assert indexed_service.index is not None
+
     def test_batch_and_streaming_share_the_store(
         self, service, fitted_annotator, small_split
     ):

@@ -1,27 +1,46 @@
 #!/usr/bin/env python
-"""Validate benchmark reports (``BENCH_*.json``) against the bench schema.
+"""Validate benchmark reports (``BENCH_*.json``) and gate perf regressions.
 
-The CI ``bench`` job runs ``python -m repro.bench --tiny`` and then this
-validator; a malformed report — wrong schema version, missing keys, bad
-types, or any backend disagreeing with the serial labels — fails the job,
-so the uploaded perf artifact is always machine-readable and trustworthy.
+Two modes, composable:
+
+**Schema validation** (always on): a malformed report — wrong schema
+version, missing keys, bad types, or any result row with
+``"agreement": false`` — fails the check, so the uploaded perf artifact is
+always machine-readable and trustworthy.
+
+**Baseline comparison** (``--compare``): every validated report is matched
+against a committed baseline (a file, or a directory holding
+``BENCH_<suite>.json`` files such as ``benchmarks/baselines/``) and the
+check fails when a metric regresses beyond ``--tolerance``:
+
+* ``agreement`` is compared at zero tolerance — a row whose baseline
+  agreed may never disagree;
+* ``speedup_vs_serial`` may not drop below ``baseline * (1 - tolerance)``
+  — speedup ratios are machine-portable where raw wall-clock seconds are
+  not, so seconds are recorded but never gated;
+* result rows present in the baseline must still exist (keyed by
+  ``(name, backend, workers)``); new rows in the current report are fine.
 
 Usage::
 
     python tools/check_bench.py BENCH_runtime.json [more.json ...]
-    python tools/check_bench.py            # validates every BENCH_*.json in cwd
+    python tools/check_bench.py                # every BENCH_*.json in cwd
+    python tools/check_bench.py BENCH_runtime.json BENCH_queries.json \
+        --compare benchmarks/baselines --tolerance 0.5
 
-Exit status is 0 when every file validates, 1 otherwise.  Wall-clock
-*floors* are deliberately not enforced here (shared runners are noisy and
-single-core machines cannot show a process speedup); those assertions live
-in ``benchmarks/test_perf_runtime.py`` behind a core-count gate.
+Exit status is 0 when every file validates (and, with ``--compare``, shows
+no regression), 1 otherwise.  Wall-clock *floors* are deliberately not
+enforced here; those assertions live in ``benchmarks/test_perf_*.py``
+behind the ``REPRO_PERF_FLOOR`` relaxation.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -45,6 +64,11 @@ _TOP_TYPES = {
     "workload": dict,
     "results": list,
 }
+
+#: Suites whose workload must include a process-backend run.  The query
+#: suite is single-process by design (the index wins algorithmically, not
+#: by sharding), so it only needs the serial rows.
+_PROCESS_BACKED_SUITES = {"runtime", "scenarios"}
 
 
 def validate_report(report: object, origin: str) -> list:
@@ -103,29 +127,114 @@ def validate_report(report: object, origin: str) -> list:
                 problems.append(f"{where}: {key} must be a positive number")
         if entry.get("agreement") is not True:
             problems.append(
-                f"{where}: agreement must be true — a parallel backend "
-                "disagreeing with the serial labels is a correctness bug"
+                f"{where}: agreement must be true — an accelerated path "
+                "disagreeing with the reference answers is a correctness bug"
             )
         backends_seen.add(entry.get("backend"))
 
     if "serial" not in backends_seen:
         problems.append(f"{origin}: no serial baseline entry in results")
-    if "process" not in backends_seen:
+    if report["suite"] in _PROCESS_BACKED_SUITES and "process" not in backends_seen:
         problems.append(f"{origin}: no process-backend entry in results")
     return problems
 
 
-def check_file(path: Path) -> list:
-    """Parse and validate one report file; return its problem list."""
+# ------------------------------------------------------------- comparison
+def _result_key(entry: dict) -> Tuple[str, str, int]:
+    return (entry.get("name"), entry.get("backend"), entry.get("workers"))
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float, origin: str
+) -> list:
+    """Return regression problems of ``current`` against ``baseline``."""
+    problems = []
+    if current.get("suite") != baseline.get("suite"):
+        return [
+            f"{origin}: suite {current.get('suite')!r} does not match "
+            f"baseline suite {baseline.get('suite')!r}"
+        ]
+    current_rows: Dict[Tuple, dict] = {
+        _result_key(entry): entry for entry in current.get("results", [])
+    }
+    for entry in baseline.get("results", []):
+        key = _result_key(entry)
+        where = f"{origin}: {key[0]} [{key[1]} x{key[2]}]"
+        row = current_rows.get(key)
+        if row is None:
+            problems.append(f"{where} present in baseline but missing here")
+            continue
+        # Agreement regresses at zero tolerance.
+        if entry.get("agreement") is True and row.get("agreement") is not True:
+            problems.append(f"{where}: agreement regressed (true -> false)")
+        base_speedup = entry.get("speedup_vs_serial")
+        speedup = row.get("speedup_vs_serial")
+        if isinstance(base_speedup, (int, float)) and isinstance(
+            speedup, (int, float)
+        ):
+            floor = base_speedup * (1.0 - tolerance)
+            if speedup < floor:
+                problems.append(
+                    f"{where}: speedup_vs_serial {speedup:.2f}x regressed "
+                    f"below {floor:.2f}x (baseline {base_speedup:.2f}x, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return problems
+
+
+def resolve_baseline(compare: Path, report: dict, origin: str) -> Tuple[Optional[dict], list]:
+    """Find the baseline report for ``report`` under ``--compare``."""
+    path = compare
+    if compare.is_dir():
+        path = compare / f"BENCH_{report.get('suite')}.json"
+    if not path.exists():
+        return None, [f"{origin}: no baseline found at {path}"]
+    try:
+        return json.loads(path.read_text(encoding="utf-8")), []
+    except (OSError, json.JSONDecodeError) as error:
+        return None, [f"{origin}: unreadable baseline {path} ({error})"]
+
+
+def check_file(path: Path) -> Tuple[Optional[dict], list]:
+    """Parse and validate one report file; return ``(report, problems)``."""
     try:
         report = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:
-        return [f"{path}: unreadable or invalid JSON ({error})"]
-    return validate_report(report, str(path))
+        return None, [f"{path}: unreadable or invalid JSON ({error})"]
+    return report, validate_report(report, str(path))
 
 
 def main(argv: list) -> int:
-    paths = [Path(arg) for arg in argv]
+    parser = argparse.ArgumentParser(
+        prog="python tools/check_bench.py",
+        description="Validate BENCH_*.json reports; optionally gate "
+        "regressions against committed baselines.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="report files (default: every BENCH_*.json in cwd)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="baseline file, or directory of BENCH_<suite>.json baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression vs the baseline "
+        "(default: 0.25; agreement is always compared at zero tolerance)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+
+    paths: List[Path] = list(args.files)
     if not paths:
         paths = sorted(Path.cwd().glob("BENCH_*.json"))
     if not paths:
@@ -137,21 +246,31 @@ def main(argv: list) -> int:
             print(f"FAIL missing report file: {path}", file=sys.stderr)
             failures += 1
             continue
-        problems = check_file(path)
+        report, problems = check_file(path)
+        if not problems and args.compare is not None:
+            baseline, baseline_problems = resolve_baseline(
+                args.compare, report, str(path)
+            )
+            problems.extend(baseline_problems)
+            if baseline is not None:
+                problems.extend(
+                    compare_reports(report, baseline, args.tolerance, str(path))
+                )
         if problems:
             failures += 1
             for problem in problems:
                 print(f"FAIL {problem}", file=sys.stderr)
         else:
-            report = json.loads(path.read_text(encoding="utf-8"))
+            gate = " vs baseline ok" if args.compare is not None else ""
             print(
                 f"ok   {path} ({report['suite']}, scale={report['scale']}, "
-                f"{len(report['results'])} result rows)"
+                f"{len(report['results'])} result rows{gate})"
             )
     if failures:
         print(f"bench-check: {failures} invalid file(s)", file=sys.stderr)
         return 1
-    print(f"bench-check: {len(paths)} file(s) schema-valid")
+    print(f"bench-check: {len(paths)} file(s) schema-valid"
+          + (" and within tolerance" if args.compare is not None else ""))
     return 0
 
 
