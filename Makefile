@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios coverage docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios fuzz fuzz-smoke coverage docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -42,6 +42,19 @@ bench-compare:
 scenarios:
 	$(PYTHON) -m repro.scenarios --list
 	$(PYTHON) -m repro.scenarios --smoke
+
+# Pinned-seed fuzz smoke: the deterministic check CI runs on every PR.
+fuzz-smoke:
+	$(PYTHON) -m repro.scenarios --fuzz 8 --seed 20260807
+
+# Open-ended fuzz sweep (override SEED / COUNT / BUDGET as needed); the
+# failing-seed artifact lands in FUZZ_report.json.
+SEED ?= 1
+COUNT ?= 100
+BUDGET ?= 300
+fuzz:
+	$(PYTHON) -m repro.scenarios --fuzz $(COUNT) --seed $(SEED) \
+		--fuzz-budget $(BUDGET) --fuzz-artifact FUZZ_report.json
 
 # Tier-1 coverage. Uses pytest-cov when installed (the CI gate); otherwise
 # falls back to the dependency-free settrace approximation in tools/.

@@ -233,11 +233,13 @@ def run_scenario_benchmarks(
 ) -> Dict[str, Any]:
     """Time the annotation pipeline over registered scenarios.
 
-    For every scenario: materialise it (timed), fit the benchmark C2MN on
-    half of it (timed), then ``annotate_many`` the replicated other half
-    through the serial and process backends with bitwise agreement checks.
-    The report shares the ``repro.bench/1`` schema with the classic runtime
-    suite — per-scenario rows land in ``results`` (named
+    For every scenario: materialise it (timed, batch *and* streaming via
+    ``materialize_iter`` — the constant-memory generator must not cost more
+    than the batch path it mirrors), fit the benchmark C2MN on half of it
+    (timed), then ``annotate_many`` the replicated other half through the
+    serial and process backends with bitwise agreement checks.  The report
+    shares the ``repro.bench/1`` schema with the classic runtime suite —
+    per-scenario rows land in ``results`` (named
     ``<scenario>:annotate_many``) and materialise/fit timings plus the
     content fingerprint land in the ``scenarios`` section, so the CI
     artifact records when a scenario's workload drifts.
@@ -259,6 +261,19 @@ def run_scenario_benchmarks(
         mat_start = time.perf_counter()
         scenario = materialize_scenario(name, seed)
         mat_seconds = time.perf_counter() - mat_start
+        stream_start = time.perf_counter()
+        streamed = sum(
+            1
+            for _ in scenario.spec.materialize_iter(
+                scenario.seed, space=scenario.space
+            )
+        )
+        stream_seconds = time.perf_counter() - stream_start
+        if streamed != len(scenario.dataset.sequences):
+            raise RuntimeError(
+                f"streaming materialisation of {name!r} yielded {streamed} "
+                f"sequences, batch produced {len(scenario.dataset.sequences)}"
+            )
         train, test = train_test_split(scenario.dataset, train_fraction=0.5, seed=5)
         decode = [labeled.sequence for labeled in test.sequences] * replication
         annotator = bench_annotator(scenario.space)
@@ -305,6 +320,7 @@ def run_scenario_benchmarks(
                 "seed": scenario.seed,
                 "fingerprint": scenario.fingerprint,
                 "materialize_seconds": round(mat_seconds, 6),
+                "stream_materialize_seconds": round(stream_seconds, 6),
                 "fit_seconds": round(fit_seconds, 6),
                 "sequences": len(decode),
                 "records": sum(len(sequence) for sequence in decode),
@@ -357,9 +373,11 @@ def format_summary(report: Dict[str, Any]) -> str:
     ]
     for detail in report.get("scenarios", []):
         if "materialize_seconds" in detail:
+            stream = detail.get("stream_materialize_seconds")
             lines.append(
                 f"  scenario {detail['name']:22s} materialise {detail['materialize_seconds']:6.3f}s  "
-                f"fit {detail['fit_seconds']:6.3f}s  fingerprint {detail['fingerprint'][:16]}"
+                + (f"stream {stream:6.3f}s  " if stream is not None else "")
+                + f"fit {detail['fit_seconds']:6.3f}s  fingerprint {detail['fingerprint'][:16]}"
             )
         else:
             lines.append(

@@ -13,8 +13,11 @@ This subpackage implements the indoor-space model the paper relies on:
   ``fsc`` feature functions.
 * :mod:`repro.indoor.builders` — deterministic floorplan generators: a
   multi-floor shopping mall (stand-in for the Hangzhou mall of Section V-B),
-  a Vita-like office building (Section V-C) and a transit-hub/hospital-style
-  concourse venue (scenario catalogue).
+  a Vita-like office building (Section V-C), a transit-hub/hospital-style
+  concourse venue (scenario catalogue), and four adversarial-topology
+  archetypes — airport terminal (single security choke), hospital
+  (interlinked wards, cyclic access graph), stadium (closed concourse
+  ring) and a multi-floor office tower (sky lobbies + express staircases).
 """
 
 from repro.indoor.entities import Door, Partition, SemanticRegion, Staircase
@@ -22,9 +25,13 @@ from repro.indoor.floorplan import IndoorSpace
 from repro.indoor.topology import AccessibilityGraph
 from repro.indoor.distance import IndoorDistanceOracle
 from repro.indoor.builders import (
+    build_airport_terminal,
     build_concourse_hub,
+    build_hospital,
     build_mall_space,
     build_office_building,
+    build_office_tower,
+    build_stadium,
 )
 
 __all__ = [
@@ -35,7 +42,11 @@ __all__ = [
     "IndoorSpace",
     "AccessibilityGraph",
     "IndoorDistanceOracle",
+    "build_airport_terminal",
     "build_concourse_hub",
+    "build_hospital",
     "build_mall_space",
     "build_office_building",
+    "build_office_tower",
+    "build_stadium",
 ]

@@ -17,6 +17,26 @@ Two venues reproduce the paper's evaluation; a third extends it:
   label space mixes big low-density regions with small dense ones — the
   opposite geometry regime of the mall and office venues.
 
+Four further archetypes grow the catalogue toward city-block diversity, each
+exercising a topology regime the first three never produce:
+
+* **An airport terminal** (:func:`build_airport_terminal`): a single security
+  choke point between the landside hall and the airside spine, with piers of
+  gates branching off — the extreme-bottleneck regime where every airside
+  path funnels through one door.
+* **A hospital** (:func:`build_hospital`): a lobby plus a double-loaded ward
+  corridor where adjacent south-side wards are *interlinked* by internal
+  doors, creating parallel paths (corridor vs. through-ward) and therefore
+  cycles in the accessibility graph.
+* **A stadium** (:func:`build_stadium`): a closed concourse *ring* (the only
+  cyclic hallway among all archetypes) with seating stands outward and
+  concession corners — walking distance between sections is genuinely
+  directional (clockwise vs. counter-clockwise).
+* **A multi-floor office tower** (:func:`build_office_tower`): a vertical
+  regime — suites ring a small core on every floor, local staircases connect
+  consecutive floors and *express* staircases jump directly between sky-lobby
+  floors, so inter-floor shortest paths are non-trivial.
+
 All builders are fully deterministic given their arguments so experiments are
 reproducible without storing floorplan files.
 """
@@ -516,6 +536,849 @@ def build_concourse_hub(
                 partition_lower=lower_last,
                 partition_upper=upper_last,
                 travel_distance=14.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+def build_airport_terminal(
+    *,
+    concourses: int = 2,
+    gates_per_side: int = 4,
+    hall_depth: float = 20.0,
+    security_width: float = 8.0,
+    security_depth: float = 6.0,
+    spine_segment_length: float = 30.0,
+    spine_width: float = 8.0,
+    pier_width: float = 8.0,
+    gate_width: float = 6.0,
+    gate_depth: float = 9.0,
+    retail_width: float = 5.0,
+    name: str = "intl-terminal",
+) -> IndoorSpace:
+    """Build an airport terminal with a single landside→airside choke point.
+
+    Layout (plan view)::
+
+        | gate | pier | gate |        | gate | pier | gate |
+        | gate | pier | gate |        | gate | pier | gate |
+        +--+---+------+--------+------+------+--------------+
+        |rt|      spine 0      |rt|       spine 1           |   airside
+        +--+--------+~~+-------+--+-------------------------+
+        |           |security|                              |
+        +-----------+~~+------+------------------------------+
+        |                  check-in hall                     |   landside
+        +----------------------------------------------------+
+
+    The security partition is the *only* connection between the check-in
+    hall and the airside spine, so every airside path funnels through one
+    door pair — the bottleneck regime.  Each concourse contributes one spine
+    segment, a pier with ``gates_per_side`` gates on each side, and one
+    retail bay on the spine.  Every gate, the retail bays, the security
+    lane and the hall are semantic regions.
+    """
+    if concourses < 1:
+        raise ValueError("an airport needs at least one concourse")
+    if gates_per_side < 1:
+        raise ValueError("need at least one gate per pier side")
+    if retail_width > spine_segment_length / 2.0 - pier_width / 2.0 - gate_width:
+        raise ValueError("retail bay would overlap the pier's west gates")
+    if pier_width / 2.0 + gate_width > spine_segment_length / 2.0:
+        raise ValueError("pier gates stick out of the spine segment")
+    if security_width > spine_segment_length:
+        raise ValueError("security lane wider than a spine segment")
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+
+    total_length = concourses * spine_segment_length
+    spine_min_y = hall_depth + security_depth
+    spine_max_y = spine_min_y + spine_width
+
+    # Landside check-in hall: one large open partition.
+    hall_pid = next_partition()
+    partitions.append(
+        Partition(
+            partition_id=hall_pid,
+            geometry=Rectangle(0.0, 0.0, total_length, hall_depth),
+            floor=0,
+            kind="hall",
+        )
+    )
+    regions.append(
+        SemanticRegion(
+            region_id=next_region(),
+            name="check-in",
+            partition_ids=(hall_pid,),
+            floor=0,
+            category="landside",
+        )
+    )
+
+    # The security lane: the only way from landside to airside.
+    centre_x = total_length / 2.0
+    security_pid = next_partition()
+    partitions.append(
+        Partition(
+            partition_id=security_pid,
+            geometry=Rectangle(
+                centre_x - security_width / 2.0,
+                hall_depth,
+                centre_x + security_width / 2.0,
+                hall_depth + security_depth,
+            ),
+            floor=0,
+            kind="security",
+        )
+    )
+    regions.append(
+        SemanticRegion(
+            region_id=next_region(),
+            name="security",
+            partition_ids=(security_pid,),
+            floor=0,
+            category="security",
+        )
+    )
+    doors.append(
+        Door(
+            door_id=next_door(),
+            location=IndoorPoint(centre_x, hall_depth, 0),
+            partition_ids=(hall_pid, security_pid),
+        )
+    )
+
+    # Airside spine: one segment per concourse, chained left to right.
+    spine_ids: List[int] = []
+    for segment in range(concourses):
+        min_x = segment * spine_segment_length
+        pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=pid,
+                geometry=Rectangle(
+                    min_x, spine_min_y, min_x + spine_segment_length, spine_max_y
+                ),
+                floor=0,
+                kind="hallway",
+            )
+        )
+        spine_ids.append(pid)
+        if segment > 0:
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(min_x, (spine_min_y + spine_max_y) / 2.0, 0),
+                    partition_ids=(spine_ids[segment - 1], pid),
+                )
+            )
+    security_segment = min(concourses - 1, int(centre_x // spine_segment_length))
+    doors.append(
+        Door(
+            door_id=next_door(),
+            location=IndoorPoint(centre_x, spine_min_y, 0),
+            partition_ids=(security_pid, spine_ids[security_segment]),
+        )
+    )
+
+    # Piers with gates, plus one retail bay per spine segment.
+    pier_length = gates_per_side * gate_depth
+    for concourse in range(concourses):
+        segment_min_x = concourse * spine_segment_length
+        pier_centre = segment_min_x + spine_segment_length / 2.0
+        pier_min_x = pier_centre - pier_width / 2.0
+        pier_max_x = pier_centre + pier_width / 2.0
+
+        pier_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=pier_pid,
+                geometry=Rectangle(pier_min_x, spine_max_y, pier_max_x, spine_max_y + pier_length),
+                floor=0,
+                kind="pier",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=next_door(),
+                location=IndoorPoint(pier_centre, spine_max_y, 0),
+                partition_ids=(spine_ids[concourse], pier_pid),
+            )
+        )
+        for row in range(gates_per_side):
+            row_min_y = spine_max_y + row * gate_depth
+            for side, (gate_min_x, gate_max_x, door_x) in enumerate(
+                (
+                    (pier_min_x - gate_width, pier_min_x, pier_min_x),
+                    (pier_max_x, pier_max_x + gate_width, pier_max_x),
+                )
+            ):
+                gate_pid = next_partition()
+                partitions.append(
+                    Partition(
+                        partition_id=gate_pid,
+                        geometry=Rectangle(gate_min_x, row_min_y, gate_max_x, row_min_y + gate_depth),
+                        floor=0,
+                        kind="gate",
+                    )
+                )
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(door_x, row_min_y + gate_depth / 2.0, 0),
+                        partition_ids=(gate_pid, pier_pid),
+                    )
+                )
+                regions.append(
+                    SemanticRegion(
+                        region_id=next_region(),
+                        name=f"C{concourse}-G{row:02d}{'WE'[side]}",
+                        partition_ids=(gate_pid,),
+                        floor=0,
+                        category="gate",
+                    )
+                )
+
+        retail_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=retail_pid,
+                geometry=Rectangle(
+                    segment_min_x,
+                    spine_max_y,
+                    segment_min_x + retail_width,
+                    spine_max_y + gate_depth,
+                ),
+                floor=0,
+                kind="retail",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=next_door(),
+                location=IndoorPoint(segment_min_x + retail_width / 2.0, spine_max_y, 0),
+                partition_ids=(retail_pid, spine_ids[concourse]),
+            )
+        )
+        regions.append(
+            SemanticRegion(
+                region_id=next_region(),
+                name=f"C{concourse}-retail",
+                partition_ids=(retail_pid,),
+                floor=0,
+                category="retail",
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, (), name=name)
+
+
+def build_hospital(
+    *,
+    floors: int = 1,
+    wards_per_side: int = 5,
+    ward_width: float = 7.0,
+    ward_depth: float = 9.0,
+    corridor_width: float = 4.0,
+    lobby_width: float = 12.0,
+    interlinked: bool = True,
+    name: str = "general-hospital",
+) -> IndoorSpace:
+    """Build a hospital: lobby + ward corridor with interlinked south wards.
+
+    Layout per floor (plan view)::
+
+        +-------+------+------+------+------+--------+
+        |       | trt  | trt  | trt  | trt  | imaging|   north side
+        | lobby +------+------+------+------+--------+
+        |       |            corridor               |
+        |       +------+------+------+------+-------+
+        |       | ward = ward = ward = ward = ward  |   south side
+        +-------+------+------+------+------+-------+
+
+    The lobby spans the full building depth and opens onto the corridor.
+    South-side wards are *interlinked* (``=``): adjacent wards share an
+    internal door, so the accessibility graph has cycles — an object can
+    reach a neighbouring ward either through the corridor or straight
+    through the shared door, and shortest paths must pick.  The north side
+    holds treatment rooms with the far column promoted to an imaging suite.
+    Multi-floor hospitals get staircases in the lobby and at the corridor's
+    far end.
+    """
+    if floors < 1:
+        raise ValueError("a hospital needs at least one floor")
+    if wards_per_side < 2:
+        raise ValueError("need at least two wards per side")
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    depth = 2.0 * ward_depth + corridor_width
+    corridor_min_y = ward_depth
+    corridor_max_y = ward_depth + corridor_width
+    lobby_and_corridor_end: List[Tuple[int, int]] = []
+
+    for floor in range(floors):
+        lobby_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=lobby_pid,
+                geometry=Rectangle(0.0, 0.0, lobby_width, depth),
+                floor=floor,
+                kind="lobby",
+            )
+        )
+        regions.append(
+            SemanticRegion(
+                region_id=next_region(),
+                name=f"F{floor}-lobby",
+                partition_ids=(lobby_pid,),
+                floor=floor,
+                category="reception" if floor == 0 else "lounge",
+            )
+        )
+
+        corridor_ids: List[int] = []
+        for column in range(wards_per_side):
+            min_x = lobby_width + column * ward_width
+            pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=pid,
+                    geometry=Rectangle(
+                        min_x, corridor_min_y, min_x + ward_width, corridor_max_y
+                    ),
+                    floor=floor,
+                    kind="hallway",
+                )
+            )
+            corridor_ids.append(pid)
+            if column == 0:
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(
+                            lobby_width, (corridor_min_y + corridor_max_y) / 2.0, floor
+                        ),
+                        partition_ids=(lobby_pid, pid),
+                    )
+                )
+            else:
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(
+                            min_x, (corridor_min_y + corridor_max_y) / 2.0, floor
+                        ),
+                        partition_ids=(corridor_ids[column - 1], pid),
+                    )
+                )
+
+        south_ids: List[int] = []
+        for column in range(wards_per_side):
+            min_x = lobby_width + column * ward_width
+            door_x = min_x + ward_width / 2.0
+
+            south_pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=south_pid,
+                    geometry=Rectangle(min_x, 0.0, min_x + ward_width, ward_depth),
+                    floor=floor,
+                    kind="ward",
+                )
+            )
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(door_x, corridor_min_y, floor),
+                    partition_ids=(south_pid, corridor_ids[column]),
+                )
+            )
+            if interlinked and south_ids:
+                # The cycle-maker: adjacent wards share an internal door.
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(min_x, ward_depth / 2.0, floor),
+                        partition_ids=(south_ids[-1], south_pid),
+                    )
+                )
+            south_ids.append(south_pid)
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-W{column:02d}",
+                    partition_ids=(south_pid,),
+                    floor=floor,
+                    category="ward",
+                )
+            )
+
+            north_pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=north_pid,
+                    geometry=Rectangle(
+                        min_x, corridor_max_y, min_x + ward_width, corridor_max_y + ward_depth
+                    ),
+                    floor=floor,
+                    kind="room",
+                )
+            )
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(door_x, corridor_max_y, floor),
+                    partition_ids=(north_pid, corridor_ids[column]),
+                )
+            )
+            imaging = column == wards_per_side - 1
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-{'imaging' if imaging else f'T{column:02d}'}",
+                    partition_ids=(north_pid,),
+                    floor=floor,
+                    category="imaging" if imaging else "treatment",
+                )
+            )
+
+        lobby_and_corridor_end.append((lobby_pid, corridor_ids[-1]))
+
+    corridor_y = (corridor_min_y + corridor_max_y) / 2.0
+    far_x = lobby_width + wards_per_side * ward_width - ward_width / 2.0
+    for floor in range(floors - 1):
+        lower_lobby, lower_end = lobby_and_corridor_end[floor]
+        upper_lobby, upper_end = lobby_and_corridor_end[floor + 1]
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(lobby_width / 2.0, depth / 2.0, floor),
+                location_upper=IndoorPoint(lobby_width / 2.0, depth / 2.0, floor + 1),
+                partition_lower=lower_lobby,
+                partition_upper=upper_lobby,
+                travel_distance=10.0,
+            )
+        )
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(far_x, corridor_y, floor),
+                location_upper=IndoorPoint(far_x, corridor_y, floor + 1),
+                partition_lower=lower_end,
+                partition_upper=upper_end,
+                travel_distance=10.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+def build_stadium(
+    *,
+    floors: int = 1,
+    sections_per_side: int = 2,
+    section_length: float = 16.0,
+    ring_width: float = 8.0,
+    stand_depth: float = 10.0,
+    name: str = "city-arena",
+) -> IndoorSpace:
+    """Build a stadium: a closed concourse ring with stands and concessions.
+
+    Layout (plan view)::
+
+           +------+--------+--------+------+
+           |      | stand  | stand  |      |
+        +--+------+--------+--------+------+--+
+        |  | TL   |  top0  |  top1  |  TR  |  |
+        +--+------+--------+--------+------+--+
+        |st| left1|                 |right0|st|
+        +--+------+      (pitch)    +------+--+
+        |st| left0|                 |right1|st|
+        +--+------+--------+--------+------+--+
+        |  | BL   |  bot1  |  bot0  |  BR  |  |
+        +--+------+--------+--------+------+--+
+           |      | stand  | stand  |      |
+           +------+--------+--------+------+
+
+    The concourse is the *only cyclic hallway* among all archetypes: four
+    corner plazas (concession regions) and ``4 * sections_per_side`` ring
+    segments chained into a closed loop, so walking distance between two
+    stands is directional — clockwise vs. counter-clockwise genuinely
+    differ, and shortest-path routing has to pick a side.  Every ring
+    segment carries one outward seating stand (every fourth is a VIP box).
+    Multi-tier stadiums connect floors with staircases at two opposite
+    corners.
+    """
+    if floors < 1:
+        raise ValueError("a stadium needs at least one floor (tier)")
+    if sections_per_side < 1:
+        raise ValueError("need at least one section per side")
+    if section_length <= 0 or ring_width <= 0 or stand_depth <= 0:
+        raise ValueError("stadium dimensions must be positive")
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    n = sections_per_side
+    length = section_length
+    width = ring_width
+    outer = 2.0 * width + n * length  # outer square side
+
+    stair_corners: List[Tuple[int, int]] = []
+
+    for floor in range(floors):
+        # Ring partitions in chain order: TL, top…, TR, right…, BR,
+        # bottom…, BL, left…, closing back onto TL.  Each entry carries the
+        # rectangle plus the door location shared with its successor.
+        corner_boxes = {
+            "TL": Rectangle(0.0, outer - width, width, outer),
+            "TR": Rectangle(outer - width, outer - width, outer, outer),
+            "BR": Rectangle(outer - width, 0.0, outer, width),
+            "BL": Rectangle(0.0, 0.0, width, width),
+        }
+        chain: List[Tuple[str, Rectangle, Tuple[float, float]]] = []
+        chain.append(("TL", corner_boxes["TL"], (width, outer - width / 2.0)))
+        for i in range(n):
+            min_x = width + i * length
+            chain.append(
+                (
+                    f"top{i}",
+                    Rectangle(min_x, outer - width, min_x + length, outer),
+                    (min_x + length, outer - width / 2.0),
+                )
+            )
+        chain.append(("TR", corner_boxes["TR"], (outer - width / 2.0, outer - width)))
+        for i in range(n):
+            max_y = outer - width - i * length
+            chain.append(
+                (
+                    f"right{i}",
+                    Rectangle(outer - width, max_y - length, outer, max_y),
+                    (outer - width / 2.0, max_y - length),
+                )
+            )
+        chain.append(("BR", corner_boxes["BR"], (outer - width, width / 2.0)))
+        for i in range(n):
+            max_x = outer - width - i * length
+            chain.append(
+                (
+                    f"bottom{i}",
+                    Rectangle(max_x - length, 0.0, max_x, width),
+                    (max_x - length, width / 2.0),
+                )
+            )
+        chain.append(("BL", corner_boxes["BL"], (width / 2.0, width)))
+        for i in range(n):
+            min_y = width + i * length
+            chain.append(
+                (
+                    f"left{i}",
+                    Rectangle(0.0, min_y, width, min_y + length),
+                    (width / 2.0, min_y + length),
+                )
+            )
+
+        ring_pids: List[int] = []
+        for label, box, _ in chain:
+            pid = next_partition()
+            is_corner = label in corner_boxes
+            partitions.append(
+                Partition(
+                    partition_id=pid,
+                    geometry=box,
+                    floor=floor,
+                    kind="plaza" if is_corner else "concourse",
+                )
+            )
+            ring_pids.append(pid)
+            if is_corner:
+                regions.append(
+                    SemanticRegion(
+                        region_id=next_region(),
+                        name=f"F{floor}-{label}",
+                        partition_ids=(pid,),
+                        floor=floor,
+                        category="concessions",
+                    )
+                )
+        # Chain doors, including the loop-closing one (last → first).
+        for index, (_, _, door_xy) in enumerate(chain):
+            succ = ring_pids[(index + 1) % len(ring_pids)]
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(door_xy[0], door_xy[1], floor),
+                    partition_ids=(ring_pids[index], succ),
+                )
+            )
+
+        # Outward stands: one per ring segment (corners stay stand-free).
+        stand_index = 0
+        for index, (label, box, _) in enumerate(chain):
+            if label in corner_boxes:
+                continue
+            if label.startswith("top"):
+                stand_box = Rectangle(box.min_x, outer, box.max_x, outer + stand_depth)
+                door_xy = ((box.min_x + box.max_x) / 2.0, outer)
+            elif label.startswith("right"):
+                stand_box = Rectangle(outer, box.min_y, outer + stand_depth, box.max_y)
+                door_xy = (outer, (box.min_y + box.max_y) / 2.0)
+            elif label.startswith("bottom"):
+                stand_box = Rectangle(box.min_x, -stand_depth, box.max_x, 0.0)
+                door_xy = ((box.min_x + box.max_x) / 2.0, 0.0)
+            else:
+                stand_box = Rectangle(-stand_depth, box.min_y, 0.0, box.max_y)
+                door_xy = (0.0, (box.min_y + box.max_y) / 2.0)
+            stand_pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=stand_pid,
+                    geometry=stand_box,
+                    floor=floor,
+                    kind="stand",
+                )
+            )
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(door_xy[0], door_xy[1], floor),
+                    partition_ids=(stand_pid, ring_pids[index]),
+                )
+            )
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-S{stand_index:02d}",
+                    partition_ids=(stand_pid,),
+                    floor=floor,
+                    category="vip" if stand_index % 4 == 3 else "seating",
+                )
+            )
+            stand_index += 1
+
+        stair_corners.append((ring_pids[0], ring_pids[chain_index_of(chain, "BR")]))
+
+    for floor in range(floors - 1):
+        lower_tl, lower_br = stair_corners[floor]
+        upper_tl, upper_br = stair_corners[floor + 1]
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(width / 2.0, outer - width / 2.0, floor),
+                location_upper=IndoorPoint(width / 2.0, outer - width / 2.0, floor + 1),
+                partition_lower=lower_tl,
+                partition_upper=upper_tl,
+                travel_distance=16.0,
+            )
+        )
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(outer - width / 2.0, width / 2.0, floor),
+                location_upper=IndoorPoint(outer - width / 2.0, width / 2.0, floor + 1),
+                partition_lower=lower_br,
+                partition_upper=upper_br,
+                travel_distance=16.0,
+            )
+        )
+
+    return IndoorSpace(partitions, doors, regions, staircases, name=name)
+
+
+def chain_index_of(chain, label: str) -> int:
+    """Index of ``label`` in a stadium ring chain (helper for staircases)."""
+    for index, (entry_label, _, _) in enumerate(chain):
+        if entry_label == label:
+            return index
+    raise KeyError(label)
+
+
+def build_office_tower(
+    *,
+    floors: int = 6,
+    suites_per_side: int = 2,
+    suite_depth: float = 8.0,
+    core_size: float = 10.0,
+    sky_lobby_every: int = 3,
+    name: str = "meridian-tower",
+) -> IndoorSpace:
+    """Build a multi-floor office tower around a central core.
+
+    Every floor is a ring of suites around one core partition (the elevator
+    lobby): ``suites_per_side`` suites along the north and south edges plus
+    one suite each on the east and west edges, every suite opening directly
+    onto the core.  *Local* staircases connect consecutive floors; *express*
+    staircases additionally jump straight between sky-lobby floors (every
+    ``sky_lobby_every``-th floor, whose core is itself a semantic region),
+    so the venue's inter-floor shortest paths are non-trivial: a trip from
+    floor 0 to floor 6 is faster via the express jumps than by climbing
+    every local flight.  This is the vertical-mobility regime none of the
+    slab-shaped archetypes exercise.
+    """
+    if floors < 2:
+        raise ValueError("a tower needs at least two floors")
+    if suites_per_side < 1:
+        raise ValueError("need at least one suite per side")
+    if sky_lobby_every < 1:
+        raise ValueError("sky_lobby_every must be at least 1")
+    width = core_size + 2.0 * suite_depth
+    if width / suites_per_side <= suite_depth:
+        raise ValueError(
+            "suites do not reach the core: reduce suites_per_side or grow core_size"
+        )
+
+    partitions: List[Partition] = []
+    doors: List[Door] = []
+    regions: List[SemanticRegion] = []
+    staircases: List[Staircase] = []
+
+    next_partition = _IdAllocator()
+    next_door = _IdAllocator()
+    next_region = _IdAllocator()
+    next_staircase = _IdAllocator()
+
+    core_min = suite_depth
+    core_max = suite_depth + core_size
+    core_centre = (core_min + core_max) / 2.0
+    suite_width = width / suites_per_side
+
+    core_pids: List[int] = []
+    for floor in range(floors):
+        core_pid = next_partition()
+        partitions.append(
+            Partition(
+                partition_id=core_pid,
+                geometry=Rectangle(core_min, core_min, core_max, core_max),
+                floor=floor,
+                kind="core",
+            )
+        )
+        core_pids.append(core_pid)
+        if floor % sky_lobby_every == 0:
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-sky-lobby",
+                    partition_ids=(core_pid,),
+                    floor=floor,
+                    category="sky-lobby",
+                )
+            )
+
+        suite_index = 0
+        # North and south suite bands, split into suites_per_side columns.
+        for band, (low_y, high_y, door_y) in enumerate(
+            ((core_max, width, core_max), (0.0, core_min, core_min))
+        ):
+            for column in range(suites_per_side):
+                min_x = column * suite_width
+                max_x = min_x + suite_width
+                pid = next_partition()
+                partitions.append(
+                    Partition(
+                        partition_id=pid,
+                        geometry=Rectangle(min_x, low_y, max_x, high_y),
+                        floor=floor,
+                        kind="suite",
+                    )
+                )
+                # Door on the overlap of the suite's span with the core wall.
+                door_x = (max(min_x, core_min) + min(max_x, core_max)) / 2.0
+                doors.append(
+                    Door(
+                        door_id=next_door(),
+                        location=IndoorPoint(door_x, door_y, floor),
+                        partition_ids=(pid, core_pid),
+                    )
+                )
+                regions.append(
+                    SemanticRegion(
+                        region_id=next_region(),
+                        name=f"F{floor}-U{suite_index:02d}",
+                        partition_ids=(pid,),
+                        floor=floor,
+                        category="office",
+                    )
+                )
+                suite_index += 1
+        # East and west single suites beside the core.
+        for min_x, max_x, door_x in (
+            (core_max, width, core_max),
+            (0.0, core_min, core_min),
+        ):
+            pid = next_partition()
+            partitions.append(
+                Partition(
+                    partition_id=pid,
+                    geometry=Rectangle(min_x, core_min, max_x, core_max),
+                    floor=floor,
+                    kind="suite",
+                )
+            )
+            doors.append(
+                Door(
+                    door_id=next_door(),
+                    location=IndoorPoint(door_x, core_centre, floor),
+                    partition_ids=(pid, core_pid),
+                )
+            )
+            regions.append(
+                SemanticRegion(
+                    region_id=next_region(),
+                    name=f"F{floor}-U{suite_index:02d}",
+                    partition_ids=(pid,),
+                    floor=floor,
+                    category="office",
+                )
+            )
+            suite_index += 1
+
+    # Local staircases between consecutive floors, at the core.
+    for floor in range(floors - 1):
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(core_centre, core_centre, floor),
+                location_upper=IndoorPoint(core_centre, core_centre, floor + 1),
+                partition_lower=core_pids[floor],
+                partition_upper=core_pids[floor + 1],
+                travel_distance=8.0,
+            )
+        )
+    # Express staircases between consecutive sky lobbies: direct multi-floor
+    # jumps priced below the equivalent chain of local flights.
+    sky_floors = [floor for floor in range(floors) if floor % sky_lobby_every == 0]
+    for lower, upper in zip(sky_floors, sky_floors[1:]):
+        staircases.append(
+            Staircase(
+                staircase_id=next_staircase(),
+                location_lower=IndoorPoint(core_centre, core_centre, lower),
+                location_upper=IndoorPoint(core_centre, core_centre, upper),
+                partition_lower=core_pids[lower],
+                partition_upper=core_pids[upper],
+                travel_distance=5.0 * (upper - lower),
             )
         )
 

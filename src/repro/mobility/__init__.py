@@ -5,8 +5,9 @@
 * :mod:`repro.mobility.simulator` — a waypoint-model indoor mobility
   simulator producing per-second ground truth (substitute for the Vita
   generator [11] and for the proprietary mall Wi-Fi dataset), plus the
-  schedule-driven :class:`CommuterSimulator` and the peak-hours
-  :class:`PeakHoursSimulator` crowd profile used by the scenario catalogue.
+  schedule-driven :class:`CommuterSimulator`, the peak-hours
+  :class:`PeakHoursSimulator` crowd profile and the event-driven
+  :class:`CrowdSurgeSimulator` flash-crowd profile used by the catalogue.
 * :mod:`repro.mobility.positioning` — the positioning-error model that turns
   ground-truth trajectories into noisy, sparsely sampled p-sequences
   (maximum period T, error μ, false floors, outliers — Section V-C).
@@ -26,13 +27,19 @@ from repro.mobility.records import (
 )
 from repro.mobility.simulator import (
     CommuterSimulator,
+    CrowdSurgeSimulator,
     GroundTruthPoint,
     GroundTruthTrajectory,
     PeakHoursSimulator,
     WaypointSimulator,
 )
 from repro.mobility.positioning import PositioningErrorModel
-from repro.mobility.preprocessing import filter_short_sequences, split_on_time_gaps
+from repro.mobility.preprocessing import (
+    assemble_labeled_sequence,
+    filter_short_sequences,
+    normalize_report_stream,
+    split_on_time_gaps,
+)
 from repro.mobility.dataset import AnnotationDataset, train_test_split, k_fold_splits
 
 __all__ = [
@@ -43,12 +50,15 @@ __all__ = [
     "PositioningRecord",
     "PositioningSequence",
     "CommuterSimulator",
+    "CrowdSurgeSimulator",
     "GroundTruthPoint",
     "GroundTruthTrajectory",
     "PeakHoursSimulator",
     "WaypointSimulator",
     "PositioningErrorModel",
+    "assemble_labeled_sequence",
     "filter_short_sequences",
+    "normalize_report_stream",
     "split_on_time_gaps",
     "AnnotationDataset",
     "train_test_split",

@@ -143,6 +143,12 @@ def generate_dataset(
     outlier_probability: float = 0.03,
     dropout_probability: float = 0.0,
     dropout_duration: Tuple[float, float] = (30.0, 120.0),
+    multipath_probability: float = 0.0,
+    multipath_scale: float = 6.0,
+    clock_skew: float = 0.0,
+    clock_jitter: float = 0.0,
+    duplicate_probability: float = 0.0,
+    duplicate_delay: float = 30.0,
     max_gap: float = 180.0,
     min_duration: float = 300.0,
     min_stay: float = 45.0,
@@ -185,6 +191,12 @@ def generate_dataset(
         outlier_probability=outlier_probability,
         dropout_probability=dropout_probability,
         dropout_duration=dropout_duration,
+        multipath_probability=multipath_probability,
+        multipath_scale=multipath_scale,
+        clock_skew=clock_skew,
+        clock_jitter=clock_jitter,
+        duplicate_probability=duplicate_probability,
+        duplicate_delay=duplicate_delay,
         seed=seed + 1,
     )
     labeled = error_model.corrupt_population(trajectories, space)

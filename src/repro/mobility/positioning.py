@@ -61,8 +61,43 @@ class PositioningErrorModel:
         so datasets generated without dropout are bitwise unchanged.
     dropout_duration:
         ``(min, max)`` burst length in seconds.
+    multipath_probability:
+        Probability that a report is a *multipath reflection*: instead of an
+        unbiased disk sample, the estimate lands 2μ–``multipath_scale``·μ
+        meters away along one fixed per-model bearing (±0.3 rad spread) —
+        the spatially *biased* error a reflective wall or metal facade
+        induces, which the paper's isotropic model cannot produce.
+    multipath_scale:
+        Upper displacement bound of a reflection, as a multiple of ``μ``.
+    clock_skew:
+        Half-width of a per-trajectory constant timestamp offset, drawn once
+        per trajectory from ``[-clock_skew, +clock_skew]`` — a device whose
+        clock runs fast or slow against the venue's.
+    clock_jitter:
+        Half-width of an independent per-report timestamp offset.  Jitter
+        larger than the inter-report gap emits *out-of-order* raw streams,
+        which only the raw API can carry (see below).
+    duplicate_probability:
+        Probability that a report is retransmitted by a flaky positioning
+        gateway: an identical copy (same estimate, same timestamp) arrives
+        up to ``duplicate_delay`` seconds later in the stream, *after*
+        reports it chronologically precedes — the duplicate/out-of-order
+        regime.
+    duplicate_delay:
+        Maximum retransmission delay in seconds.
     seed:
         Seed of the private random generator (deterministic corruption).
+
+    The three adversarial regimes (multipath, clock skew/jitter, duplicates)
+    all default *off* and draw nothing from the generator while disabled, so
+    every dataset generated before they existed is bitwise unchanged.  Since
+    jitter and duplicates can emit records out of timestamp order — which
+    :class:`~repro.mobility.records.PositioningSequence` rejects by design —
+    the corruption pipeline is split in two: :meth:`corrupt_trajectory_raw`
+    returns the raw ``(record, region, event)`` stream in emission order,
+    and :meth:`corrupt_trajectory` canonicalises it through
+    :func:`repro.mobility.preprocessing.normalize_report_stream` (a pure,
+    idempotent function that is the identity on benign streams).
     """
 
     max_period: float = 5.0
@@ -72,6 +107,12 @@ class PositioningErrorModel:
     min_period: float = 1.0
     dropout_probability: float = 0.0
     dropout_duration: Tuple[float, float] = (30.0, 120.0)
+    multipath_probability: float = 0.0
+    multipath_scale: float = 6.0
+    clock_skew: float = 0.0
+    clock_jitter: float = 0.0
+    duplicate_probability: float = 0.0
+    duplicate_delay: float = 30.0
     seed: int = 29
 
     def __post_init__(self) -> None:
@@ -79,14 +120,32 @@ class PositioningErrorModel:
             raise ValueError("periods must satisfy 0 < min_period <= max_period")
         if self.error < 0:
             raise ValueError("positioning error must be non-negative")
-        for name in ("false_floor_probability", "outlier_probability", "dropout_probability"):
+        for name in (
+            "false_floor_probability",
+            "outlier_probability",
+            "dropout_probability",
+            "multipath_probability",
+            "duplicate_probability",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
         low, high = self.dropout_duration
         if low < 0 or high < low:
             raise ValueError("dropout_duration must satisfy 0 <= min <= max")
+        if self.multipath_scale <= 2.0:
+            raise ValueError("multipath_scale must exceed the 2.0 lower bound")
+        if self.clock_skew < 0 or self.clock_jitter < 0:
+            raise ValueError("clock_skew and clock_jitter must be non-negative")
+        if self.duplicate_delay < 0:
+            raise ValueError("duplicate_delay must be non-negative")
         self._rng = random.Random(self.seed)
+        # The reflection bearing comes from a *separate* generator so that
+        # enabling multipath perturbs the main corruption stream only where
+        # reflections actually fire, and disabled models draw nothing.
+        self._multipath_angle = random.Random(self.seed ^ 0x5F3759DF).uniform(
+            0.0, 2.0 * math.pi
+        )
 
     # ------------------------------------------------------------------- API
     def corrupt_trajectory(
@@ -101,37 +160,76 @@ class PositioningErrorModel:
         are those of the ground-truth sample closest in time to each report
         (the report's *true* whereabouts, not the noisy estimate).
         """
+        triples = self.corrupt_trajectory_raw(trajectory, space)
+        if triples is None:
+            return None
+        from repro.mobility.preprocessing import assemble_labeled_sequence
+
+        return assemble_labeled_sequence(triples, object_id=trajectory.object_id)
+
+    def corrupt_trajectory_raw(
+        self,
+        trajectory: GroundTruthTrajectory,
+        space: Optional[IndoorSpace] = None,
+    ) -> Optional[List[Tuple[PositioningRecord, int, str]]]:
+        """Generate the raw report stream: ``(record, region, event)`` triples.
+
+        The triples are in *emission* order, which under clock jitter or
+        duplication is not timestamp order — exactly what a positioning
+        gateway hands downstream before any cleaning.  Returns None when the
+        trajectory is too short to produce at least two reports.
+        """
         points = trajectory.points
         if len(points) < 2:
             return None
-        records: List[PositioningRecord] = []
-        regions: List[int] = []
-        events: List[str] = []
+        triples: List[Tuple[PositioningRecord, int, str]] = []
         start = points[0].timestamp
         end = points[-1].timestamp
+        # One constant offset per trajectory: this device's clock error.
+        skew = (
+            self._rng.uniform(-self.clock_skew, self.clock_skew)
+            if self.clock_skew > 0.0
+            else 0.0
+        )
         t = start
         index = 0
+        pending: List[Tuple[float, Tuple[PositioningRecord, int, str]]] = []
         while t <= end:
+            if pending:
+                # Retransmissions whose delay has elapsed arrive here, after
+                # fresher reports — the stream is now out of timestamp order.
+                due = [item for item in pending if item[0] <= t]
+                if due:
+                    pending = [item for item in pending if item[0] > t]
+                    triples.extend(triple for _, triple in due)
             index = self._advance_index(points, index, t)
             truth = points[index]
             location = self._corrupt_location(truth.location, space)
-            records.append(PositioningRecord(location=location, timestamp=t))
-            regions.append(truth.region_id)
-            events.append(truth.event)
+            report_time = t + skew
+            if self.clock_jitter > 0.0:
+                report_time += self._rng.uniform(-self.clock_jitter, self.clock_jitter)
+            triple = (
+                PositioningRecord(location=location, timestamp=report_time),
+                truth.region_id,
+                truth.event,
+            )
+            triples.append(triple)
+            if (
+                self.duplicate_probability > 0.0
+                and self._rng.random() < self.duplicate_probability
+            ):
+                arrival = t + self._rng.uniform(0.0, self.duplicate_delay)
+                pending.append((arrival, triple))
             t += self._rng.uniform(self.min_period, self.max_period)
             # The zero-probability default draws nothing, keeping the random
             # stream — and therefore every existing dataset — bitwise intact.
             if self.dropout_probability > 0.0 and self._rng.random() < self.dropout_probability:
                 t += self._rng.uniform(*self.dropout_duration)
-        if len(records) < 2:
+        pending.sort(key=lambda item: item[0])
+        triples.extend(triple for _, triple in pending)
+        if len(triples) < 2:
             return None
-        sequence = PositioningSequence(records, object_id=trajectory.object_id, sort=False)
-        return LabeledSequence(
-            sequence=sequence,
-            region_labels=regions,
-            event_labels=events,
-            object_id=trajectory.object_id,
-        )
+        return triples
 
     def corrupt_population(
         self,
@@ -166,11 +264,22 @@ class PositioningErrorModel:
         self, location: IndoorPoint, space: Optional[IndoorSpace]
     ) -> IndoorPoint:
         rng = self._rng
-        if rng.random() < self.outlier_probability and self.error > 0:
-            distance = rng.uniform(2.5 * self.error, 10.0 * self.error)
+        if (
+            self.multipath_probability > 0.0
+            and self.error > 0
+            and rng.random() < self.multipath_probability
+        ):
+            # A reflection: displaced along the model's fixed bearing, the
+            # direction the offending surface sits in.  Spatially *biased* —
+            # repeated reflections all land on the same side of the truth.
+            distance = rng.uniform(2.0 * self.error, self.multipath_scale * self.error)
+            angle = self._multipath_angle + rng.uniform(-0.3, 0.3)
         else:
-            distance = rng.uniform(0.0, self.error)
-        angle = rng.uniform(0.0, 2.0 * math.pi)
+            if rng.random() < self.outlier_probability and self.error > 0:
+                distance = rng.uniform(2.5 * self.error, 10.0 * self.error)
+            else:
+                distance = rng.uniform(0.0, self.error)
+            angle = rng.uniform(0.0, 2.0 * math.pi)
         x = location.x + distance * math.cos(angle)
         y = location.y + distance * math.sin(angle)
         floor = location.floor

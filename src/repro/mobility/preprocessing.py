@@ -11,18 +11,81 @@ ii) p-sequences whose total duration does not exceed a threshold ``ψ``
 The same operations are provided here for both plain
 :class:`~repro.mobility.records.PositioningSequence` objects and labeled
 sequences (where the labels are split alongside the records).
+
+A step *zero* precedes both in the adversarial pipeline:
+:func:`normalize_report_stream` canonicalises a raw gateway stream — the
+``(record, region, event)`` triples of
+:meth:`~repro.mobility.positioning.PositioningErrorModel.corrupt_trajectory_raw`
+— into timestamp order with exact duplicates removed.  It is a pure
+function, **idempotent** and **order-insensitive** (any permutation of the
+same multiset of triples normalises to the same result), and the identity
+on benign, strictly-increasing streams; the scenario fuzzer asserts all
+three properties on every sampled spec.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.mobility.records import (
     LabeledSequence,
+    PositioningRecord,
     PositioningSequence,
 )
 
 SequenceLike = Union[PositioningSequence, LabeledSequence]
+
+ReportTriple = Tuple[PositioningRecord, int, str]
+
+
+def _triple_key(triple: ReportTriple) -> Tuple[float, float, float, int, int, str]:
+    """A total order over report triples: timestamp first, then content.
+
+    Content participates so that records sharing a timestamp (clock
+    collisions, retransmissions) still sort the same way from *any* input
+    permutation — without it, normalisation would depend on arrival order.
+    """
+    record, region, event = triple
+    return (record.timestamp, record.x, record.y, record.floor, region, event)
+
+
+def normalize_report_stream(triples: Sequence[ReportTriple]) -> List[ReportTriple]:
+    """Canonicalise a raw report stream: sort by time, drop exact duplicates.
+
+    Two triples are exact duplicates when record coordinates, timestamp and
+    both ground-truth labels all coincide — the retransmissions a flaky
+    gateway emits.  Distinct reports that merely share a timestamp are both
+    kept.  For a benign stream (strictly increasing timestamps, no
+    duplicates) this returns the triples unchanged.
+    """
+    ordered = sorted(triples, key=_triple_key)
+    kept: List[ReportTriple] = []
+    for triple in ordered:
+        if kept and _triple_key(kept[-1]) == _triple_key(triple):
+            continue
+        kept.append(triple)
+    return kept
+
+
+def assemble_labeled_sequence(
+    triples: Sequence[ReportTriple], *, object_id: Optional[str] = None
+) -> Optional[LabeledSequence]:
+    """Normalise a raw report stream and build the labeled p-sequence.
+
+    Returns None when fewer than two distinct reports survive
+    normalisation (mirroring the error model's too-short contract).
+    """
+    normalized = normalize_report_stream(triples)
+    if len(normalized) < 2:
+        return None
+    records = [record for record, _, _ in normalized]
+    sequence = PositioningSequence(records, object_id=object_id, sort=False)
+    return LabeledSequence(
+        sequence=sequence,
+        region_labels=[region for _, region, _ in normalized],
+        event_labels=[event for _, _, event in normalized],
+        object_id=object_id,
+    )
 
 
 def split_on_time_gaps(

@@ -20,10 +20,11 @@ the same behaviour:
   region (destination region while staying, nearest region while passing) and
   the event label (``stay`` while dwelling, ``pass`` while moving).
 
-Two further mobility profiles extend the paper's single random-waypoint
-model for the scenario catalogue, both reusing the path planning and
+Three further mobility profiles extend the paper's single random-waypoint
+model for the scenario catalogue, all reusing the path planning and
 recording machinery through the :meth:`WaypointSimulator._begin_object`,
 :meth:`WaypointSimulator._pick_destination`,
+:meth:`WaypointSimulator._pick_destination_at`,
 :meth:`WaypointSimulator._stay_duration` and
 :meth:`WaypointSimulator._leg_speed` hooks:
 
@@ -34,7 +35,10 @@ recording machinery through the :meth:`WaypointSimulator._begin_object`,
 * :class:`PeakHoursSimulator` — a crowd profile: destination choice is
   popularity-weighted (a deterministic heavy-tailed ranking over regions)
   and stays shorten inside a configurable peak-hours window, producing the
-  churn of a rush-hour concourse.
+  churn of a rush-hour concourse;
+* :class:`CrowdSurgeSimulator` — event-driven surges: during scheduled
+  ``(start, end)`` windows the population converges on seed-chosen epicentre
+  regions and churns there, the flash-crowd regime (boarding call, kickoff).
 
 All simulators are deterministic given their seed; the hooks of the base
 class draw from the same generator in the same order as before they were
@@ -177,7 +181,7 @@ class WaypointSimulator:
         # The object starts with a stay at its initial region.
         now = self._record_stay(trajectory, current_region, current_point, now, end_time)
         while now < end_time:
-            destination = self._pick_destination(current_region)
+            destination = self._pick_destination_at(current_region, now)
             waypoints = self._plan_path(current_point, current_region, destination)
             now, current_point = self._record_walk(
                 trajectory, waypoints, now, end_time, destination
@@ -228,6 +232,16 @@ class WaypointSimulator:
     # used to, so waypoint datasets are bitwise-stable across the refactor.
     def _begin_object(self, object_id: str) -> None:
         """Per-object setup before simulation starts (no-op for waypoint)."""
+
+    def _pick_destination_at(self, current: SemanticRegion, now: float) -> SemanticRegion:
+        """Time-aware destination hook; the default ignores ``now``.
+
+        Event-driven profiles (crowd surges, scheduled gatherings) override
+        this to make the choice depend on simulation time.  The default
+        delegates straight to :meth:`_pick_destination` without touching the
+        generator, so time-blind profiles stay bitwise unchanged.
+        """
+        return self._pick_destination(current)
 
     def _pick_destination(self, current: SemanticRegion) -> SemanticRegion:
         """Choose the next destination region (uniform, never the current)."""
@@ -512,4 +526,80 @@ class PeakHoursSimulator(WaypointSimulator):
         duration = super()._stay_duration(region, now)
         if self._peak_start <= now < self._peak_end:
             duration *= self._peak_stay_factor
+        return self._clamp_stay(duration)
+
+
+class CrowdSurgeSimulator(WaypointSimulator):
+    """Event-driven crowd surges: scheduled convergence on epicentre regions.
+
+    ``surges`` is a tuple of ``(start, end)`` windows in simulation seconds.
+    At construction each window draws ``epicentres_per_surge`` epicentre
+    regions from the seed (a boarding gate, the match kickoff stand, a
+    hospital discharge ward).  While a window is active, the next destination
+    is one of that window's epicentres with probability ``surge_affinity``
+    and dwell times shrink by ``surge_stay_factor`` (clamped back into
+    ``[min_stay, max_stay]``), so the population piles into a handful of
+    regions and churns there — the flash-crowd regime the annotator and the
+    index have never been tested against.  Outside every window the object
+    behaves exactly like the random-waypoint base profile.
+
+    This is the first *time-dependent* destination model, exercising the
+    :meth:`WaypointSimulator._pick_destination_at` hook.
+    """
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        *,
+        surges: Sequence[Tuple[float, float]] = ((300.0, 600.0),),
+        surge_affinity: float = 0.85,
+        surge_stay_factor: float = 0.4,
+        epicentres_per_surge: int = 1,
+        **kwargs,
+    ):
+        super().__init__(space, **kwargs)
+        if not surges:
+            raise ValueError("need at least one surge window")
+        windows = tuple((float(start), float(end)) for start, end in surges)
+        for start, end in windows:
+            if end <= start:
+                raise ValueError("surge windows must satisfy start < end")
+        if not 0.0 <= surge_affinity <= 1.0:
+            raise ValueError("surge_affinity must be a probability")
+        if not 0.0 < surge_stay_factor <= 1.0:
+            raise ValueError("surge_stay_factor must be in (0, 1]")
+        if epicentres_per_surge < 1:
+            raise ValueError("epicentres_per_surge must be at least 1")
+        self._surges = windows
+        self._surge_affinity = surge_affinity
+        self._surge_stay_factor = surge_stay_factor
+        regions = self._space.regions
+        count = min(epicentres_per_surge, len(regions))
+        # One epicentre draw per window, fixed for the simulator's lifetime:
+        # every object converges on the *same* regions, which is the point.
+        self._epicentres: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(region.region_id for region in self._rng.sample(regions, count))
+            for _ in windows
+        )
+
+    def _active_surge(self, now: float) -> Optional[int]:
+        for index, (start, end) in enumerate(self._surges):
+            if start <= now < end:
+                return index
+        return None
+
+    def _pick_destination_at(self, current: SemanticRegion, now: float) -> SemanticRegion:
+        surge = self._active_surge(now)
+        if surge is not None and self._rng.random() < self._surge_affinity:
+            candidates = [
+                rid for rid in self._epicentres[surge] if rid != current.region_id
+            ]
+            if candidates:
+                return self._space.region(self._rng.choice(candidates))
+        return self._pick_destination(current)
+
+    def _stay_duration(self, region: SemanticRegion, now: float) -> float:
+        duration = super()._stay_duration(region, now)
+        if self._active_surge(now) is not None:
+            duration *= self._surge_stay_factor
         return self._clamp_stay(duration)

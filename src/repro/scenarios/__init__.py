@@ -18,7 +18,10 @@ Consumers resolve scenarios by name everywhere:
 * ``python -m repro.bench --scenario <name>`` times a scenario end to end;
 * :func:`repro.service.replay_scenario` replays one through the streaming
   service;
-* ``python -m repro.scenarios`` lists the catalogue and smoke-checks it.
+* ``python -m repro.scenarios`` lists the catalogue and smoke-checks it;
+* ``python -m repro.scenarios --fuzz N --seed S`` samples the *whole spec
+  space* and runs the invariant oracle layer (:mod:`repro.scenarios.fuzz`)
+  on every sampled spec, shrinking failures to minimal reproducing specs.
 
 The golden-trace regression suite (``tests/test_scenario_golden.py``) pins
 the fingerprint of every registered scenario per seed, so any drift in the
@@ -44,10 +47,29 @@ from repro.scenarios.registry import (
     unregister_scenario,
 )
 
+from repro.scenarios.fuzz import (
+    FuzzReport,
+    FuzzResult,
+    check_spec,
+    run_fuzz,
+    sample_spec,
+    shrink_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
 # Importing the catalogue registers the built-in scenarios.
 from repro.scenarios import catalogue as _catalogue  # noqa: F401
 
 __all__ = [
+    "FuzzReport",
+    "FuzzResult",
+    "check_spec",
+    "run_fuzz",
+    "sample_spec",
+    "shrink_spec",
+    "spec_from_dict",
+    "spec_to_dict",
     "DeviceSpec",
     "MOBILITY_PROFILES",
     "MobilitySpec",

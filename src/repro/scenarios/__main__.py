@@ -10,7 +10,13 @@
 * ``--write-goldens PATH`` — regenerate the golden-trace fingerprint file
   asserted by ``tests/test_scenario_golden.py`` (run it after an
   *intentional* change to builders/simulators/preprocessing and review the
-  diff; accidental drift is exactly what the suite exists to catch).
+  diff; accidental drift is exactly what the suite exists to catch);
+* ``--fuzz N --seed S`` — sample N random scenario specs from seed S and
+  run the invariant oracle layer (:mod:`repro.scenarios.fuzz`) on each;
+  failures are shrunk to a minimal reproducing spec.  ``--fuzz-artifact
+  PATH`` writes the machine-readable report (the nightly job uploads it),
+  ``--fuzz-budget SECONDS`` time-boxes the run.  Exit status is non-zero
+  when any oracle fired.
 """
 
 from __future__ import annotations
@@ -101,6 +107,47 @@ def _write_goldens(path: Path) -> int:
     return 0
 
 
+def _fuzz(
+    count: int,
+    seed: Optional[int],
+    artifact: Optional[Path],
+    budget: Optional[float],
+) -> int:
+    from repro.scenarios.fuzz import run_fuzz
+
+    used_seed = 1 if seed is None else seed
+
+    def progress(result) -> None:
+        verdict = "ok" if result.ok else f"FAIL ({len(result.violations)} violations)"
+        print(
+            f"{result.name:12s} {result.spec['venue']['archetype']:10s} "
+            f"{result.spec['mobility']['profile']:9s} "
+            f"{result.elapsed_seconds:6.2f}s  {verdict}"
+        )
+
+    report = run_fuzz(count, used_seed, time_budget=budget, progress=progress)
+    if artifact is not None:
+        artifact.parent.mkdir(parents=True, exist_ok=True)
+        artifact.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote {artifact}")
+    for failure in report.failures:
+        print(f"\n{failure.name} violations:")
+        for violation in failure.violations:
+            print(f"  - {violation}")
+        if failure.shrunk is not None:
+            print("  minimal reproducing spec:")
+            print(
+                "    "
+                + json.dumps(failure.shrunk, sort_keys=True).replace("\n", "\n    ")
+            )
+    status = "ok" if report.ok else f"{len(report.failures)} failing specs"
+    print(
+        f"fuzz: {report.executed}/{report.requested} specs from seed {used_seed} "
+        f"in {report.elapsed_seconds:.1f}s — {status}"
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
@@ -119,7 +166,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="regenerate the golden fingerprint file (review the diff!)",
     )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="N",
+        help="sample N random specs and run the invariant oracles on each",
+    )
+    parser.add_argument(
+        "--fuzz-artifact",
+        metavar="PATH",
+        help="write the machine-readable fuzz report here",
+    )
+    parser.add_argument(
+        "--fuzz-budget",
+        type=float,
+        metavar="SECONDS",
+        help="stop sampling new specs once this much time has elapsed",
+    )
     args = parser.parse_args(argv)
+
+    if args.fuzz:
+        return _fuzz(
+            args.fuzz,
+            args.seed,
+            Path(args.fuzz_artifact) if args.fuzz_artifact else None,
+            args.fuzz_budget,
+        )
 
     if args.materialize:
         try:

@@ -1,11 +1,15 @@
 """The built-in scenario catalogue.
 
-Eight named scenarios over three venue archetypes (mall, office, transit
-concourse) and three mobility profiles (random waypoint, schedule-driven
-commuters, peak-hours crowd).  Two of them — ``mall-tiny`` and
+Twelve named scenarios over seven venue archetypes (mall, office, transit
+concourse, airport terminal, hospital, stadium, office tower) and four
+mobility profiles (random waypoint, schedule-driven commuters, peak-hours
+crowd, event-driven surge).  Two of them — ``mall-tiny`` and
 ``office-tiny`` — reproduce the historical hand-built test fixtures
 *bitwise* (same venue parameters, same pipeline, same seeds), so rebasing
-the test and benchmark fixtures onto the registry changed no data.
+the test and benchmark fixtures onto the registry changed no data.  The
+four newest scenarios exercise the adversarial device regimes (multipath
+bias, clock skew/jitter, duplicate retransmissions) so the golden suite
+pins those code paths too.
 
 All catalogue scenarios are deliberately laptop-small: the golden-trace
 regression suite materialises every one of them on each tier-1 run.  Larger
@@ -19,9 +23,9 @@ from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import DeviceSpec, MobilitySpec, ScenarioSpec, VenueSpec
 
 #: The minimum catalogue breadth the acceptance tests assert.
-MIN_SCENARIOS = 6
-MIN_ARCHETYPES = 3
-MIN_PROFILES = 3
+MIN_SCENARIOS = 10
+MIN_ARCHETYPES = 7
+MIN_PROFILES = 4
 
 
 def _register_builtin_scenarios() -> None:
@@ -174,6 +178,115 @@ def _register_builtin_scenarios() -> None:
         seed=47,
         description="Two-level hub: commuters bound to their gates, patchy coverage.",
         tags=("concourse", "commuter", "dropout"),
+    ))
+
+    # ------------------------------------------- new archetypes, adversarial
+    register_scenario(ScenarioSpec(
+        name="airport-redeye",
+        venue=VenueSpec(
+            "airport", params={"concourses": 2, "gates_per_side": 2}
+        ),
+        mobility=MobilitySpec(
+            "commuter",
+            min_stay=45.0,
+            max_stay=360.0,
+            params={"anchor_count": 1, "anchor_affinity": 0.85},
+        ),
+        device=DeviceSpec(
+            max_period=8.0,
+            error=4.0,
+            multipath_probability=0.15,
+            multipath_scale=5.0,
+        ),
+        objects=7,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=53,
+        description="Late-night terminal: gate-bound passengers, multipath off the piers.",
+        tags=("airport", "commuter", "adversarial", "multipath"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="hospital-rounds",
+        venue=VenueSpec(
+            "hospital", params={"floors": 2, "wards_per_side": 3}
+        ),
+        mobility=MobilitySpec(
+            "commuter",
+            min_stay=40.0,
+            max_stay=300.0,
+            params={"anchor_count": 3, "anchor_affinity": 0.7},
+        ),
+        device=DeviceSpec(
+            max_period=7.0,
+            error=3.5,
+            clock_skew=5.0,
+            clock_jitter=2.0,
+        ),
+        objects=7,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=59,
+        description="Ward rounds on two floors; badge clocks skewed and jittering.",
+        tags=("hospital", "commuter", "adversarial", "clock"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="stadium-matchday",
+        venue=VenueSpec(
+            "stadium", params={"floors": 1, "sections_per_side": 2}
+        ),
+        mobility=MobilitySpec(
+            "surge",
+            min_stay=20.0,
+            max_stay=240.0,
+            params={
+                "surges": ((200.0, 500.0), (800.0, 1000.0)),
+                "surge_affinity": 0.8,
+                "surge_stay_factor": 0.4,
+                "epicentres_per_surge": 2,
+            },
+        ),
+        device=DeviceSpec(
+            max_period=6.0,
+            error=5.0,
+            duplicate_probability=0.12,
+            duplicate_delay=25.0,
+        ),
+        objects=8,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=61,
+        description="Match day: kick-off and final-whistle surges, gateways retransmitting.",
+        tags=("stadium", "surge", "adversarial", "duplicates"),
+    ))
+    register_scenario(ScenarioSpec(
+        name="tower-shift-change",
+        venue=VenueSpec(
+            "tower",
+            params={"floors": 4, "suites_per_side": 1, "sky_lobby_every": 2},
+        ),
+        mobility=MobilitySpec(
+            "surge",
+            min_stay=30.0,
+            max_stay=300.0,
+            params={
+                "surges": ((300.0, 600.0),),
+                "surge_affinity": 0.75,
+                "surge_stay_factor": 0.5,
+            },
+        ),
+        device=DeviceSpec(
+            max_period=9.0,
+            error=4.0,
+            multipath_probability=0.1,
+            clock_jitter=1.5,
+            duplicate_probability=0.08,
+        ),
+        objects=7,
+        duration=1200.0,
+        min_duration=240.0,
+        seed=67,
+        description="Shift change in a high-rise: sky-lobby surge under every adversarial regime at once.",
+        tags=("tower", "surge", "adversarial", "mixed"),
     ))
 
 

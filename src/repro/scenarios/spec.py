@@ -4,38 +4,50 @@ A :class:`ScenarioSpec` composes three orthogonal profiles into one named,
 reproducible workload:
 
 * a :class:`VenueSpec` — which floorplan archetype to build (``"mall"``,
-  ``"office"`` or ``"concourse"``) and with what parameters;
+  ``"office"``, ``"concourse"``, ``"airport"``, ``"hospital"``,
+  ``"stadium"`` or ``"tower"``) and with what parameters;
 * a :class:`MobilitySpec` — how objects move: ``"waypoint"`` (the paper's
   random-waypoint model), ``"commuter"`` (schedule-driven objects with
-  per-object dwell/speed distributions) or ``"crowd"`` (popularity-weighted
-  destinations with a peak-hours window);
+  per-object dwell/speed distributions), ``"crowd"`` (popularity-weighted
+  destinations with a peak-hours window) or ``"surge"`` (event-driven
+  flash crowds converging on epicentre regions);
 * a :class:`DeviceSpec` — how the positioning infrastructure reports:
   sampling sparsity (maximum period T), error level μ, false floors,
-  outliers and sensor-dropout bursts.
+  outliers, sensor-dropout bursts, and the adversarial regimes (multipath
+  bias, clock skew/jitter, duplicate retransmissions).
 
 ``ScenarioSpec.materialize(seed)`` runs the shared simulate → corrupt →
 preprocess pipeline (:func:`repro.mobility.dataset.generate_dataset`) and
 returns a :class:`Scenario`: the built :class:`IndoorSpace`, the labeled
 :class:`AnnotationDataset` and a content fingerprint over both.  The same
 spec and seed always produce the bitwise-identical dataset — that is what
-the golden-trace regression suite pins.
+the golden-trace regression suite pins.  ``materialize_iter(seed)`` streams
+the same sequences object-by-object in constant memory, bitwise identical
+to the batch path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.indoor.builders import (
+    build_airport_terminal,
     build_concourse_hub,
+    build_hospital,
     build_mall_space,
     build_office_building,
+    build_office_tower,
+    build_stadium,
 )
 from repro.indoor.floorplan import IndoorSpace
 from repro.mobility.dataset import AnnotationDataset, generate_dataset
 from repro.mobility.positioning import PositioningErrorModel
+from repro.mobility.preprocessing import preprocess
+from repro.mobility.records import LabeledSequence
 from repro.mobility.simulator import (
     CommuterSimulator,
+    CrowdSurgeSimulator,
     PeakHoursSimulator,
     WaypointSimulator,
 )
@@ -46,6 +58,10 @@ VENUE_ARCHETYPES = {
     "mall": build_mall_space,
     "office": build_office_building,
     "concourse": build_concourse_hub,
+    "airport": build_airport_terminal,
+    "hospital": build_hospital,
+    "stadium": build_stadium,
+    "tower": build_office_tower,
 }
 
 #: Mobility profile name → simulator class.
@@ -53,6 +69,7 @@ MOBILITY_PROFILES = {
     "waypoint": WaypointSimulator,
     "commuter": CommuterSimulator,
     "crowd": PeakHoursSimulator,
+    "surge": CrowdSurgeSimulator,
 }
 
 
@@ -118,7 +135,11 @@ class MobilitySpec:
 
 @dataclass(frozen=True)
 class DeviceSpec:
-    """The positioning/device profile: sampling, error and dropout bursts."""
+    """The positioning/device profile: sampling, error, dropout — and the
+    three adversarial regimes (multipath bias, clock skew/jitter, duplicate
+    retransmissions), all defaulting off so benign specs are bitwise
+    unchanged.  Field semantics match
+    :class:`~repro.mobility.positioning.PositioningErrorModel`."""
 
     max_period: float = 10.0
     error: float = 5.0
@@ -126,17 +147,44 @@ class DeviceSpec:
     outlier_probability: float = 0.03
     dropout_probability: float = 0.0
     dropout_duration: Tuple[float, float] = (30.0, 120.0)
+    multipath_probability: float = 0.0
+    multipath_scale: float = 6.0
+    clock_skew: float = 0.0
+    clock_jitter: float = 0.0
+    duplicate_probability: float = 0.0
+    duplicate_delay: float = 30.0
 
     def __post_init__(self) -> None:
         # Fail at registration with exactly the rules materialize() will
         # apply: build a throwaway error model so the two can never drift.
-        PositioningErrorModel(
+        self._error_model(seed=0)
+
+    def _error_model(self, *, seed: int) -> PositioningErrorModel:
+        """The error model this device profile describes, at ``seed``."""
+        return PositioningErrorModel(
             max_period=self.max_period,
             error=self.error,
             false_floor_probability=self.false_floor_probability,
             outlier_probability=self.outlier_probability,
             dropout_probability=self.dropout_probability,
             dropout_duration=self.dropout_duration,
+            multipath_probability=self.multipath_probability,
+            multipath_scale=self.multipath_scale,
+            clock_skew=self.clock_skew,
+            clock_jitter=self.clock_jitter,
+            duplicate_probability=self.duplicate_probability,
+            duplicate_delay=self.duplicate_delay,
+            seed=seed,
+        )
+
+    @property
+    def adversarial(self) -> bool:
+        """True when any of the three adversarial regimes is enabled."""
+        return (
+            self.multipath_probability > 0.0
+            or self.clock_skew > 0.0
+            or self.clock_jitter > 0.0
+            or self.duplicate_probability > 0.0
         )
 
 
@@ -190,6 +238,12 @@ class ScenarioSpec:
             outlier_probability=self.device.outlier_probability,
             dropout_probability=self.device.dropout_probability,
             dropout_duration=self.device.dropout_duration,
+            multipath_probability=self.device.multipath_probability,
+            multipath_scale=self.device.multipath_scale,
+            clock_skew=self.device.clock_skew,
+            clock_jitter=self.device.clock_jitter,
+            duplicate_probability=self.device.duplicate_probability,
+            duplicate_delay=self.device.duplicate_delay,
             max_gap=self.max_gap,
             min_duration=self.min_duration,
             seed=used_seed,
@@ -197,6 +251,64 @@ class ScenarioSpec:
             simulator=simulator,
         )
         return Scenario(spec=self, seed=used_seed, space=space, dataset=dataset)
+
+    def materialize_iter(
+        self, seed: Optional[int] = None, *, space: Optional[IndoorSpace] = None
+    ) -> Iterator[LabeledSequence]:
+        """Stream the scenario's labeled sequences one object at a time.
+
+        Yields exactly the sequences :meth:`materialize` collects — in the
+        same order, bitwise identical — without ever holding more than one
+        object's trajectory in memory.  The equivalence is structural, not
+        luck: the simulator and the error model own *separate* generators
+        (``seed`` and ``seed + 1``), and both batch and streaming consume
+        each generator in the same per-object order, so interleaving
+        simulate/corrupt per object cannot change any draw.  The scenario
+        fuzzer asserts the equality on every sampled spec.
+
+        ``space`` injects an already-built venue (builders are deterministic,
+        so callers that need the space anyway can avoid building it twice).
+        """
+        used_seed = self.seed if seed is None else seed
+        if space is None:
+            space = self.venue.build()
+        simulator = self.mobility.build(space, used_seed)
+        error_model = self.device._error_model(seed=used_seed + 1)
+        for index in range(self.objects):
+            trajectory = simulator.simulate_object(
+                f"obj-{index:04d}", duration=self.duration
+            )
+            labeled = error_model.corrupt_trajectory(trajectory, space)
+            if labeled is None:
+                continue
+            for piece in preprocess(
+                [labeled], max_gap=self.max_gap, min_duration=self.min_duration
+            ):
+                yield piece
+
+    def stream_records(
+        self, seed: Optional[int] = None
+    ) -> Iterator[Tuple[str, float, float, float, int, int, str]]:
+        """Flatten :meth:`materialize_iter` into per-record tuples.
+
+        Yields ``(object_id, timestamp, x, y, floor, region, event)`` — the
+        shape a positioning gateway would feed an online consumer, generated
+        record-by-record with constant memory in the number of objects.
+        """
+        for labeled in self.materialize_iter(seed):
+            object_id = labeled.object_id or ""
+            for record, region, event in zip(
+                labeled.sequence.records, labeled.region_labels, labeled.event_labels
+            ):
+                yield (
+                    object_id,
+                    record.timestamp,
+                    record.x,
+                    record.y,
+                    record.floor,
+                    region,
+                    event,
+                )
 
     def summary(self) -> Dict[str, Any]:
         """A flat description row (used by the CLI listing and docs)."""

@@ -22,10 +22,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from typing import Union
+
 from repro.core.protocol import Annotator
 from repro.mobility.dataset import train_test_split
 from repro.mobility.records import PositioningRecord
 from repro.scenarios import materialize
+from repro.scenarios.spec import Scenario
 from repro.service.service import AnnotationService
 
 
@@ -81,7 +84,7 @@ def _interleaved_records(sequences) -> List[Tuple[str, PositioningRecord]]:
 
 
 def replay_scenario(
-    scenario: str,
+    scenario: Union[str, Scenario],
     *,
     annotator: Optional[Annotator] = None,
     seed: Optional[int] = None,
@@ -92,14 +95,24 @@ def replay_scenario(
     split_seed: int = 5,
     fit_config=None,
 ) -> Tuple[AnnotationService, ReplayReport]:
-    """Replay a registered scenario's traffic through streaming sessions.
+    """Replay a scenario's traffic through streaming sessions.
 
-    When ``annotator`` is omitted, a fast C2MN is fitted on the train half
-    of the materialised dataset; either way the *test* half is replayed.
-    Returns the service (store included, live queries ready) and the
-    :class:`ReplayReport`.
+    ``scenario`` is either the name of a registered scenario or an
+    already-materialised :class:`~repro.scenarios.spec.Scenario` (the fuzzer
+    replays unregistered sampled specs this way; passing ``seed`` alongside
+    a Scenario re-materialises its spec at that seed).  When ``annotator``
+    is omitted, a fast C2MN is fitted on the train half of the materialised
+    dataset; either way the *test* half is replayed.  Returns the service
+    (store included, live queries ready) and the :class:`ReplayReport`.
     """
-    materialised = materialize(scenario, seed)
+    if isinstance(scenario, Scenario):
+        materialised = (
+            scenario
+            if seed is None or seed == scenario.seed
+            else scenario.spec.materialize(seed)
+        )
+    else:
+        materialised = materialize(scenario, seed)
     train, test = train_test_split(
         materialised.dataset, train_fraction=train_fraction, seed=split_seed
     )

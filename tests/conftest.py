@@ -22,15 +22,36 @@ from repro.scenarios import VenueSpec, materialize
 
 
 @pytest.fixture(scope="session")
-def mall_tiny_scenario():
-    """The materialised ``mall-tiny`` scenario (venue + dataset + fingerprint)."""
-    return materialize("mall-tiny")
+def scenario_cache():
+    """Session-wide scenario materialisation cache.
+
+    Returns ``get(name, seed=None)``; every distinct ``(name, seed)`` pair
+    is materialised at most once per test session, however many test
+    modules ask for it.  Materialisation is deterministic, so sharing the
+    objects is safe as long as tests treat them as read-only — the same
+    contract every other session fixture here already carries.
+    """
+    cache = {}
+
+    def get(name, seed=None):
+        key = (name, seed)
+        if key not in cache:
+            cache[key] = materialize(name, seed)
+        return cache[key]
+
+    return get
 
 
 @pytest.fixture(scope="session")
-def office_tiny_scenario():
+def mall_tiny_scenario(scenario_cache):
+    """The materialised ``mall-tiny`` scenario (venue + dataset + fingerprint)."""
+    return scenario_cache("mall-tiny")
+
+
+@pytest.fixture(scope="session")
+def office_tiny_scenario(scenario_cache):
     """The materialised ``office-tiny`` scenario."""
-    return materialize("office-tiny")
+    return scenario_cache("office-tiny")
 
 
 @pytest.fixture(scope="session")

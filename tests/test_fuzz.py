@@ -1,0 +1,190 @@
+"""Self-tests for the scenario fuzzer (:mod:`repro.scenarios.fuzz`).
+
+Three layers:
+
+* the *sampler* is seed-deterministic and its specs round-trip through the
+  JSON artifact format;
+* the *oracle layer* holds over a pinned corpus — N=25 specs from a fixed
+  seed materialise with zero violations, which is the same guarantee the
+  nightly fuzz job extends to fresh seeds;
+* the *shrinker* reproduces a planted failure: given an oracle that trips
+  on one adversarial knob, the minimal spec keeps exactly that knob and
+  sheds everything else (objects, duration, mobility profile, venue).
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios.fuzz import (
+    ORACLES,
+    check_spec,
+    run_fuzz,
+    sample_spec,
+    shrink_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.scenarios.spec import MOBILITY_PROFILES, VENUE_ARCHETYPES
+
+#: The corpus the suite pins; the nightly job fuzzes fresh seeds on top.
+PINNED_SEED = 20260807
+PINNED_COUNT = 25
+
+
+# ----------------------------------------------------------------- sampler
+class TestSampler:
+    def test_sample_stream_is_seed_deterministic(self):
+        import random
+
+        first = [sample_spec(random.Random(5), i) for i in range(10)]
+        second = [sample_spec(random.Random(5), i) for i in range(10)]
+        other = [sample_spec(random.Random(6), i) for i in range(10)]
+        assert first == second
+        assert first != other
+
+    def test_sampler_covers_the_whole_composition_space(self):
+        import random
+
+        rng = random.Random(1)
+        specs = [sample_spec(rng, i) for i in range(120)]
+        assert {spec.venue.archetype for spec in specs} == set(VENUE_ARCHETYPES)
+        assert {spec.mobility.profile for spec in specs} == set(MOBILITY_PROFILES)
+        devices = [spec.device for spec in specs]
+        assert any(d.multipath_probability > 0.0 for d in devices)
+        assert any(d.clock_skew > 0.0 for d in devices)
+        assert any(d.clock_jitter > 0.0 for d in devices)
+        assert any(d.duplicate_probability > 0.0 for d in devices)
+        assert any(not d.adversarial for d in devices)
+
+    def test_spec_dict_round_trips_through_json(self):
+        import random
+
+        rng = random.Random(9)
+        for index in range(30):
+            spec = sample_spec(rng, index)
+            payload = json.loads(json.dumps(spec_to_dict(spec)))
+            assert spec_from_dict(payload) == spec
+
+
+# ------------------------------------------------------------ oracle layer
+class TestOracles:
+    def test_pinned_corpus_has_zero_violations(self):
+        """The acceptance gate: N=25 sampled specs, every oracle green."""
+        report = run_fuzz(PINNED_COUNT, PINNED_SEED, shrink=False)
+        assert report.executed == PINNED_COUNT
+        assert report.ok, [
+            (failure.name, failure.violations) for failure in report.failures
+        ]
+
+    def test_oracle_registry_is_complete(self):
+        assert list(ORACLES) == [
+            "topology",
+            "preprocessing",
+            "streaming",
+            "backends",
+            "queries",
+            "replay",
+        ]
+
+    def test_oracle_exceptions_are_violations(self):
+        import random
+
+        spec = sample_spec(random.Random(2), 0)
+
+        def exploding(ctx):
+            raise RuntimeError("oracle blew up")
+
+        violations = check_spec(
+            spec, oracle_names=[], extra_oracles=[("exploding", exploding)]
+        )
+        assert len(violations) == 1
+        assert "exploding" in violations[0] and "RuntimeError" in violations[0]
+
+    def test_time_budget_stops_sampling(self):
+        report = run_fuzz(10, 3, time_budget=0.0)
+        assert report.executed == 0
+        assert not report.ok  # an empty run is not a passing run
+
+
+# ---------------------------------------------------------------- shrinker
+def _multipath_planted(ctx):
+    """A planted failure: trips whenever multipath corruption is enabled."""
+    if ctx.spec.device.multipath_probability > 0.0:
+        return ["planted multipath failure"]
+    return []
+
+
+class TestShrinking:
+    def test_planted_failure_is_caught_and_shrunk_to_minimal(self):
+        report = run_fuzz(
+            10, 7, oracle_names=[], extra_oracles=[("planted", _multipath_planted)]
+        )
+        failures = report.failures
+        assert failures, "the sampler must hit multipath within 10 specs at seed 7"
+        for failure in failures:
+            assert any("planted" in v for v in failure.violations)
+            shrunk = spec_from_dict(failure.shrunk)
+            # The minimal spec keeps exactly the failing knob...
+            assert shrunk.device.multipath_probability > 0.0
+            # ...and sheds everything irrelevant to the failure.
+            assert shrunk.objects == 1
+            assert shrunk.duration <= 320.0
+            assert shrunk.mobility.profile == "waypoint"
+            assert shrunk.mobility.params == ()
+            assert shrunk.venue.archetype == "mall"
+            assert shrunk.device.clock_skew == 0.0
+            assert shrunk.device.clock_jitter == 0.0
+            assert shrunk.device.duplicate_probability == 0.0
+            assert shrunk.device.dropout_probability == 0.0
+            # The artifact alone still reproduces the failure.
+            assert check_spec(
+                shrunk,
+                oracle_names=[],
+                extra_oracles=[("planted", _multipath_planted)],
+            )
+
+    def test_shrink_reaches_a_fixed_point(self):
+        import random
+
+        from repro.scenarios.fuzz import _shrink_candidates
+
+        spec = sample_spec(random.Random(11), 0)
+        minimal = shrink_spec(spec, lambda candidate: True)  # everything "fails"
+        # No single mutation of the result is accepted any more.
+        assert shrink_spec(minimal, lambda candidate: True) == minimal
+        assert list(_shrink_candidates(minimal)) == []
+
+    def test_shrink_keeps_the_original_when_nothing_smaller_fails(self):
+        import random
+
+        spec = sample_spec(random.Random(12), 0)
+        assert shrink_spec(spec, lambda candidate: False) == spec
+
+
+# --------------------------------------------------------------------- CLI
+class TestFuzzCli:
+    def test_fuzz_cli_green_run_writes_artifact(self, tmp_path, capsys):
+        from repro.scenarios.__main__ import main as scenarios_main
+
+        artifact = tmp_path / "fuzz.json"
+        assert (
+            scenarios_main(["--fuzz", "2", "--seed", "3", "--fuzz-artifact", str(artifact)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fuzz: 2/2 specs from seed 3" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        assert payload["executed"] == 2
+        assert payload["failures"] == []
+        # Every result's spec is a loadable artifact.
+        for result in payload["results"]:
+            spec_from_dict(result["spec"])
+
+    def test_fuzz_cli_rejects_nonpositive_count(self, capsys):
+        from repro.scenarios.__main__ import main as scenarios_main
+
+        with pytest.raises(ValueError, match="count"):
+            scenarios_main(["--fuzz", "-1", "--seed", "3"])
+        capsys.readouterr()

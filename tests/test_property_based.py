@@ -211,7 +211,7 @@ def pb_venue():
     return build_mall_space(floors=1, shops_per_side=3)
 
 
-simulator_profiles = st.sampled_from(["waypoint", "commuter", "crowd"])
+simulator_profiles = st.sampled_from(["waypoint", "commuter", "crowd", "surge"])
 
 
 @given(
@@ -234,6 +234,7 @@ def test_simulator_invariants(pb_venue, profile, seed, min_stay, stay_span):
     """
     from repro.mobility.simulator import (
         CommuterSimulator,
+        CrowdSurgeSimulator,
         PeakHoursSimulator,
         WaypointSimulator,
     )
@@ -243,9 +244,11 @@ def test_simulator_invariants(pb_venue, profile, seed, min_stay, stay_span):
         "waypoint": WaypointSimulator,
         "commuter": CommuterSimulator,
         "crowd": PeakHoursSimulator,
+        "surge": CrowdSurgeSimulator,
     }[profile]
+    kwargs = {"surges": ((100.0, 250.0),)} if profile == "surge" else {}
     simulator = simulator_cls(
-        pb_venue, min_stay=min_stay, max_stay=max_stay, seed=seed
+        pb_venue, min_stay=min_stay, max_stay=max_stay, seed=seed, **kwargs
     )
     trajectory = simulator.simulate_object("pb-0", duration=400.0)
 

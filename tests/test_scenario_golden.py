@@ -24,7 +24,6 @@ from repro.scenarios import (
     MOBILITY_PROFILES,
     VENUE_ARCHETYPES,
     get_scenario,
-    materialize,
     scenario_names,
     scenario_specs,
 )
@@ -38,17 +37,10 @@ def goldens():
     return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
 
 
-@pytest.fixture(scope="module")
-def materialized():
-    """Materialise each scenario at most once for the whole module."""
-    cache = {}
-
-    def get(name):
-        if name not in cache:
-            cache[name] = materialize(name)
-        return cache[name]
-
-    return get
+@pytest.fixture()
+def materialized(scenario_cache):
+    """Materialise each scenario at most once for the whole *session*."""
+    return scenario_cache
 
 
 def test_golden_file_covers_exactly_the_registry(goldens):
@@ -59,7 +51,7 @@ def test_golden_file_covers_exactly_the_registry(goldens):
 
 
 def test_catalogue_breadth():
-    """The acceptance floor: ≥6 scenarios over ≥3 venues and ≥3 profiles."""
+    """The acceptance floor: ≥10 scenarios over ≥7 venues and ≥4 profiles."""
     specs = scenario_specs()
     assert len(specs) >= MIN_SCENARIOS
     archetypes = {spec.venue.archetype for spec in specs}
@@ -68,6 +60,38 @@ def test_catalogue_breadth():
     assert archetypes <= set(VENUE_ARCHETYPES)
     assert len(profiles) >= MIN_PROFILES
     assert profiles <= set(MOBILITY_PROFILES)
+
+
+def test_every_archetype_and_adversarial_regime_has_a_golden():
+    """The catalogue pins every venue archetype and every adversarial regime."""
+    specs = scenario_specs()
+    assert {spec.venue.archetype for spec in specs} == set(VENUE_ARCHETYPES)
+    devices = [spec.device for spec in specs]
+    assert any(device.multipath_probability > 0.0 for device in devices)
+    assert any(device.clock_skew > 0.0 or device.clock_jitter > 0.0 for device in devices)
+    assert any(device.duplicate_probability > 0.0 for device in devices)
+
+
+def test_update_golden_check_agrees(goldens, materialized):
+    """``tools/update_golden.py --check`` logic sees no drift in-process."""
+    import sys
+
+    tools_dir = str(Path(__file__).resolve().parents[1] / "tools")
+    sys.path.insert(0, tools_dir)
+    try:
+        from update_golden import compare
+    finally:
+        sys.path.remove(tools_dir)
+    current = {}
+    for name in scenario_names():
+        scenario = materialized(name)
+        current[name] = {
+            "seed": scenario.seed,
+            "fingerprint": scenario.fingerprint,
+            "sequences": len(scenario.dataset),
+            "records": scenario.dataset.total_records,
+        }
+    assert compare(goldens, current) == []
 
 
 @pytest.mark.parametrize("name", scenario_names())
