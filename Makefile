@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios fuzz fuzz-smoke coverage docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios serve loadtest fuzz fuzz-smoke coverage docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -30,18 +30,36 @@ queries:
 bench-check:
 	$(PYTHON) tools/check_bench.py
 
-# The perf-regression gate CI runs: regenerate the tiny runtime + query
-# reports and compare them against the committed baselines.
+# The perf-regression gate CI runs: regenerate the tiny runtime + query +
+# service reports and compare them against the committed baselines (the
+# service suite gets a wider tolerance — its latency ratios carry more
+# scheduler noise; agreement stays zero-tolerance).
 bench-compare:
 	$(PYTHON) -m repro.bench --tiny --out BENCH_runtime.json
 	$(PYTHON) -m repro.bench --tiny --queries --out BENCH_queries.json
+	$(PYTHON) -m repro.bench --service --out BENCH_service.json
 	$(PYTHON) tools/check_bench.py BENCH_runtime.json BENCH_queries.json --compare benchmarks/baselines --tolerance 0.5
+	$(PYTHON) tools/check_bench.py BENCH_service.json --compare benchmarks/baselines --tolerance 0.75
 
 # List the scenario catalogue, then materialise the smallest scenario
 # end-to-end (simulate -> corrupt -> preprocess -> fit -> annotate).
 scenarios:
 	$(PYTHON) -m repro.scenarios --list
 	$(PYTHON) -m repro.scenarios --smoke
+
+# Serve a fast-fitted model over HTTP until Ctrl-C (drains open sessions).
+SCENARIO ?= mall-tiny
+PORT ?= 8073
+serve:
+	$(PYTHON) -m repro.net --serve --scenario $(SCENARIO) --port $(PORT)
+
+# Self-hosted open-loop loadtest -> run_table.csv (override RATE/DURATION;
+# repeat rates by calling the module directly with several --rate flags).
+RATE ?= 20
+DURATION ?= 10
+loadtest:
+	$(PYTHON) -m repro.net --loadtest --scenario $(SCENARIO) \
+		--rate $(RATE) --duration $(DURATION) --out run_table.csv
 
 # Pinned-seed fuzz smoke: the deterministic check CI runs on every PR.
 fuzz-smoke:

@@ -30,6 +30,7 @@ from repro.bench.queries import (
     build_query_workload,
     run_query_benchmarks,
 )
+from repro.bench.service import run_service_benchmarks
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -44,5 +45,6 @@ __all__ = [
     "run_query_benchmarks",
     "run_runtime_benchmarks",
     "run_scenario_benchmarks",
+    "run_service_benchmarks",
     "write_report",
 ]

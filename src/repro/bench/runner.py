@@ -385,6 +385,14 @@ def format_summary(report: Dict[str, Any]) -> str:
                 f"postings {detail['postings']:6d}  "
                 f"index build {detail['index_build_seconds']:6.3f}s"
             )
+    for detail in report.get("service", []):
+        loadtest = detail["loadtest"]
+        lines.append(
+            f"  scenario {detail['name']:22s} fit {detail['fit_seconds']:6.3f}s  "
+            f"loadtest {loadtest['throughput_rps']:7.1f} rps  "
+            f"p95 {loadtest['p95_latency_ms']:7.1f}ms  "
+            f"failures {loadtest['failures']}"
+        )
     for entry in report["results"]:
         lines.append(
             f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
@@ -433,6 +441,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--scenario restricts the scenario set",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="run the serving suite (HTTP front door vs in-process, plus an "
+        "open-loop loadtest); --scenario restricts the scenario set "
+        "(default: mall-tiny)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -451,11 +466,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "BENCH_scenarios.json with --scenario)",
     )
     args = parser.parse_args(argv)
+    if args.queries and args.service:
+        parser.error("--queries and --service are mutually exclusive")
     if args.scenario and args.scale is not None and not args.queries:
         parser.error("--scale/--tiny do not apply to --scenario runs")
+    if args.service and args.scale is not None:
+        parser.error("--scale/--tiny do not apply to --service runs")
     if args.out is None:
         if args.queries:
             args.out = "BENCH_queries.json"
+        elif args.service:
+            args.out = "BENCH_service.json"
         elif args.scenario:
             args.out = "BENCH_scenarios.json"
         else:
@@ -466,7 +487,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.scenario or "all" in args.scenario
         else list(dict.fromkeys(args.scenario))
     )
-    if args.queries:
+    if args.service:
+        from repro.bench.service import run_service_benchmarks
+
+        report = run_service_benchmarks(
+            names if args.scenario else None, repeats=args.repeats
+        )
+    elif args.queries:
         from repro.bench.queries import run_query_benchmarks
 
         report = run_query_benchmarks(

@@ -1,0 +1,293 @@
+"""The service benchmark suite: end-to-end serving performance over HTTP.
+
+``python -m repro.bench --service`` measures the HTTP front door
+(:mod:`repro.net`) against the in-process service on catalogue scenarios:
+
+* **annotate** — ``POST /v1/annotate`` of the held-out sequences vs
+  in-process ``annotate_many``; agreement is bitwise on the wire payloads;
+* **queries** — the TkPRQ/TkFRPQ endpoints vs in-process ``query_*`` over
+  the same store;
+* **stream** — the full session lifecycle (open/push/finish) over HTTP vs
+  in-process :class:`StreamSession` replay, agreement on the published
+  store contents;
+* **loadtest** — a short open-loop run (:mod:`repro.net.loadgen`) whose
+  ``speedup_vs_serial`` is the wall-clock keep-up ratio (planned duration
+  over measured elapsed, ≈1.0 when the server sustains the offered rate)
+  and whose ``agreement`` is ``failure_rate == 0``.
+
+HTTP rows report ``speedup_vs_serial`` as the in-process-over-HTTP latency
+ratio — the protocol overhead the perf gate keeps honest.  The report
+shares the ``repro.bench/1`` schema; per-scenario loadtest rows (the
+``run_table.csv`` columns) land in the ``service`` section, which
+``tools/check_bench.py`` additionally validates for the service suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import urllib.error
+import urllib.request
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import quote
+
+from repro.mobility.dataset import train_test_split
+from repro.scenarios import materialize as materialize_scenario
+
+#: k values the query rows cycle through (matches the query suite spirit).
+_SERVICE_QUERY_KS = (1, 5, 10)
+
+#: Defaults of the embedded open-loop run (kept tiny: this runs in PR CI).
+DEFAULT_LOADTEST_RATE = 30.0
+DEFAULT_LOADTEST_DURATION = 2.0
+
+
+def _request(host: str, port: int, method: str, path: str, body=None):
+    """One synchronous JSON request; returns ``(status, payload)``."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        return error.code, json.loads(raw) if raw else {}
+
+
+def run_service_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    *,
+    repeats: int = 1,
+    seed: Optional[int] = None,
+    rate: float = DEFAULT_LOADTEST_RATE,
+    duration: float = DEFAULT_LOADTEST_DURATION,
+) -> Dict[str, Any]:
+    """Run the serving suite over ``names`` and return the report as a dict."""
+    from repro.bench.runner import BENCH_SCHEMA, _best_of, bench_annotator
+    from repro.net.loadgen import _chunk_streams, run_loadtest
+    from repro.net.server import ServerThread
+    from repro.net.wire import (
+        pairs_to_wire,
+        regions_to_wire,
+        semantics_to_wire,
+        sequence_to_wire,
+    )
+    from repro.service.replay import interleaved_records
+    from repro.service.service import AnnotationService
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    names = list(names) if names else ["mall-tiny"]
+    if not names:
+        raise ValueError("need at least one scenario name")
+
+    results: List[Dict[str, Any]] = []
+    details: List[Dict[str, Any]] = []
+    total_sequences = 0
+    total_records = 0
+
+    for name in names:
+        scenario = materialize_scenario(name, seed)
+        train, test = train_test_split(scenario.dataset, train_fraction=0.5, seed=5)
+        annotator = bench_annotator(scenario.space)
+        fit_start = time.perf_counter()
+        annotator.fit(train.sequences)
+        fit_seconds = time.perf_counter() - fit_start
+        decode = [labeled.sequence for labeled in test.sequences]
+        feed = interleaved_records(test.sequences)
+
+        # ---------------------------------------------- in-process references
+        inproc_semantics = annotator.annotate_many(decode)
+        inproc_wire = [semantics_to_wire(entries) for entries in inproc_semantics]
+        serial_seconds = _best_of(repeats, lambda: annotator.annotate_many(decode))
+        results.append(_row(f"{name}:annotate:inproc", serial_seconds, 1.0, True))
+
+        def stream_inproc() -> AnnotationService:
+            streamed = AnnotationService(annotator)
+            sessions: Dict[str, Any] = {}
+            for object_id, record in feed:
+                session = sessions.get(object_id)
+                if session is None:
+                    session = streamed.session(object_id)
+                    sessions[object_id] = session
+                session.add(record)
+            streamed.finish_all()
+            return streamed
+        inproc_streamed = stream_inproc()
+        inproc_stream_seconds = _best_of(repeats, stream_inproc)
+
+        service = AnnotationService(annotator)
+        with ServerThread(service) as server:
+            host, port = server.host, server.port
+
+            # ------------------------------------------------------ annotate
+            def http_annotate(tag: str):
+                body = {
+                    "sequences": [
+                        {**sequence_to_wire(labeled.sequence),
+                         "object_id": f"{labeled.object_id}/{tag}"}
+                        for labeled in test.sequences
+                    ]
+                }
+                return _request(host, port, "POST", "/v1/annotate", body)
+            status, payload = http_annotate("batch-agree")
+            annotate_agreement = (
+                status == 200 and payload.get("semantics") == inproc_wire
+            )
+            http_seconds = float("inf")
+            for pass_id in range(repeats):
+                started = time.perf_counter()
+                http_annotate(f"batch-t{pass_id}")
+                http_seconds = min(http_seconds, time.perf_counter() - started)
+            results.append(
+                _row(f"{name}:annotate:http", http_seconds,
+                     serial_seconds / http_seconds if http_seconds > 0 else 0.0,
+                     annotate_agreement)
+            )
+
+            # ------------------------------------------------------- queries
+            query_specs = (
+                ("popular-regions", service.query_popular_regions, regions_to_wire),
+                ("frequent-pairs", service.query_frequent_pairs, pairs_to_wire),
+            )
+            for kind, evaluate, to_wire in query_specs:
+                agreement = True
+                for k in _SERVICE_QUERY_KS:
+                    status, payload = _request(
+                        host, port, "GET", f"/v1/queries/{kind}?k={k}"
+                    )
+                    if status != 200 or payload.get("results") != to_wire(evaluate(k)):
+                        agreement = False
+                inproc_seconds = _best_of(
+                    repeats,
+                    lambda evaluate=evaluate: [
+                        evaluate(k) for k in _SERVICE_QUERY_KS
+                    ],
+                )
+                http_query_seconds = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    for k in _SERVICE_QUERY_KS:
+                        _request(host, port, "GET", f"/v1/queries/{kind}?k={k}")
+                    http_query_seconds = min(
+                        http_query_seconds, time.perf_counter() - started
+                    )
+                results.append(
+                    _row(f"{name}:{kind}:http", http_query_seconds,
+                         inproc_seconds / http_query_seconds
+                         if http_query_seconds > 0 else 0.0,
+                         agreement)
+                )
+
+            # -------------------------------------------------------- stream
+            chunks = _chunk_streams(test.sequences)
+
+            def http_stream(tag: str) -> None:
+                for object_id, piece, opens, finishes in chunks:
+                    target = f"{object_id}/{tag}"
+                    encoded = quote(target, safe="")
+                    if opens:
+                        _request(host, port, "POST", "/v1/sessions",
+                                 {"object_id": target})
+                    _request(host, port, "POST",
+                             f"/v1/sessions/{encoded}/records",
+                             {"records": piece})
+                    if finishes:
+                        _request(host, port, "POST",
+                                 f"/v1/sessions/{encoded}/finish", {})
+            http_stream("stream-agree")
+            stream_agreement = all(
+                service.store.semantics_for(f"{labeled.object_id}/stream-agree")
+                == inproc_streamed.store.semantics_for(labeled.object_id)
+                for labeled in test.sequences
+            )
+            http_stream_seconds = float("inf")
+            for pass_id in range(repeats):
+                started = time.perf_counter()
+                http_stream(f"stream-s{pass_id}")
+                http_stream_seconds = min(
+                    http_stream_seconds, time.perf_counter() - started
+                )
+            results.append(
+                _row(f"{name}:stream:http", http_stream_seconds,
+                     inproc_stream_seconds / http_stream_seconds
+                     if http_stream_seconds > 0 else 0.0,
+                     stream_agreement)
+            )
+
+            # ------------------------------------------------------ loadtest
+            report = run_loadtest(
+                name,
+                host=host,
+                port=port,
+                rate=rate,
+                duration=duration,
+                repetitions=1,
+                seed=7,
+                scenario=scenario,
+                run_tag="bench",
+            )[0]
+            keepup = (
+                report.duration_seconds / report.elapsed_seconds
+                if report.elapsed_seconds > 0
+                else 0.0
+            )
+            results.append(
+                _row(f"{name}:loadtest", report.elapsed_seconds,
+                     round(keepup, 4), report.failures == 0)
+            )
+            endpoint_counts = {
+                endpoint: counters["count"]
+                for endpoint, counters in
+                server.server.metrics.snapshot()["requests"].items()
+            }
+
+        details.append(
+            {
+                "name": name,
+                "seed": scenario.seed,
+                "fingerprint": scenario.fingerprint,
+                "fit_seconds": round(fit_seconds, 6),
+                "sequences": len(decode),
+                "records": sum(len(sequence) for sequence in decode),
+                "loadtest": report.row(),
+                "endpoints": endpoint_counts,
+            }
+        )
+        total_sequences += len(decode)
+        total_records += sum(len(sequence) for sequence in decode)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "service",
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "scale": "tiny",
+        "workers": 1,
+        "repeats": repeats,
+        "loadtest": {"rate": rate, "duration": duration},
+        "workload": {"sequences": total_sequences, "records": total_records},
+        "service": details,
+        "results": results,
+    }
+
+
+def _row(name: str, seconds: float, speedup: float, agreement: bool) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "backend": "serial",
+        "workers": 1,
+        "seconds": round(seconds, 6),
+        "speedup_vs_serial": round(speedup, 4),
+        "agreement": agreement,
+    }

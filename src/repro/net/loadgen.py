@@ -1,0 +1,560 @@
+"""Open-loop load generator for the HTTP front door.
+
+Open-loop means the arrival process is independent of the server: request
+send times are drawn from a Poisson process at a configured rate *before*
+the run and each request fires at its scheduled instant whether or not
+earlier ones have completed.  Closed-loop harnesses (fire-when-done) hide
+queueing collapse — an overloaded server slows the generator down and the
+measured latency flatters the system; the open-loop design is what makes
+p95/p99 under a fixed offered rate an honest number.
+
+Traffic is drawn deterministically from a catalogue scenario (seeded RNG,
+seeded workload): the scenario's held-out half becomes
+
+* **stream ops** — the globally time-ordered interleaved feed of
+  :func:`repro.service.replay.interleaved_records`, chunked per object and
+  pushed through the ``/v1/sessions`` lifecycle in order (a per-object lock
+  preserves stream order under open-loop concurrency);
+* **annotate ops** — whole p-sequences through ``POST /v1/annotate``;
+* **query ops** — TkPRQ/TkFRPQ at cycling k against the query endpoints.
+
+The mix is a weighted choice per arrival (``stream=0.5,annotate=0.2,...``).
+Each repetition produces one :class:`LoadRunReport`; :func:`write_run_table`
+lands them as a one-row-per-(run, repetition) ``run_table.csv`` via the
+shared flat-row helper (:mod:`repro.service.reporting`), so replay and
+loadgen artifacts share column conventions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import quote
+
+from repro.service.reporting import PathLike, flat_row, write_csv
+
+try:  # resource is POSIX-only; RSS falls back to 0 elsewhere.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+__all__ = [
+    "LoadRunReport",
+    "WorkloadPlan",
+    "build_plan",
+    "parse_mix",
+    "run_loadtest",
+    "write_run_table",
+]
+
+#: Default operation mix: streaming-heavy with a read-query tail, the
+#: paper's serving shape (continuous ingestion, live TkPRQ/TkFRPQ).
+DEFAULT_MIX = "stream=0.5,annotate=0.2,popular=0.15,pairs=0.15"
+
+#: Records pushed per stream op.
+STREAM_CHUNK = 8
+
+#: k values cycled by the query ops.
+_QUERY_KS = (1, 5, 10)
+
+
+def parse_mix(mix: str) -> Dict[str, float]:
+    """Parse ``"stream=0.5,annotate=0.2,..."`` into normalised weights."""
+    weights: Dict[str, float] = {}
+    for part in mix.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, raw = part.partition("=")
+        name = name.strip()
+        if name not in ("stream", "annotate", "popular", "pairs"):
+            raise ValueError(f"unknown workload op {name!r} in mix {mix!r}")
+        try:
+            weight = float(raw)
+        except ValueError as error:
+            raise ValueError(f"bad weight for {name!r} in mix {mix!r}") from error
+        if weight < 0:
+            raise ValueError(f"negative weight for {name!r} in mix {mix!r}")
+        weights[name] = weight
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError(f"mix {mix!r} has no positive weights")
+    return {name: weight / total for name, weight in weights.items()}
+
+
+@dataclass
+class LoadRunReport:
+    """One (run, repetition) row of the load-testing artifact."""
+
+    run: str
+    repetition: int
+    scenario: str
+    seed: int
+    arrival_rate: float
+    mix: str
+    duration_seconds: float
+    elapsed_seconds: float
+    requests: int
+    failures: int
+    throughput_rps: float
+    avg_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    rss_mb: float
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.requests if self.requests else 0.0
+
+    def row(self) -> Dict[str, object]:
+        """The flat CSV/bench row (shared conventions with ``ReplayReport``)."""
+        return flat_row(self, derived=("failure_rate",))
+
+
+def write_run_table(reports: Sequence[LoadRunReport], path: PathLike):
+    """Write reports as the one-row-per-(run, repetition) ``run_table.csv``."""
+    return write_csv([report.row() for report in reports], path)
+
+
+# ------------------------------------------------------------------ planning
+@dataclass
+class _Op:
+    """One scheduled operation (possibly several HTTP requests)."""
+
+    kind: str  # stream-open | stream-push | stream-finish | annotate | popular | pairs
+    object_id: Optional[str] = None
+    body: Optional[dict] = None
+    path: Optional[str] = None
+
+
+@dataclass
+class WorkloadPlan:
+    """A fully materialised, deterministic open-loop schedule.
+
+    ``groups[i]`` is the op group fired at ``arrivals[i]`` — usually one
+    op, but a stream chunk that opens or closes its session bundles the
+    open/push/finish into one ordered group.
+    """
+
+    scenario: str
+    seed: int
+    rate: float
+    duration: float
+    mix: str
+    arrivals: List[float]
+    groups: List[List[_Op]]
+    #: Sessions the plan opens but never finishes (drained after the run).
+    unfinished_objects: List[str]
+
+
+def _chunk_streams(sequences) -> List[Tuple[str, List[dict], bool, bool]]:
+    """Per-object record chunks, globally ordered by first-record timestamp.
+
+    Returns ``(object_id, wire_records, opens, finishes)`` tuples: ``opens``
+    marks the first chunk of an object (create the session before pushing),
+    ``finishes`` the last one (finish after pushing).
+    """
+    from repro.net.wire import record_to_wire
+
+    chunks: List[Tuple[float, str, List[dict], bool, bool]] = []
+    for labeled in sequences:
+        records = list(labeled.sequence)
+        pieces = [
+            records[start:start + STREAM_CHUNK]
+            for start in range(0, len(records), STREAM_CHUNK)
+        ]
+        for position, piece in enumerate(pieces):
+            chunks.append(
+                (
+                    piece[0].timestamp,
+                    labeled.object_id,
+                    [record_to_wire(record) for record in piece],
+                    position == 0,
+                    position == len(pieces) - 1,
+                )
+            )
+    chunks.sort(key=lambda chunk: (chunk[0], chunk[1]))
+    return [(object_id, piece, opens, finishes)
+            for _, object_id, piece, opens, finishes in chunks]
+
+
+def build_plan(
+    scenario_name: str,
+    *,
+    rate: float,
+    duration: float,
+    mix: str = DEFAULT_MIX,
+    seed: int = 1,
+    scenario=None,
+) -> WorkloadPlan:
+    """Materialise the scenario and lay out one deterministic schedule.
+
+    ``scenario`` short-circuits materialisation when the caller already has
+    the materialised object (the bench suite and self-hosted runs share it
+    with the server's training step).
+    """
+    from repro.mobility.dataset import train_test_split
+    from repro.net.wire import sequence_to_wire
+    from repro.scenarios import materialize
+
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    weights = parse_mix(mix)
+    if scenario is None:
+        scenario = materialize(scenario_name)
+    _, test = train_test_split(scenario.dataset, train_fraction=0.5, seed=5)
+
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(rate)
+        if clock >= duration:
+            break
+        arrivals.append(clock)
+
+    chunks = _chunk_streams(test.sequences)
+    annotate_bodies = [
+        {"sequences": [sequence_to_wire(labeled.sequence)]}
+        for labeled in test.sequences
+    ]
+    span_start = min(labeled.sequence.start_time for labeled in test.sequences)
+    span_end = max(labeled.sequence.end_time for labeled in test.sequences)
+
+    names = list(weights)
+    cumulative: List[float] = []
+    total = 0.0
+    for name in names:
+        total += weights[name]
+        cumulative.append(total)
+
+    groups: List[List[_Op]] = []
+    chunk_cursor = 0
+    annotate_cursor = 0
+    query_cursor = 0
+    opened: List[str] = []
+    finished: List[str] = []
+    for _ in arrivals:
+        roll = rng.random()
+        kind = names[-1]
+        for name, bound in zip(names, cumulative):
+            if roll <= bound:
+                kind = name
+                break
+        if kind == "stream" and chunk_cursor >= len(chunks):
+            kind = "popular"  # feed exhausted: degrade to a read
+        if kind == "stream":
+            object_id, piece, opens, finishes = chunks[chunk_cursor]
+            chunk_cursor += 1
+            group: List[_Op] = []
+            if opens:
+                opened.append(object_id)
+                group.append(_Op(kind="stream-open", object_id=object_id,
+                                 body={"object_id": object_id}))
+            group.append(_Op(kind="stream-push", object_id=object_id,
+                             body={"records": piece}))
+            if finishes:
+                finished.append(object_id)
+                group.append(_Op(kind="stream-finish", object_id=object_id))
+            groups.append(group)
+        elif kind == "annotate":
+            body = annotate_bodies[annotate_cursor % len(annotate_bodies)]
+            # Distinct ids per publish so repeated annotate ops do not
+            # violate the store's per-object time-order contract.
+            sequence = dict(body["sequences"][0])
+            sequence["object_id"] = f"{sequence['object_id']}/batch{annotate_cursor}"
+            groups.append([_Op(kind="annotate", body={"sequences": [sequence]})])
+            annotate_cursor += 1
+        else:
+            k = _QUERY_KS[query_cursor % len(_QUERY_KS)]
+            query_cursor += 1
+            path = (
+                "/v1/queries/popular-regions"
+                if kind == "popular"
+                else "/v1/queries/frequent-pairs"
+            )
+            query = f"k={k}"
+            if query_cursor % 3 == 0:  # every third query is time-bounded
+                lo = span_start + 0.25 * (span_end - span_start)
+                hi = span_start + 0.75 * (span_end - span_start)
+                query += f"&start={lo}&end={hi}"
+            groups.append([_Op(kind=kind, path=f"{path}?{query}")])
+    return WorkloadPlan(
+        scenario=scenario.name,
+        seed=seed,
+        rate=rate,
+        duration=duration,
+        mix=mix,
+        arrivals=arrivals,
+        groups=groups,
+        unfinished_objects=[oid for oid in opened if oid not in set(finished)],
+    )
+
+
+# ------------------------------------------------------------------- client
+async def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[dict] = None,
+    *,
+    timeout: float = 30.0,
+) -> Tuple[int, dict]:
+    """One HTTP request over a fresh connection; returns (status, json)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await asyncio.wait_for(writer.drain(), timeout)
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await asyncio.wait_for(reader.readexactly(length), timeout) if length else b"{}"
+        return status, json.loads(raw)
+    finally:
+        writer.close()
+
+
+@dataclass
+class _Sample:
+    seconds: float
+    ok: bool
+
+
+async def _fire_op(
+    op: _Op,
+    host: str,
+    port: int,
+    samples: List[_Sample],
+    session_locks: Dict[str, asyncio.Lock],
+    *,
+    timeout: float,
+) -> None:
+    """Execute one op, recording one sample per HTTP request it makes."""
+
+    async def timed(method: str, path: str, body=None, *, ok_statuses=(200, 201)):
+        started = time.perf_counter()
+        try:
+            status, _ = await _http_request(
+                host, port, method, path, body, timeout=timeout
+            )
+            ok = status in ok_statuses
+        except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+            ok = False
+        samples.append(_Sample(time.perf_counter() - started, ok))
+
+    if op.kind in ("stream-open", "stream-push", "stream-finish"):
+        lock = session_locks.setdefault(op.object_id, asyncio.Lock())
+        # Object ids may contain "/" (run/repetition suffixes) — encode them.
+        target = quote(op.object_id, safe="")
+        async with lock:
+            if op.kind == "stream-open":
+                await timed("POST", "/v1/sessions", op.body)
+            elif op.kind == "stream-push":
+                await timed("POST", f"/v1/sessions/{target}/records", op.body)
+            else:
+                await timed("POST", f"/v1/sessions/{target}/finish", {})
+    elif op.kind == "annotate":
+        await timed("POST", "/v1/annotate", op.body)
+    else:
+        await timed("GET", op.path)
+
+
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty -> 0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(quantile * len(sorted_values) + 0.999999))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _rss_mb() -> float:
+    if resource is None:
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalise to MiB heuristically.
+    return usage / 1024.0 if usage < 1 << 32 else usage / (1024.0 * 1024.0)
+
+
+async def _fire_group(
+    group: Sequence[_Op],
+    host: str,
+    port: int,
+    samples: List[_Sample],
+    session_locks: Dict[str, asyncio.Lock],
+    *,
+    timeout: float,
+) -> None:
+    """Ops within one group run in order; groups overlap freely."""
+    for op in group:
+        await _fire_op(op, host, port, samples, session_locks, timeout=timeout)
+
+
+async def _run_plan(
+    plan: WorkloadPlan, host: str, port: int, *, timeout: float
+) -> Tuple[List[_Sample], float]:
+    """Fire the plan open-loop; returns (samples, elapsed_seconds)."""
+    samples: List[_Sample] = []
+    session_locks: Dict[str, asyncio.Lock] = {}
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    tasks: List[asyncio.Task] = []
+    for arrival, group in zip(plan.arrivals, plan.groups):
+        delay = started + arrival - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _fire_group(group, host, port, samples, session_locks,
+                            timeout=timeout)
+            )
+        )
+    if tasks:
+        await asyncio.gather(*tasks)
+    # Drain: finish every session the plan opened but never closed, so the
+    # server ends the run with zero live sessions and all semantics flushed.
+    drains = [
+        asyncio.ensure_future(
+            _fire_group(
+                [_Op(kind="stream-finish", object_id=object_id)],
+                host,
+                port,
+                samples,
+                session_locks,
+                timeout=timeout,
+            )
+        )
+        for object_id in plan.unfinished_objects
+    ]
+    if drains:
+        await asyncio.gather(*drains)
+    return samples, loop.time() - started
+
+
+def _summarise(
+    plan: WorkloadPlan,
+    samples: List[_Sample],
+    elapsed: float,
+    *,
+    run: str,
+    repetition: int,
+) -> LoadRunReport:
+    latencies = sorted(sample.seconds * 1000.0 for sample in samples)
+    failures = sum(1 for sample in samples if not sample.ok)
+    count = len(samples)
+    return LoadRunReport(
+        run=run,
+        repetition=repetition,
+        scenario=plan.scenario,
+        seed=plan.seed,
+        arrival_rate=plan.rate,
+        mix=plan.mix,
+        duration_seconds=plan.duration,
+        elapsed_seconds=round(elapsed, 6),
+        requests=count,
+        failures=failures,
+        throughput_rps=round(count / elapsed, 3) if elapsed > 0 else 0.0,
+        avg_latency_ms=round(sum(latencies) / count, 3) if count else 0.0,
+        p50_latency_ms=round(_percentile(latencies, 0.50), 3),
+        p95_latency_ms=round(_percentile(latencies, 0.95), 3),
+        p99_latency_ms=round(_percentile(latencies, 0.99), 3),
+        max_latency_ms=round(latencies[-1], 3) if latencies else 0.0,
+        rss_mb=round(_rss_mb(), 3),
+    )
+
+
+def run_loadtest(
+    scenario_name: str,
+    *,
+    host: str,
+    port: int,
+    rate: float,
+    duration: float,
+    mix: str = DEFAULT_MIX,
+    repetitions: int = 1,
+    seed: int = 1,
+    timeout: float = 30.0,
+    scenario=None,
+    run_tag: str = "",
+) -> List[LoadRunReport]:
+    """Drive a running server open-loop; one report per repetition.
+
+    Each repetition re-derives its schedule from ``seed + repetition`` so
+    repetitions are independent draws of the same workload distribution.
+    The server keeps its store across repetitions (a soak, not a reset) —
+    session object ids are suffixed per repetition (and per ``run_tag``
+    when one server is swept with several runs) so re-streamed objects
+    never violate the store's per-object time-order contract.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be at least 1, got {repetitions}")
+    reports: List[LoadRunReport] = []
+    run_name = f"{scenario_name}@{rate:g}rps"
+    for repetition in range(repetitions):
+        plan = build_plan(
+            scenario_name,
+            rate=rate,
+            duration=duration,
+            mix=mix,
+            seed=seed + repetition,
+            scenario=scenario,
+        )
+        suffix = "/".join(part for part in (run_tag, f"rep{repetition}") if part)
+        if suffix:
+            _suffix_stream_ids(plan, suffix)
+        samples, elapsed = asyncio.run(
+            _run_plan(plan, host, port, timeout=timeout)
+        )
+        reports.append(
+            _summarise(plan, samples, elapsed, run=run_name, repetition=repetition)
+        )
+    return reports
+
+
+def _suffix_stream_ids(plan: WorkloadPlan, suffix: str) -> None:
+    """Re-key the plan's published objects (runs/repetitions must not collide)."""
+    for group in plan.groups:
+        for op in group:
+            if op.object_id is not None:
+                op.object_id = f"{op.object_id}/{suffix}"
+                if op.body is not None and "object_id" in op.body:
+                    op.body["object_id"] = op.object_id
+            elif op.kind == "annotate":
+                op.body = {
+                    "sequences": [
+                        {**sequence, "object_id": f"{sequence['object_id']}/{suffix}"}
+                        for sequence in op.body["sequences"]
+                    ]
+                }
+    plan.unfinished_objects = [
+        f"{object_id}/{suffix}" for object_id in plan.unfinished_objects
+    ]

@@ -1,0 +1,173 @@
+"""The JSON wire format of the HTTP front door.
+
+Requests and responses reuse the repository's persistence shapes
+(:mod:`repro.persistence.serializers`) wherever one exists, so an HTTP
+``/v1/annotate`` response is byte-compatible with ``semantics_to_dicts`` of
+the in-process ``annotate_batch`` — the equivalence the HTTP tests assert
+bitwise.  On the wire:
+
+* **Positioning record** — ``{"x": float, "y": float, "floor": int,
+  "t": float}`` (same keys as the dataset serialiser).
+* **P-sequence** — ``{"object_id": str, "records": [<record>...]}``.
+* **M-semantics** — ``{"region", "start", "end", "event", "records"}``
+  (exactly ``semantics_to_dicts``).
+* **Query answers** — TkPRQ: ``[[region, count], ...]``; TkFRPQ:
+  ``[[[region_a, region_b], count], ...]`` (JSON has no tuples; decoding
+  restores them).
+
+Decoding is defensive: every helper raises :class:`WireError` with a short
+machine-readable code on malformed payloads, which the server maps to a
+structured 400 instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.point import IndoorPoint
+from repro.mobility.records import MSemantics, PositioningRecord, PositioningSequence
+from repro.persistence.serializers import semantics_to_dicts
+
+__all__ = [
+    "WireError",
+    "record_from_wire",
+    "record_to_wire",
+    "sequence_from_wire",
+    "sequence_to_wire",
+    "semantics_to_wire",
+    "pairs_to_wire",
+    "regions_to_wire",
+    "parse_query_params",
+]
+
+
+class WireError(ValueError):
+    """A malformed wire payload; ``code`` is a short machine-readable slug."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def _require(payload, key: str, where: str):
+    if not isinstance(payload, dict) or key not in payload:
+        raise WireError("missing_field", f"{where} requires field {key!r}")
+    return payload[key]
+
+
+def _number(value, key: str, where: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise WireError("bad_type", f"{where}.{key} must be a number")
+    return float(value)
+
+
+# ------------------------------------------------------------------- records
+def record_to_wire(record: PositioningRecord) -> Dict[str, object]:
+    """One positioning record as its wire dict."""
+    return {"x": record.x, "y": record.y, "floor": record.floor, "t": record.timestamp}
+
+
+def record_from_wire(payload) -> PositioningRecord:
+    """Decode one positioning record, validating shape and types."""
+    x = _number(_require(payload, "x", "record"), "x", "record")
+    y = _number(_require(payload, "y", "record"), "y", "record")
+    t = _number(_require(payload, "t", "record"), "t", "record")
+    floor = payload.get("floor", 0)
+    if not isinstance(floor, int) or isinstance(floor, bool):
+        raise WireError("bad_type", "record.floor must be an integer")
+    return PositioningRecord(location=IndoorPoint(x, y, floor), timestamp=t)
+
+
+# ----------------------------------------------------------------- sequences
+def sequence_to_wire(sequence: PositioningSequence) -> Dict[str, object]:
+    """One p-sequence as its wire dict."""
+    return {
+        "object_id": sequence.object_id,
+        "records": [record_to_wire(record) for record in sequence],
+    }
+
+
+def sequence_from_wire(payload) -> PositioningSequence:
+    """Decode one p-sequence; records must be non-empty and time-ordered."""
+    records_payload = _require(payload, "records", "sequence")
+    if not isinstance(records_payload, list) or not records_payload:
+        raise WireError("bad_type", "sequence.records must be a non-empty list")
+    object_id = payload.get("object_id", "object")
+    if not isinstance(object_id, str) or not object_id:
+        raise WireError("bad_type", "sequence.object_id must be a non-empty string")
+    records = [record_from_wire(entry) for entry in records_payload]
+    try:
+        return PositioningSequence(records, object_id=object_id, sort=False)
+    except ValueError as error:
+        raise WireError("bad_sequence", str(error)) from error
+
+
+# --------------------------------------------------------------- m-semantics
+def semantics_to_wire(semantics: Sequence[MSemantics]) -> List[Dict]:
+    """M-semantics in the shared persistence shape (``semantics_to_dicts``)."""
+    return semantics_to_dicts(semantics)
+
+
+# ------------------------------------------------------------------- queries
+def regions_to_wire(answer: Sequence[Tuple[int, int]]) -> List[List[int]]:
+    """TkPRQ output ``[(region, count), ...]`` as JSON-friendly pairs."""
+    return [[region, count] for region, count in answer]
+
+
+def pairs_to_wire(answer) -> List[List[object]]:
+    """TkFRPQ output ``[((a, b), count), ...]`` as JSON-friendly triples."""
+    return [[[pair[0], pair[1]], count] for pair, count in answer]
+
+
+def parse_query_params(
+    params: Dict[str, List[str]],
+) -> Tuple[int, Optional[float], Optional[float], Optional[Set[int]]]:
+    """Decode the shared ``k``/``start``/``end``/``regions`` query parameters.
+
+    ``k`` is required and positive; ``start``/``end`` are optional floats;
+    ``regions`` is an optional comma-separated region-id set.
+    """
+
+    def single(name: str) -> Optional[str]:
+        values = params.get(name)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise WireError("bad_query", f"query parameter {name!r} given twice")
+        return values[0]
+
+    raw_k = single("k")
+    if raw_k is None:
+        raise WireError("bad_query", "query parameter 'k' is required")
+    try:
+        k = int(raw_k)
+    except ValueError as error:
+        raise WireError("bad_query", "query parameter 'k' must be an integer") from error
+    if k < 1:
+        raise WireError("bad_query", "query parameter 'k' must be positive")
+
+    bounds: List[Optional[float]] = []
+    for name in ("start", "end"):
+        raw = single(name)
+        if raw is None:
+            bounds.append(None)
+            continue
+        try:
+            bounds.append(float(raw))
+        except ValueError as error:
+            raise WireError(
+                "bad_query", f"query parameter {name!r} must be a number"
+            ) from error
+
+    regions: Optional[Set[int]] = None
+    raw_regions = single("regions")
+    if raw_regions is not None:
+        try:
+            regions = {int(part) for part in raw_regions.split(",") if part}
+        except ValueError as error:
+            raise WireError(
+                "bad_query", "query parameter 'regions' must be comma-separated ints"
+            ) from error
+        if not regions:
+            raise WireError("bad_query", "query parameter 'regions' must not be empty")
+    return k, bounds[0], bounds[1], regions

@@ -29,6 +29,7 @@ from repro.mobility.dataset import train_test_split
 from repro.mobility.records import PositioningRecord
 from repro.scenarios import materialize
 from repro.scenarios.spec import Scenario
+from repro.service.reporting import flat_row
 from repro.service.service import AnnotationService
 
 
@@ -53,23 +54,13 @@ class ReplayReport:
         return self.records / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
     def row(self) -> Dict[str, object]:
-        """A flat dict row for reports and benchmarks."""
-        return {
-            "scenario": self.scenario,
-            "seed": self.seed,
-            "objects": self.objects,
-            "records": self.records,
-            "decodes": self.decodes,
-            "published": self.published,
-            "elapsed_seconds": self.elapsed_seconds,
-            "records_per_second": self.records_per_second,
-            "window": self.window,
-            "exact": self.exact,
-            "batch_agreement": self.batch_agreement,
-        }
+        """A flat dict row for reports and benchmarks (see
+        :func:`repro.service.reporting.flat_row` for the column rules the
+        replay and loadgen artifacts share)."""
+        return flat_row(self, derived=("records_per_second",))
 
 
-def _interleaved_records(sequences) -> List[Tuple[str, PositioningRecord]]:
+def interleaved_records(sequences) -> List[Tuple[str, PositioningRecord]]:
     """All (object_id, record) pairs in global timestamp order.
 
     Ties break on object id so the replay order — and therefore every decode
@@ -127,7 +118,7 @@ def replay_scenario(
         annotator.fit(train.sequences)
 
     service = AnnotationService(annotator, window=window, guard=guard)
-    feed = _interleaved_records(test.sequences)
+    feed = interleaved_records(test.sequences)
 
     sessions: Dict[str, object] = {}
     started = time.perf_counter()

@@ -1,0 +1,72 @@
+"""Flat-row reporting shared by the replay and load-testing artifacts.
+
+Every harness that measures the service layer — the scenario replay
+(:mod:`repro.service.replay`), the open-loop load generator
+(:mod:`repro.net.loadgen`) and the service bench suite — reduces a run to a
+*flat row*: one ``{column: scalar}`` dict per (run, repetition) that lands
+in a report, a CSV artifact or a benchmark JSON.  This module is the single
+place that defines how a report dataclass becomes such a row, so replay and
+loadgen artifacts share column conventions instead of re-implementing them:
+
+* :func:`flat_row` — dataclass fields in declaration order, plus named
+  derived properties (computed metrics like ``records_per_second``)
+  appended after them;
+* :func:`write_csv` — rows (possibly with heterogeneous columns) to one
+  CSV file with a stable header, the ``run_table.csv`` shape.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def flat_row(report, *, derived: Sequence[str] = ()) -> Dict[str, object]:
+    """One flat ``{column: value}`` row for a report dataclass.
+
+    Columns are the dataclass fields in declaration order; ``derived`` names
+    computed attributes/properties (e.g. ``records_per_second``) appended
+    after the stored fields, so every report's rate/percentile metrics sit in
+    the same place relative to its raw counters.
+    """
+    if not dataclasses.is_dataclass(report) or isinstance(report, type):
+        raise TypeError(
+            f"flat_row needs a report dataclass instance, got {type(report).__name__}"
+        )
+    row: Dict[str, object] = {
+        field.name: getattr(report, field.name)
+        for field in dataclasses.fields(report)
+    }
+    for name in derived:
+        row[name] = getattr(report, name)
+    return row
+
+
+def write_csv(rows: Iterable[Dict[str, object]], path: PathLike) -> Path:
+    """Write flat rows to one CSV file; return the path.
+
+    The header is the union of the rows' columns in first-seen order, so a
+    table can mix rows from harnesses that carry slightly different metric
+    sets (missing cells are left empty).  This is the ``run_table.csv``
+    writer of the load-testing harness.
+    """
+    rows = [dict(row) for row in rows]
+    if not rows:
+        raise ValueError("cannot write an empty run table")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return target

@@ -25,6 +25,7 @@ runtime state (persist a store separately with ``service.store.save(path)``).
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -70,6 +71,16 @@ class AnnotationService:
         self.guard = guard
         self.backend = resolve_backend(backend)
         self._sessions: Dict[str, StreamSession] = {}
+        # Guards the service-level mutable state (the session registry and
+        # index toggling) against concurrent callers — the HTTP front door
+        # (:mod:`repro.net.server`) runs handlers on a thread pool, so
+        # session create/evict and enable/disable_index must be atomic.
+        # Re-entrant because finishing a session evicts it via callback
+        # while ``finish_all`` holds the lock.  The lock intentionally does
+        # NOT serialise decoding: per-session record ingestion is the
+        # caller's ordering responsibility (the HTTP layer keeps one lock
+        # per session) and the store has its own lock for publishes.
+        self._lock = threading.RLock()
         if indexed:
             self.store.attach_index()
 
@@ -93,32 +104,45 @@ class AnnotationService:
         ``keep_history=True`` makes the session retain all records and
         labels instead of dropping published, out-of-window prefixes.
         """
-        existing = self._sessions.get(object_id)
-        if existing is not None and not existing.is_closed:
-            raise ValueError(f"object {object_id!r} already has a live session")
-        session = StreamSession(
-            self.annotator,
-            object_id,
-            self.store,
-            window=window if window is not None else self.window,
-            guard=guard if guard is not None else self.guard,
-            exact=exact,
-            keep_history=keep_history,
-            on_finish=self._evict_session,
-        )
-        self._sessions[object_id] = session
-        return session
+        with self._lock:
+            existing = self._sessions.get(object_id)
+            if existing is not None and not existing.is_closed:
+                raise ValueError(f"object {object_id!r} already has a live session")
+            session = StreamSession(
+                self.annotator,
+                object_id,
+                self.store,
+                window=window if window is not None else self.window,
+                guard=guard if guard is not None else self.guard,
+                exact=exact,
+                keep_history=keep_history,
+                on_finish=self._evict_session,
+            )
+            self._sessions[object_id] = session
+            return session
 
     def _evict_session(self, session: StreamSession) -> None:
-        if self._sessions.get(session.object_id) is session:
-            del self._sessions[session.object_id]
+        with self._lock:
+            if self._sessions.get(session.object_id) is session:
+                del self._sessions[session.object_id]
+
+    def get_session(self, object_id: str) -> Optional[StreamSession]:
+        """The live session of one object, or None (finished sessions evict)."""
+        with self._lock:
+            session = self._sessions.get(object_id)
+            return session if session is not None and not session.is_closed else None
 
     def live_sessions(self) -> List[StreamSession]:
         """The currently open sessions."""
-        return [s for s in self._sessions.values() if not s.is_closed]
+        with self._lock:
+            return [s for s in self._sessions.values() if not s.is_closed]
 
     def finish_all(self) -> List[MSemantics]:
-        """Finish every live session; return everything that flushed."""
+        """Finish every live session; return everything that flushed.
+
+        Safe against concurrent session churn: the snapshot is taken under
+        the service lock and sessions that finish concurrently flush empty.
+        """
         flushed: List[MSemantics] = []
         for session in self.live_sessions():
             flushed.extend(session.finish())
@@ -147,8 +171,12 @@ class AnnotationService:
             workers=workers,
             backend=self.backend if backend is None else backend,
         )
-        for sequence, entries in zip(sequences, semantics):
-            self.store.publish(sequence.object_id, entries)
+        # Decoding above runs unlocked (it is pure compute); the publishes
+        # are grouped under the service lock so one batch lands atomically
+        # with respect to enable_index/disable_index and other batches.
+        with self._lock:
+            for sequence, entries in zip(sequences, semantics):
+                self.store.publish(sequence.object_id, entries)
         return semantics
 
     # ---------------------------------------------------------- live queries
@@ -159,11 +187,13 @@ class AnnotationService:
         every publish, under the store's lock discipline) instead of a full
         scan; results stay bit-identical.  Idempotent.
         """
-        return self.store.attach_index()
+        with self._lock:
+            return self.store.attach_index()
 
     def disable_index(self) -> None:
         """Detach the store's index; queries fall back to the linear scan."""
-        self.store.detach_index()
+        with self._lock:
+            self.store.detach_index()
 
     @property
     def index(self) -> Optional[SemanticsIndex]:

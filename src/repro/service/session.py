@@ -47,6 +47,7 @@ per-record cost bounded by ``O(W)`` instead of ``O(n)``;
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.protocol import Annotator
@@ -96,6 +97,12 @@ class StreamSession:
         self._decodes = 0
         self._closed = False
         self._on_finish = on_finish
+        # Makes finish() atomic: a drain (AnnotationService.finish_all) racing
+        # a client-initiated finish must flush the pending runs exactly once.
+        # Record ingestion stays unlocked — records of one session must be
+        # fed from one caller at a time (the HTTP layer enforces this with a
+        # per-session lock).
+        self._finish_lock = threading.Lock()
 
     # ------------------------------------------------------------ properties
     @property
@@ -186,10 +193,11 @@ class StreamSession:
         window at least the sequence length) the concatenation of everything
         published equals batch ``annotate`` on the full sequence.
         """
-        if self._closed:
-            return []
-        self._closed = True
-        flushed = self._finalize(upto=self._total)
+        with self._finish_lock:
+            if self._closed:
+                return []
+            self._closed = True
+            flushed = self._finalize(upto=self._total)
         if self._on_finish is not None:
             self._on_finish(self)
         return flushed

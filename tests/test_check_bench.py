@@ -46,6 +46,48 @@ def _row(name, *, backend="serial", workers=1, speedup=1.0, agreement=True):
     }
 
 
+def _loadtest(**overrides):
+    entry = {
+        "run": "mall-tiny@30rps",
+        "repetition": 0,
+        "requests": 60,
+        "failures": 0,
+        "throughput_rps": 25.0,
+        "avg_latency_ms": 30.0,
+        "p50_latency_ms": 10.0,
+        "p95_latency_ms": 80.0,
+        "p99_latency_ms": 95.0,
+        "max_latency_ms": 99.0,
+        "rss_mb": 100.0,
+        "failure_rate": 0.0,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _service_report(loadtest=None, **report_overrides):
+    report = _report(
+        suite="service",
+        results=[
+            _row("mall-tiny:annotate:inproc", speedup=1.0),
+            _row("mall-tiny:annotate:http", speedup=0.8),
+            _row("mall-tiny:loadtest", speedup=0.9),
+        ],
+    )
+    report["service"] = [
+        {
+            "name": "mall-tiny",
+            "seed": 1,
+            "fingerprint": "f" * 16,
+            "fit_seconds": 0.5,
+            "loadtest": loadtest if loadtest is not None else _loadtest(),
+            "endpoints": {"annotate": 10},
+        }
+    ]
+    report.update(report_overrides)
+    return report
+
+
 class TestValidate:
     def test_queries_suite_valid_without_process_rows(self):
         assert check_bench.validate_report(_report(), "r") == []
@@ -58,6 +100,26 @@ class TestValidate:
         report = _report(results=[_row("q:scan"), _row("q:indexed", agreement=False)])
         problems = check_bench.validate_report(report, "r")
         assert any("agreement" in problem for problem in problems)
+
+    def test_service_suite_valid_with_details(self):
+        assert check_bench.validate_report(_service_report(), "r") == []
+
+    def test_service_suite_requires_details_section(self):
+        report = _service_report()
+        del report["service"]
+        problems = check_bench.validate_report(report, "r")
+        assert any("'service' section" in problem for problem in problems)
+
+    def test_service_loadtest_failures_are_zero_tolerance(self):
+        report = _service_report(loadtest=_loadtest(failures=3, failure_rate=0.05))
+        problems = check_bench.validate_report(report, "r")
+        assert any("failure-free" in problem for problem in problems)
+
+    def test_service_loadtest_must_carry_run_table_columns(self):
+        broken = _loadtest()
+        del broken["p95_latency_ms"]
+        problems = check_bench.validate_report(_service_report(loadtest=broken), "r")
+        assert any("p95_latency_ms" in problem for problem in problems)
 
 
 class TestCompare:

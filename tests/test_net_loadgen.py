@@ -1,0 +1,188 @@
+"""The open-loop load generator: planning determinism and a live end-to-end run."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.net.loadgen import (
+    DEFAULT_MIX,
+    STREAM_CHUNK,
+    LoadRunReport,
+    _chunk_streams,
+    _percentile,
+    _suffix_stream_ids,
+    build_plan,
+    parse_mix,
+    run_loadtest,
+    write_run_table,
+)
+from repro.net.server import ServerThread
+from repro.service.service import AnnotationService
+
+
+def test_parse_mix_normalises_weights():
+    weights = parse_mix("stream=2,annotate=1,popular=1")
+    assert weights == {"stream": 0.5, "annotate": 0.25, "popular": 0.25}
+    assert sum(parse_mix(DEFAULT_MIX).values()) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize(
+    "mix",
+    ["", "stream=0", "bogus=1", "stream=abc", "stream=-1,annotate=2"],
+)
+def test_parse_mix_rejects_bad_input(mix):
+    with pytest.raises(ValueError):
+        parse_mix(mix)
+
+
+def test_chunk_streams_orders_and_flags(small_split):
+    _, test = small_split
+    chunks = _chunk_streams(test.sequences)
+    per_object = {}
+    for object_id, piece, opens, finishes in chunks:
+        assert 1 <= len(piece) <= STREAM_CHUNK
+        assert opens == (object_id not in per_object)
+        per_object.setdefault(object_id, []).extend(piece)
+    # The last chunk of every object carries the finish flag, exactly once.
+    finishing = [object_id for object_id, _, _, finishes in chunks if finishes]
+    assert sorted(finishing) == sorted(per_object)
+    # Reassembled chunks are each object's full record stream, in order.
+    for labeled in test.sequences:
+        rebuilt = per_object[labeled.object_id]
+        assert [record["t"] for record in rebuilt] == [
+            record.timestamp for record in labeled.sequence
+        ]
+    # Chunks are globally ordered by their first record's timestamp.
+    firsts = [piece[0]["t"] for _, piece, _, _ in chunks]
+    assert firsts == sorted(firsts)
+
+
+def test_build_plan_is_deterministic(mall_tiny_scenario):
+    build = lambda: build_plan(  # noqa: E731 — tiny local alias
+        "mall-tiny", rate=25, duration=3.0, seed=9, scenario=mall_tiny_scenario
+    )
+    one, two = build(), build()
+    assert one.arrivals == two.arrivals
+    assert [[op.kind for op in group] for group in one.groups] == (
+        [[op.kind for op in group] for group in two.groups]
+    )
+    assert one.unfinished_objects == two.unfinished_objects
+    assert all(0 < arrival < 3.0 for arrival in one.arrivals)
+    assert len(one.arrivals) == len(one.groups)
+
+
+def test_build_plan_rejects_bad_parameters(mall_tiny_scenario):
+    with pytest.raises(ValueError):
+        build_plan("mall-tiny", rate=0, duration=1, scenario=mall_tiny_scenario)
+    with pytest.raises(ValueError):
+        build_plan("mall-tiny", rate=5, duration=0, scenario=mall_tiny_scenario)
+
+
+def test_plan_stream_groups_bundle_lifecycle(mall_tiny_scenario):
+    plan = build_plan(
+        "mall-tiny", rate=50, duration=4.0, seed=2, scenario=mall_tiny_scenario
+    )
+    opened, finished = set(), set()
+    for group in plan.groups:
+        kinds = [op.kind for op in group]
+        if "stream-push" not in kinds:
+            assert len(group) == 1  # annotate and query ops ride alone
+            continue
+        # Within a group the lifecycle order is open < push < finish.
+        assert kinds == [k for k in ("stream-open", "stream-push", "stream-finish")
+                         if k in kinds]
+        for op in group:
+            if op.kind == "stream-open":
+                assert op.object_id not in opened
+                opened.add(op.object_id)
+            elif op.kind == "stream-push":
+                assert op.object_id in opened
+            else:
+                finished.add(op.object_id)
+    assert set(plan.unfinished_objects) == opened - finished
+
+
+def test_suffix_stream_ids_rekeys_everything(mall_tiny_scenario):
+    plan = build_plan(
+        "mall-tiny", rate=50, duration=4.0, seed=2, scenario=mall_tiny_scenario
+    )
+    _suffix_stream_ids(plan, "rep7")
+    for group in plan.groups:
+        for op in group:
+            if op.object_id is not None:
+                assert op.object_id.endswith("/rep7")
+                if op.body is not None and "object_id" in op.body:
+                    assert op.body["object_id"] == op.object_id
+            elif op.kind == "annotate":
+                for sequence in op.body["sequences"]:
+                    assert sequence["object_id"].endswith("/rep7")
+    assert all(oid.endswith("/rep7") for oid in plan.unfinished_objects)
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert _percentile([], 0.95) == 0.0
+    assert _percentile(values, 0.50) == 2.0
+    assert _percentile(values, 0.95) == 4.0
+    assert _percentile([7.0], 0.99) == 7.0
+
+
+def _report(**overrides) -> LoadRunReport:
+    defaults = dict(
+        run="mall-tiny@10rps", repetition=0, scenario="mall-tiny", seed=1,
+        arrival_rate=10.0, mix=DEFAULT_MIX, duration_seconds=1.0,
+        elapsed_seconds=1.1, requests=20, failures=1, throughput_rps=18.2,
+        avg_latency_ms=5.0, p50_latency_ms=4.0, p95_latency_ms=9.0,
+        p99_latency_ms=9.5, max_latency_ms=9.9, rss_mb=100.0,
+    )
+    defaults.update(overrides)
+    return LoadRunReport(**defaults)
+
+
+def test_report_row_has_the_contract_columns():
+    row = _report().row()
+    for column in ("run", "repetition", "throughput_rps", "p50_latency_ms",
+                   "p95_latency_ms", "p99_latency_ms", "failure_rate", "rss_mb"):
+        assert column in row
+    assert row["failure_rate"] == pytest.approx(0.05)
+    assert _report(requests=0, failures=0).failure_rate == 0.0
+
+
+def test_write_run_table_csv(tmp_path):
+    path = write_run_table(
+        [_report(), _report(repetition=1)], tmp_path / "run_table.csv"
+    )
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert {"throughput_rps", "p50_latency_ms", "p95_latency_ms",
+            "p99_latency_ms", "failure_rate"} <= set(rows[0])
+    assert rows[1]["repetition"] == "1"
+
+
+def test_loadtest_end_to_end_zero_failures(fitted_annotator, mall_tiny_scenario):
+    service = AnnotationService(fitted_annotator)
+    with ServerThread(service) as server:
+        reports = run_loadtest(
+            "mall-tiny",
+            host=server.host,
+            port=server.port,
+            rate=10,
+            duration=1.5,
+            repetitions=2,
+            seed=3,
+            scenario=mall_tiny_scenario,
+        )
+    assert len(reports) == 2
+    for report in reports:
+        assert report.requests > 0
+        assert report.failures == 0
+        assert report.failure_rate == 0.0
+        assert report.throughput_rps > 0
+        assert report.p50_latency_ms <= report.p95_latency_ms <= report.p99_latency_ms
+    # Repetitions are independent draws: distinct seeds recorded.
+    assert [report.seed for report in reports] == [3, 4]
+    # The run drained every session it opened.
+    assert service.live_sessions() == []

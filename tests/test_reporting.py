@@ -1,0 +1,64 @@
+"""The shared flat-row reporting helper (replay + loadgen artifacts)."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service.replay import ReplayReport
+from repro.service.reporting import flat_row, write_csv
+
+
+@dataclass
+class _Toy:
+    name: str
+    count: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        return self.count / self.seconds
+
+
+def test_flat_row_preserves_declaration_order_and_appends_derived():
+    row = flat_row(_Toy("a", 10, 2.0), derived=("rate",))
+    assert list(row) == ["name", "count", "seconds", "rate"]
+    assert row == {"name": "a", "count": 10, "seconds": 2.0, "rate": 5.0}
+
+
+def test_flat_row_rejects_non_dataclasses():
+    with pytest.raises(TypeError):
+        flat_row({"name": "a"})
+    with pytest.raises(TypeError):
+        flat_row(_Toy)  # the class, not an instance
+
+
+def test_replay_report_row_uses_the_shared_helper():
+    report = ReplayReport(
+        scenario="mall-tiny", seed=1, objects=2, records=100, decodes=10,
+        published=20, elapsed_seconds=2.0, window=48, exact=False,
+    )
+    row = report.row()
+    assert list(row)[:3] == ["scenario", "seed", "objects"]
+    assert list(row)[-1] == "records_per_second"
+    assert row["records_per_second"] == pytest.approx(50.0)
+
+
+def test_write_csv_unions_columns_in_first_seen_order(tmp_path):
+    path = write_csv(
+        [{"a": 1, "b": 2}, {"a": 3, "c": 4}], tmp_path / "deep" / "table.csv"
+    )
+    assert path.exists()
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        assert reader.fieldnames == ["a", "b", "c"]
+        rows = list(reader)
+    assert rows[0] == {"a": "1", "b": "2", "c": ""}
+    assert rows[1] == {"a": "3", "b": "", "c": "4"}
+
+
+def test_write_csv_rejects_empty_tables(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv([], tmp_path / "empty.csv")

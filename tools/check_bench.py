@@ -67,8 +67,54 @@ _TOP_TYPES = {
 
 #: Suites whose workload must include a process-backend run.  The query
 #: suite is single-process by design (the index wins algorithmically, not
-#: by sharding), so it only needs the serial rows.
+#: by sharding), so it only needs the serial rows.  The service suite
+#: measures the HTTP front door, whose backend is server configuration.
 _PROCESS_BACKED_SUITES = {"runtime", "scenarios"}
+
+#: Columns every service-suite loadtest entry must carry (the run_table.csv
+#: shape of ``repro.net.loadgen``).
+_LOADTEST_KEYS = (
+    "requests",
+    "failures",
+    "throughput_rps",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "p99_latency_ms",
+    "failure_rate",
+)
+
+
+def _validate_service_section(report: dict, origin: str) -> list:
+    """Service-suite extras: per-scenario details + a failure-free loadtest."""
+    problems = []
+    details = report.get("service")
+    if not isinstance(details, list) or not details:
+        return [f"{origin}: service suite requires a non-empty 'service' section"]
+    for index, detail in enumerate(details):
+        where = f"{origin}: service[{index}]"
+        if not isinstance(detail, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in ("name", "fingerprint", "loadtest"):
+            if key not in detail:
+                problems.append(f"{where} missing key {key!r}")
+        loadtest = detail.get("loadtest")
+        if not isinstance(loadtest, dict):
+            problems.append(f"{where}: loadtest must be an object")
+            continue
+        for key in _LOADTEST_KEYS:
+            if key not in loadtest:
+                problems.append(f"{where}: loadtest missing column {key!r}")
+        # The open-loop run is gated at zero tolerance: a served request
+        # failing under nominal load is a correctness bug, not noise.
+        if loadtest.get("failures", 0) != 0 or loadtest.get("failure_rate", 0) != 0:
+            problems.append(
+                f"{where}: loadtest recorded failed requests "
+                f"(failures={loadtest.get('failures')!r}, "
+                f"failure_rate={loadtest.get('failure_rate')!r}) — "
+                "the open-loop run must be failure-free"
+            )
+    return problems
 
 
 def validate_report(report: object, origin: str) -> list:
@@ -136,6 +182,8 @@ def validate_report(report: object, origin: str) -> list:
         problems.append(f"{origin}: no serial baseline entry in results")
     if report["suite"] in _PROCESS_BACKED_SUITES and "process" not in backends_seen:
         problems.append(f"{origin}: no process-backend entry in results")
+    if report["suite"] == "service":
+        problems.extend(_validate_service_section(report, origin))
     return problems
 
 
