@@ -27,6 +27,7 @@ from repro.evaluation.harness import ground_truth_semantics
 from repro.index import SemanticsIndex
 from repro.mobility.dataset import train_test_split
 from repro.queries import TkFRPQ, TkPRQ
+from repro.runtime import ExecutionPolicy
 from repro.scenarios import materialize
 from repro.service import AnnotationService
 
@@ -64,7 +65,11 @@ def main() -> None:
         config=C2MNConfig.fast(max_iterations=2, mcmc_samples=4, lbfgs_iterations=3),
     )
     annotator.fit(train.sequences)
-    service = AnnotationService(annotator, indexed=True)
+    # The policy governs every annotate_batch call on this service: batched
+    # serial here; ExecutionPolicy.processes(4) shards buckets over cores.
+    service = AnnotationService(
+        annotator, indexed=True, policy=ExecutionPolicy.serial()
+    )
     service.annotate_batch([labeled.sequence for labeled in test.sequences[:-1]])
     print(f"  store: {service.store!r}")
     print(f"  index: {service.index!r}")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.variants import make_annotator
 from repro.evaluation.harness import MethodEvaluator
+from repro.runtime import ExecutionPolicy
 from repro.scenarios import (
     DeviceSpec,
     MobilitySpec,
@@ -78,7 +79,9 @@ def main() -> None:
 
     print("\n== 4. Evaluating a method on a scenario by name ==")
     method = make_annotator("SMoT", ward.space)
-    result = MethodEvaluator().evaluate_scenario(method, ward)
+    result = MethodEvaluator(policy=ExecutionPolicy.serial()).evaluate_scenario(
+        method, ward
+    )
     print(f"  SMoT on hospital-night-ward: RA={result.scores.region_accuracy:.3f} "
           f"EA={result.scores.event_accuracy:.3f}")
 

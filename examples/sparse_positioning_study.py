@@ -21,6 +21,7 @@ from repro.evaluation.harness import MethodEvaluator
 from repro.evaluation.reporting import format_series
 from repro.indoor import build_office_building
 from repro.mobility.dataset import generate_dataset, train_test_split
+from repro.runtime import ExecutionPolicy
 
 METHODS = ("SMoT", "HMM+DC", "C2MN")
 PERIODS = (5.0, 10.0, 15.0)
@@ -32,7 +33,11 @@ def main() -> None:
     print(f"venue: {space}")
 
     config = C2MNConfig.fast(uncertainty_radius=10.0)
-    evaluator = MethodEvaluator(keep_predictions=False)
+    # Decode each test batch through the batched serial policy; swap in
+    # ExecutionPolicy.processes(4) to fan the sweep out over cores.
+    evaluator = MethodEvaluator(
+        keep_predictions=False, policy=ExecutionPolicy.serial()
+    )
     series = {name: {} for name in METHODS}
 
     for period in PERIODS:

@@ -23,8 +23,9 @@ class BaselineAnnotator(AnnotatorBase):
     Subclasses implement :meth:`AnnotatorBase.predict_labels` and, when they
     learn anything from data, :meth:`AnnotatorBase._fit`.  ``fit`` returns the
     annotator itself (parameter-free baselines make this a convenient no-op
-    chain); batch prediction inherits optional ``workers=N`` threading from
-    the base.
+    chain); batch prediction inherits the policy-driven
+    (:class:`~repro.runtime.ExecutionPolicy`) batching and fan-out machinery
+    from the base.
     """
 
     def __init__(

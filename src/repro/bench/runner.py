@@ -1,12 +1,23 @@
 """Build the runtime benchmark workload, time it, and emit the JSON report.
 
 The measured workload is deliberately the production shape: fit a C2MN on a
-training split, then ``annotate_many`` a decode set through each backend.
-The decode set replicates the test split a few times so even the tiny scale
-has enough sequences to shard meaningfully.  Every parallel run is compared
-bitwise against the serial labels — a backend that disagrees is broken, and
-the report records that as ``"agreement": false`` (which
-``tools/check_bench.py`` treats as a hard failure).
+training split, then ``annotate_many`` a decode set under each
+:class:`~repro.runtime.ExecutionPolicy`.  The decode set replicates the
+test split a few times so even the tiny scale has enough sequences to
+shard meaningfully — and so the duplicate-coalescing batched decoder has
+realistic repeated traffic to coalesce.  The reference row is the
+*unbatched* serial pass (``ExecutionPolicy.serial(batch=False)`` — the
+pre-batching per-sequence loop); every other variant is compared bitwise
+against its labels.  A variant that disagrees is broken, and the report
+records that as ``"agreement": false`` (which ``tools/check_bench.py``
+treats as a hard failure).
+
+Rows carry a ``phase`` marker: ``"warmup"`` rows time the first call
+against cold state (empty process pool, empty derived-state cache) and
+``"steady"`` rows time the warmed path — the perf gate compares like with
+like instead of mixing pool spin-up into steady-state numbers.  Batched
+rows additionally record ``bucket_sizes``, the post-coalescing length
+buckets the batch actually dispatched.
 
 Wall-clock numbers from shared CI runners are noisy by nature; the report
 therefore records the environment (CPU count, python, platform) next to the
@@ -27,8 +38,10 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.annotator import C2MNAnnotator
 from repro.core.config import C2MNConfig
+from repro.crf.batch import bucket_indices
 from repro.evaluation.experiments import ExperimentScale, build_real_style_dataset
 from repro.mobility.dataset import train_test_split
+from repro.runtime import ExecutionPolicy, sequence_fingerprint, shutdown_pools
 from repro.scenarios import materialize as materialize_scenario
 from repro.scenarios import scenario_names
 
@@ -120,6 +133,29 @@ def _best_of(repeats: int, func) -> float:
     return best
 
 
+def _unique_count(sequences) -> int:
+    """Distinct sequences by content fingerprint (the coalescing unit)."""
+    return len({sequence_fingerprint(sequence) for sequence in sequences})
+
+
+def _bucket_layout(sequences, policy: ExecutionPolicy) -> List[int]:
+    """The bucket sizes a batched run dispatches after duplicate coalescing.
+
+    Mirrors the coalesce-then-bucket pipeline of
+    :meth:`repro.core.protocol.AnnotatorBase._map_buckets` so the report
+    records exactly how the batch was carved up.
+    """
+    seen = set()
+    lengths = []
+    for sequence in sequences:
+        key = sequence_fingerprint(sequence)
+        if key not in seen:
+            seen.add(key)
+            lengths.append(len(sequence))
+    buckets = bucket_indices(lengths, policy.effective_bucket_size(len(lengths)))
+    return [len(bucket) for bucket in buckets]
+
+
 def run_runtime_benchmarks(
     scale: Union[str, ExperimentScale] = "tiny",
     *,
@@ -129,77 +165,110 @@ def run_runtime_benchmarks(
 ) -> Dict[str, Any]:
     """Run the runtime benchmark suite and return the report as a dict.
 
-    Times ``annotate_many`` through the serial, thread and process backends
-    plus a cold/warm pass with the derived-state cache attached, asserts
-    bitwise agreement of every variant with the serial labels, and packages
-    everything with the environment metadata the CI artifact needs.
+    The reference row is the unbatched serial ``annotate_many`` pass — the
+    per-sequence loop that predates batching.  Against it the suite times
+    the batched serial decoder, the thread and process policies (the
+    process rows split into a cold-pool ``warmup`` row and a warm-pool
+    ``steady`` row), and a cold/warm pass with the derived-state cache
+    attached.  Every variant is asserted bitwise identical to the
+    reference labels, and the report packages the environment metadata
+    the CI artifact needs.
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
     name = scale_name or (scale if isinstance(scale, str) else "custom")
     annotator, decode, fit_seconds = build_workload(scale, name=f"bench-{name}")
 
+    reference_policy = ExecutionPolicy.serial(batch=False)
+    batched_policy = ExecutionPolicy.serial()
+    thread_policy = ExecutionPolicy.threads(workers)
+    process_policy = ExecutionPolicy.processes(workers)
+
     # Warm the shared geometry caches (distance oracle, candidate queries) so
-    # the serial baseline is not penalised by first-touch costs the parallel
+    # the serial reference is not penalised by first-touch costs the parallel
     # runs then inherit through the broadcast annotator.
-    serial_labels = annotator.annotate_many(decode, backend="serial")
+    serial_labels = annotator.annotate_many(decode, policy=reference_policy)
 
     results: List[Dict[str, Any]] = []
 
     def record(run_name: str, backend: str, run_workers: int, seconds: float,
-               serial_seconds: float, labels: Any) -> None:
-        results.append(
-            {
-                "name": run_name,
-                "backend": backend,
-                "workers": run_workers,
-                "seconds": round(seconds, 6),
-                "speedup_vs_serial": round(serial_seconds / seconds, 4)
-                if seconds > 0
-                else 0.0,
-                "agreement": labels == serial_labels,
-            }
-        )
+               serial_seconds: float, labels: Any, *, phase: str = "steady",
+               **extra: Any) -> None:
+        row = {
+            "name": run_name,
+            "backend": backend,
+            "workers": run_workers,
+            "seconds": round(seconds, 6),
+            "speedup_vs_serial": round(serial_seconds / seconds, 4)
+            if seconds > 0
+            else 0.0,
+            "agreement": labels == serial_labels,
+            "phase": phase,
+        }
+        row.update(extra)
+        results.append(row)
 
     serial_seconds = _best_of(
-        repeats, lambda: annotator.annotate_many(decode, backend="serial")
+        repeats, lambda: annotator.annotate_many(decode, policy=reference_policy)
     )
     record("annotate_many", "serial", 1, serial_seconds, serial_seconds, serial_labels)
+
+    batched_out: List[Any] = []
+    batched_seconds = _best_of(
+        repeats,
+        lambda: batched_out.append(
+            annotator.annotate_many(decode, policy=batched_policy)
+        ),
+    )
+    record("annotate_many_batched", "serial", 1, batched_seconds, serial_seconds,
+           batched_out[-1], bucket_sizes=_bucket_layout(decode, batched_policy))
 
     thread_out: List[Any] = []
     thread_seconds = _best_of(
         repeats,
         lambda: thread_out.append(
-            annotator.annotate_many(decode, workers=workers, backend="thread")
+            annotator.annotate_many(decode, policy=thread_policy)
         ),
     )
     record("annotate_many", "thread", workers, thread_seconds, serial_seconds,
-           thread_out[-1])
+           thread_out[-1], bucket_sizes=_bucket_layout(decode, thread_policy))
 
+    # Process rows come in a pair: the warmup row pays pool spawn plus the
+    # shared-memory broadcast from a cold start, the steady row reuses the
+    # persistent pool and the per-worker unpickled annotator.
+    shutdown_pools()
+    warmup_start = time.perf_counter()
+    warmup_labels = annotator.annotate_many(decode, policy=process_policy)
+    warmup_seconds = time.perf_counter() - warmup_start
+    record("annotate_many_warmup", "process", workers, warmup_seconds,
+           serial_seconds, warmup_labels, phase="warmup",
+           bucket_sizes=_bucket_layout(decode, process_policy))
     process_out: List[Any] = []
     process_seconds = _best_of(
         repeats,
         lambda: process_out.append(
-            annotator.annotate_many(decode, workers=workers, backend="process")
+            annotator.annotate_many(decode, policy=process_policy)
         ),
     )
     record("annotate_many", "process", workers, process_seconds, serial_seconds,
-           process_out[-1])
+           process_out[-1], bucket_sizes=_bucket_layout(decode, process_policy))
 
     # Derived-state cache: the "cold" pass starts empty (later replicas of a
     # sequence already hit within the batch), the warm pass hits throughout.
+    # Both run unbatched — batching's duplicate coalescing would otherwise
+    # hide exactly the repeated traffic the cache rows are measuring.
     cached = bench_annotator(annotator.space)
     cached.enable_cache(max_entries=4 * len(decode))
     cached._restore_weights(annotator.weights)
     cold_start = time.perf_counter()
-    cold_labels = cached.annotate_many(decode, backend="serial")
+    cold_labels = cached.annotate_many(decode, policy=reference_policy)
     cold_seconds = time.perf_counter() - cold_start
     record("annotate_many_cached_cold", "serial", 1, cold_seconds, serial_seconds,
-           cold_labels)
+           cold_labels, phase="warmup")
     warm_seconds = _best_of(
-        repeats, lambda: cached.annotate_many(decode, backend="serial")
+        repeats, lambda: cached.annotate_many(decode, policy=reference_policy)
     )
-    warm_labels = cached.annotate_many(decode, backend="serial")
+    warm_labels = cached.annotate_many(decode, policy=reference_policy)
     record("annotate_many_cached_warm", "serial", 1, warm_seconds, serial_seconds,
            warm_labels)
 
@@ -216,6 +285,7 @@ def run_runtime_benchmarks(
         "fit_seconds": round(fit_seconds, 6),
         "workload": {
             "sequences": len(decode),
+            "unique_sequences": _unique_count(decode),
             "records": sum(len(sequence) for sequence in decode),
             "replication": REPLICATION,
         },
@@ -237,7 +307,8 @@ def run_scenario_benchmarks(
     ``materialize_iter`` — the constant-memory generator must not cost more
     than the batch path it mirrors), fit the benchmark C2MN on half of it
     (timed), then ``annotate_many`` the replicated other half through the
-    serial and process backends with bitwise agreement checks.  The report
+    unbatched serial reference policy and the batched process policy with
+    bitwise agreement checks.  The report
     shares the ``repro.bench/1`` schema with the classic runtime suite —
     per-scenario rows land in ``results`` (named
     ``<scenario>:annotate_many``) and materialise/fit timings plus the
@@ -255,6 +326,7 @@ def run_scenario_benchmarks(
     results: List[Dict[str, Any]] = []
     details: List[Dict[str, Any]] = []
     total_sequences = 0
+    total_unique = 0
     total_records = 0
 
     for name in names:
@@ -281,9 +353,11 @@ def run_scenario_benchmarks(
         annotator.fit(train.sequences)
         fit_seconds = time.perf_counter() - fit_start
 
-        serial_labels = annotator.annotate_many(decode, backend="serial")
+        reference_policy = ExecutionPolicy.serial(batch=False)
+        process_policy = ExecutionPolicy.processes(workers)
+        serial_labels = annotator.annotate_many(decode, policy=reference_policy)
         serial_seconds = _best_of(
-            repeats, lambda: annotator.annotate_many(decode, backend="serial")
+            repeats, lambda: annotator.annotate_many(decode, policy=reference_policy)
         )
         results.append(
             {
@@ -293,13 +367,14 @@ def run_scenario_benchmarks(
                 "seconds": round(serial_seconds, 6),
                 "speedup_vs_serial": 1.0,
                 "agreement": True,
+                "phase": "steady",
             }
         )
         process_out: List[Any] = []
         process_seconds = _best_of(
             repeats,
             lambda: process_out.append(
-                annotator.annotate_many(decode, workers=workers, backend="process")
+                annotator.annotate_many(decode, policy=process_policy)
             ),
         )
         results.append(
@@ -312,6 +387,8 @@ def run_scenario_benchmarks(
                 if process_seconds > 0
                 else 0.0,
                 "agreement": process_out[-1] == serial_labels,
+                "phase": "steady",
+                "bucket_sizes": _bucket_layout(decode, process_policy),
             }
         )
         details.append(
@@ -323,10 +400,12 @@ def run_scenario_benchmarks(
                 "stream_materialize_seconds": round(stream_seconds, 6),
                 "fit_seconds": round(fit_seconds, 6),
                 "sequences": len(decode),
+                "unique_sequences": _unique_count(decode),
                 "records": sum(len(sequence) for sequence in decode),
             }
         )
         total_sequences += len(decode)
+        total_unique += _unique_count(decode)
         total_records += sum(len(sequence) for sequence in decode)
 
     return {
@@ -341,6 +420,7 @@ def run_scenario_benchmarks(
         "repeats": max(1, repeats),
         "workload": {
             "sequences": total_sequences,
+            "unique_sequences": total_unique,
             "records": total_records,
             "replication": replication,
         },
@@ -394,11 +474,16 @@ def format_summary(report: Dict[str, Any]) -> str:
             f"failures {loadtest['failures']}"
         )
     for entry in report["results"]:
-        lines.append(
+        line = (
             f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
             f"{entry['seconds']:8.3f}s  speedup {entry['speedup_vs_serial']:6.2f}x  "
             f"agreement={'ok' if entry['agreement'] else 'FAIL'}"
         )
+        if entry.get("phase") == "warmup":
+            line += "  [warmup]"
+        if "bucket_sizes" in entry:
+            line += f"  buckets={entry['bucket_sizes']}"
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -12,7 +12,9 @@ learner and the label-and-merge step — behind the unified
 * :meth:`C2MNAnnotator.annotate` additionally merges the labels into
   m-semantics (the *annotation* step).
 * :meth:`C2MNAnnotator.annotate_many` / :meth:`C2MNAnnotator.predict_labels_many`
-  batch over many p-sequences, optionally in parallel (``workers=N``).
+  batch over many p-sequences under a
+  :class:`~repro.runtime.ExecutionPolicy` (length-bucketed lockstep
+  decoding, optional thread/process fan-out).
 * :meth:`C2MNAnnotator.save` / :meth:`C2MNAnnotator.load` persist the trained
   weights and config as JSON so a model ships without retraining.
 
@@ -33,6 +35,7 @@ from repro.core.config import C2MNConfig
 from repro.core.protocol import AnnotatorBase
 from repro.crf.engine import InferenceEngine, make_engine
 from repro.crf.features import FeatureExtractor, SequenceData
+from repro.crf.batch import decode_icm_many
 from repro.crf.inference import decode_icm, initial_events, initial_regions
 from repro.crf.learning import AlternateLearner, TrainingReport
 from repro.crf.model import C2MNModel
@@ -145,6 +148,19 @@ class C2MNAnnotator(AnnotatorBase):
         """Return the decoded region and event labels of one p-sequence."""
         data = self._prepared(sequence)
         return decode_icm(self._engine, data)
+
+    def _decode_bucket(
+        self, sequences: Sequence[PositioningSequence]
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode one bucket of distinct sequences with lockstep ICM.
+
+        Routes through :func:`repro.crf.batch.decode_icm_many`, whose
+        lockstep sweeps are bitwise identical per sequence to the
+        standalone :func:`repro.crf.inference.decode_icm` call in
+        :meth:`predict_labels` (the conformance suite asserts it).
+        """
+        datas = [self._prepared(sequence) for sequence in sequences]
+        return decode_icm_many(self._engine, datas)
 
     # ----------------------------------------------------------- persistence
     def save(self, path: Union[str, Path]) -> None:

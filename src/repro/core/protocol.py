@@ -23,6 +23,7 @@ The protocol is structural: any object with the right attributes satisfies
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import (
     Dict,
@@ -36,8 +37,15 @@ from typing import (
 
 from repro.core.config import C2MNConfig
 from repro.core.merge import merge_record_labels
+from repro.crf.batch import bucket_indices
 from repro.indoor.floorplan import IndoorSpace
-from repro.runtime import Executor
+from repro.runtime import (
+    ExecutionPolicy,
+    Executor,
+    UNSET,
+    resolve_policy,
+    sequence_fingerprint,
+)
 from repro.mobility.records import LabeledSequence, MSemantics, PositioningSequence
 
 
@@ -78,16 +86,14 @@ class Annotator(Protocol):
         self,
         sequences: Sequence[PositioningSequence],
         *,
-        workers: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
     ) -> List[Tuple[List[int], List[str]]]: ...
 
     def annotate_many(
         self,
         sequences: Sequence[PositioningSequence],
         *,
-        workers: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
         region_grouping: Optional[Dict[int, int]] = None,
     ) -> List[List[MSemantics]]: ...
 
@@ -173,40 +179,183 @@ class AnnotatorBase(ABC):
         )
 
     # ------------------------------------------------------------------ batch
+    def _decode_bucket(
+        self, sequences: Sequence[PositioningSequence]
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode one bucket of *distinct* sequences; override to batch.
+
+        The default is the per-sequence loop, which is trivially bitwise
+        identical to serial decoding — baselines inherit it unchanged.
+        :class:`repro.core.annotator.C2MNAnnotator` overrides it with the
+        lockstep bucket decoder (:func:`repro.crf.batch.decode_icm_many`).
+        """
+        return [self.predict_labels(sequence) for sequence in sequences]
+
+    def predict_labels_batch(
+        self, sequences: Sequence[PositioningSequence]
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode one bucket of sequences, coalescing exact duplicates.
+
+        Sequences with identical content fingerprints decode **once**;
+        every duplicate receives its own copy of the labels (equal bytes in
+        produce equal labels out, so coalescing is bitwise-exact by
+        construction).  This is the unit of work the ``*_many`` methods
+        dispatch to workers.
+        """
+        sequences = list(sequences)
+        keys = [sequence_fingerprint(sequence) for sequence in sequences]
+        unique_of: Dict[str, int] = {}
+        unique_positions: List[int] = []
+        for position, key in enumerate(keys):
+            if key not in unique_of:
+                unique_of[key] = len(unique_positions)
+                unique_positions.append(position)
+        unique_results = self._decode_bucket(
+            [sequences[position] for position in unique_positions]
+        )
+        results: List[Tuple[List[int], List[str]]] = []
+        for position, key in enumerate(keys):
+            slot = unique_of[key]
+            if position == unique_positions[slot]:
+                results.append(unique_results[slot])
+            else:  # a coalesced duplicate gets its own mutable copy
+                regions, events = unique_results[slot]
+                results.append((list(regions), list(events)))
+        return results
+
+    def annotate_bucket(
+        self,
+        sequences: Sequence[PositioningSequence],
+        *,
+        region_grouping: Optional[Dict[int, int]] = None,
+    ) -> List[List[MSemantics]]:
+        """Annotate one bucket: batched decode, then per-sequence merging.
+
+        Merging runs per original sequence even when labels were coalesced,
+        so every batch member owns fresh :class:`MSemantics` objects.
+        """
+        sequences = list(sequences)
+        labels = self.predict_labels_batch(sequences)
+        return [
+            merge_record_labels(
+                sequence, regions, events, region_grouping=region_grouping
+            )
+            for sequence, (regions, events) in zip(sequences, labels)
+        ]
+
+    def _map_buckets(
+        self,
+        method: str,
+        fallback_method: str,
+        sequences: Sequence[PositioningSequence],
+        policy: ExecutionPolicy,
+        **kwargs,
+    ) -> List:
+        """Fan a batch out according to ``policy`` and gather in input order.
+
+        With ``policy.batch`` the batch is first coalesced — sequences with
+        identical content fingerprints are represented once — then the
+        distinct sequences are grouped into length buckets
+        (:func:`repro.crf.batch.bucket_indices`, capped by
+        :meth:`ExecutionPolicy.effective_bucket_size` so parallel runs get
+        enough buckets to balance) and each bucket dispatches as one
+        ``method`` call.  Every coalesced duplicate receives a deep copy of
+        its representative's result, so batch members never share result
+        objects.  Without ``policy.batch``, ``fallback_method`` runs per
+        sequence (the pre-batching layout).
+        """
+        sequences = list(sequences)
+        executor = Executor(policy=policy)
+        if not policy.batch:
+            return executor.map_broadcast(self, fallback_method, sequences, **kwargs)
+        keys = [sequence_fingerprint(sequence) for sequence in sequences]
+        slot_of: Dict[str, int] = {}
+        unique_positions: List[int] = []
+        for position, key in enumerate(keys):
+            if key not in slot_of:
+                slot_of[key] = len(unique_positions)
+                unique_positions.append(position)
+        uniques = [sequences[position] for position in unique_positions]
+        buckets = bucket_indices(
+            [len(unique) for unique in uniques],
+            policy.effective_bucket_size(len(uniques)),
+        )
+        bucket_results = executor.map_broadcast(
+            self,
+            method,
+            [[uniques[slot] for slot in bucket] for bucket in buckets],
+            **kwargs,
+        )
+        unique_results: List = [None] * len(uniques)
+        for bucket, bucket_result in zip(buckets, bucket_results):
+            for slot, result in zip(bucket, bucket_result):
+                unique_results[slot] = result
+        results: List = []
+        for position, key in enumerate(keys):
+            slot = slot_of[key]
+            if position == unique_positions[slot]:
+                results.append(unique_results[slot])
+            else:  # equal bytes in, equal labels out: copy the representative
+                results.append(copy.deepcopy(unique_results[slot]))
+        return results
+
     def predict_labels_many(
         self,
         sequences: Sequence[PositioningSequence],
         *,
-        workers: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
+        workers: Optional[int] = UNSET,
+        backend: str = UNSET,
     ) -> List[Tuple[List[int], List[str]]]:
-        """Decode a collection of p-sequences, optionally in parallel.
+        """Decode a collection of p-sequences under an execution policy.
 
-        ``workers`` > 1 fans out over ``backend``: ``"thread"`` (the
-        default, matching the historical behaviour), ``"serial"`` or
-        ``"process"``.  The process backend shards the sequences across
-        worker processes and broadcasts this annotator to each worker once
-        per pool — the only way GIL-bound decoding scales with cores.
+        ``policy`` selects the backend (``"serial"``, ``"thread"``,
+        ``"process"``), the worker fan-out, length-bucketed batching with
+        duplicate coalescing, and process-pool reuse; the default policy
+        batches serially.  The process backend shards buckets across a
+        persistent worker pool and broadcasts this annotator through
+        shared memory — the only way GIL-bound decoding scales with cores.
         Results are returned in input order regardless of completion order
-        and are identical across backends.
+        and are bitwise identical across backends and batching modes.
+
+        The legacy ``workers=``/``backend=`` keywords still work but emit
+        a :class:`DeprecationWarning`.
         """
-        executor = Executor(backend=backend, workers=workers)
-        return executor.map_broadcast(self, "predict_labels", sequences)
+        policy = resolve_policy(
+            policy,
+            workers=workers,
+            backend=backend,
+            owner="predict_labels_many()",
+        )
+        return self._map_buckets(
+            "predict_labels_batch", "predict_labels", sequences, policy
+        )
 
     def annotate_many(
         self,
         sequences: Sequence[PositioningSequence],
         *,
-        workers: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
+        workers: Optional[int] = UNSET,
+        backend: str = UNSET,
         region_grouping: Optional[Dict[int, int]] = None,
     ) -> List[List[MSemantics]]:
-        """Annotate a collection of p-sequences, optionally in parallel.
+        """Annotate a collection of p-sequences under an execution policy.
 
         Same execution model and ordering guarantee as
-        :meth:`predict_labels_many`.
+        :meth:`predict_labels_many`; merging always runs per sequence, so
+        result objects are never shared between batch members.
         """
-        executor = Executor(backend=backend, workers=workers)
-        return executor.map_broadcast(
-            self, "annotate", sequences, region_grouping=region_grouping
+        policy = resolve_policy(
+            policy,
+            workers=workers,
+            backend=backend,
+            owner="annotate_many()",
+        )
+        return self._map_buckets(
+            "annotate_bucket",
+            "annotate",
+            sequences,
+            policy,
+            region_grouping=region_grouping,
         )

@@ -80,6 +80,31 @@ class VectorizedEngine:
             synchronization=templates.synchronization,
         )
 
+    def tables_many(self, datas: Sequence[SequenceData]) -> List[PotentialTables]:
+        """Build (or fetch) the potential tables of a whole bucket at once.
+
+        The batch decode path calls this before sweeping so table
+        construction — the dominant per-sequence setup cost — happens in
+        one place and any caching layer sees the full bucket up front.
+        """
+        return [self.tables(data) for data in datas]
+
+    def decode_many(
+        self,
+        datas: Sequence[SequenceData],
+        **kwargs,
+    ) -> List[Tuple[List[int], List[str]]]:
+        """Decode a bucket of sequences with lockstep ICM sweeps.
+
+        Delegates to :func:`repro.crf.batch.decode_icm_many`; each
+        sequence's labels are bitwise identical to a standalone
+        :func:`repro.crf.inference.decode_icm` call.
+        """
+        from repro.crf.batch import decode_icm_many
+
+        self.tables_many(datas)
+        return decode_icm_many(self, datas, **kwargs)
+
     # ------------------------------------------------------- matrix assembly
     def feature_matrix(
         self,

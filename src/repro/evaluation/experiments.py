@@ -41,6 +41,7 @@ from repro.indoor.floorplan import IndoorSpace
 from repro.mobility.dataset import AnnotationDataset, train_test_split
 from repro.index import SemanticsIndex
 from repro.queries.precision import top_k_precision
+from repro.runtime import ExecutionPolicy, UNSET, resolve_policy
 from repro.queries.tkfrpq import TkFRPQ
 from repro.queries.tkprq import TkPRQ
 from repro.scenarios import DeviceSpec, MobilitySpec, ScenarioSpec, VenueSpec
@@ -266,19 +267,25 @@ def run_accuracy_comparison(
     config: Optional[C2MNConfig] = None,
     train_fraction: float = 0.7,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> List[EvaluationResult]:
     """Table IV: labeling accuracy of every compared method on one split.
 
-    ``workers``/``backend`` shard the test-set labeling of each method —
-    ``backend="process"`` spreads the decode across cores.  ``dataset`` may
-    be a prepared :class:`AnnotationDataset` or a registered scenario name.
+    ``policy`` controls how the test-set labeling of each method executes —
+    a process policy spreads the decode across cores (the legacy
+    ``workers=``/``backend=`` keywords still work but emit a
+    :class:`DeprecationWarning`).  ``dataset`` may be a prepared
+    :class:`AnnotationDataset` or a registered scenario name.
     """
     dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator(workers=workers, backend=backend)
+    policy = resolve_policy(
+        policy, workers=workers, backend=backend, owner="run_accuracy_comparison()"
+    )
+    evaluator = MethodEvaluator(policy=policy)
     annotators = build_methods(methods, dataset.space, cfg)
     return evaluator.evaluate_many(annotators, train.sequences, test.sequences)
 
@@ -293,16 +300,19 @@ def run_training_fraction_sweep(
     methods: Sequence[str] = C2MN_FAMILY,
     config: Optional[C2MNConfig] = None,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> Dict[str, Dict[float, EvaluationResult]]:
     """Figures 5, 6 and 10: accuracy and training time vs training fraction."""
     dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     results: Dict[str, Dict[float, EvaluationResult]] = {name: {} for name in methods}
-    evaluator = MethodEvaluator(
-        keep_predictions=False, workers=workers, backend=backend
+    policy = resolve_policy(
+        policy, workers=workers, backend=backend,
+        owner="run_training_fraction_sweep()",
     )
+    evaluator = MethodEvaluator(keep_predictions=False, policy=policy)
     for fraction in fractions:
         train, test = train_test_split(dataset, train_fraction=fraction, seed=seed)
         annotators = build_methods(methods, dataset.space, cfg)
@@ -324,8 +334,9 @@ def run_mcmc_sweep(
     config: Optional[C2MNConfig] = None,
     train_fraction: float = 0.7,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> Dict[str, Dict[int, EvaluationResult]]:
     """Figures 7 and 8: RA and EA versus the number M of MCMC instances.
 
@@ -336,9 +347,10 @@ def run_mcmc_sweep(
     dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator(
-        keep_predictions=False, workers=workers, backend=backend
+    policy = resolve_policy(
+        policy, workers=workers, backend=backend, owner="run_mcmc_sweep()"
     )
+    evaluator = MethodEvaluator(keep_predictions=False, policy=policy)
     results: Dict[str, Dict[int, EvaluationResult]] = {name: {} for name in methods}
     for count in sample_counts:
         swept = replace(cfg, mcmc_samples=count)
@@ -471,8 +483,9 @@ def run_query_precision(
     setting: QuerySetting = QuerySetting(),
     train_fraction: float = 0.7,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> Dict[str, Dict[float, Tuple[float, float]]]:
     """Figures 12 and 13: TkPRQ/TkFRPQ precision versus the query interval QT.
 
@@ -483,7 +496,10 @@ def run_query_precision(
     dataset = resolve_dataset(dataset)
     cfg = config if config is not None else C2MNConfig.fast()
     train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
-    evaluator = MethodEvaluator(workers=workers, backend=backend)
+    policy = resolve_policy(
+        policy, workers=workers, backend=backend, owner="run_query_precision()"
+    )
+    evaluator = MethodEvaluator(policy=policy)
     annotators = build_methods(methods, dataset.space, cfg)
     results = evaluator.evaluate_many(annotators, train.sequences, test.sequences)
     # Index the ground truth once; every method, interval and repetition
@@ -520,8 +536,9 @@ def run_sparsity_sweep(
     query_interval: float = 1200.0,
     train_fraction: float = 0.7,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     """Figures 14–16: PA and query precision versus the maximum period T."""
     return _synthetic_sweep(
@@ -535,8 +552,9 @@ def run_sparsity_sweep(
         query_interval=query_interval,
         train_fraction=train_fraction,
         seed=seed,
-        workers=workers,
-        backend=backend,
+        policy=resolve_policy(
+            policy, workers=workers, backend=backend, owner="run_sparsity_sweep()"
+        ),
     )
 
 
@@ -551,8 +569,9 @@ def run_error_sweep(
     query_interval: float = 1200.0,
     train_fraction: float = 0.7,
     seed: int = 17,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = UNSET,
+    backend: str = UNSET,
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     """Figures 17–19: PA and query precision versus the positioning error μ."""
     return _synthetic_sweep(
@@ -566,8 +585,9 @@ def run_error_sweep(
         query_interval=query_interval,
         train_fraction=train_fraction,
         seed=seed,
-        workers=workers,
-        backend=backend,
+        policy=resolve_policy(
+            policy, workers=workers, backend=backend, owner="run_error_sweep()"
+        ),
     )
 
 
@@ -583,14 +603,13 @@ def _synthetic_sweep(
     query_interval: float,
     train_fraction: float,
     seed: int,
-    workers: Optional[int] = None,
-    backend: str = "thread",
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Dict[str, Dict[float, Dict[str, float]]]:
     cfg = config if config is not None else C2MNConfig.fast(uncertainty_radius=10.0)
     venue = build_office_building(
         floors=max(2, scale.floors), rooms_per_side=max(6, scale.shops_per_side)
     )
-    evaluator = MethodEvaluator(workers=workers, backend=backend)
+    evaluator = MethodEvaluator(policy=policy)
     outcome: Dict[str, Dict[float, Dict[str, float]]] = {name: {} for name in methods}
     for value in sweep_values:
         max_period = value if sweep_is_period else fixed_error

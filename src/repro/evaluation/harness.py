@@ -7,12 +7,15 @@ experiments, and record wall-clock timings.
 
 Methods are consumed through the :class:`repro.core.protocol.Annotator`
 protocol, so every C2MN variant and every baseline is handled identically.
-With ``workers=N`` the test sequences are labeled through the method's own
-``predict_labels_many`` on the selected execution ``backend`` (predictions
-keep input order): ``"thread"`` requires thread-safe prediction —
-everything derived from :class:`repro.core.protocol.AnnotatorBase` is —
-while ``"process"`` shards the test set across worker processes, which is
+The test sequences are labeled through the method's own
+``predict_labels_many`` under the evaluator's
+:class:`~repro.runtime.ExecutionPolicy` (predictions keep input order):
+a thread policy requires thread-safe prediction — everything derived
+from :class:`repro.core.protocol.AnnotatorBase` is — while a process
+policy shards length buckets across the persistent worker pool, which is
 what actually scales the GIL-bound figure/table reproductions with cores.
+The legacy ``workers=``/``backend=`` keywords still work via the policy
+deprecation shim.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.core.merge import merge_labeled_sequence
 from repro.core.protocol import Annotator
 from repro.evaluation.metrics import AccuracyScores, score_sequences
 from repro.mobility.records import LabeledSequence, MSemantics
-from repro.runtime import resolve_backend, validate_workers
+from repro.runtime import ExecutionPolicy, UNSET, resolve_policy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scenarios import Scenario
@@ -63,14 +66,18 @@ class MethodEvaluator:
         *,
         tradeoff: float = 0.7,
         keep_predictions: bool = True,
-        workers: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
+        workers: Optional[int] = UNSET,
+        backend: str = UNSET,
     ):
-        validate_workers(workers)
         self.tradeoff = tradeoff
         self.keep_predictions = keep_predictions
-        self.workers = workers
-        self.backend = resolve_backend(backend)
+        self.policy = resolve_policy(
+            policy, workers=workers, backend=backend, owner="MethodEvaluator()"
+        )
+        # Legacy attributes, mirrored from the policy for older callers.
+        self.workers = self.policy.workers
+        self.backend = self.policy.backend
 
     def evaluate(
         self,
@@ -94,8 +101,7 @@ class MethodEvaluator:
         start = time.perf_counter()
         label_pairs = method.predict_labels_many(
             [truth.sequence for truth in test_sequences],
-            workers=self.workers,
-            backend=self.backend,
+            policy=self.policy,
         )
         for truth, (regions, events) in zip(test_sequences, label_pairs):
             predicted = LabeledSequence(

@@ -2,22 +2,29 @@
 
 The runtime layer is the one place batch work is parallelised.  It offers:
 
-* :class:`Executor` — a backend-pluggable mapper (``"serial"``, ``"thread"``,
-  ``"process"``) with contiguous dataset sharding, ordered result gathering
-  and per-worker model broadcast (a fitted annotator is pickled to each pool
-  worker once per pool, not once per item);
+* :class:`ExecutionPolicy` — the one frozen value object describing *how*
+  batch work executes (backend, workers, length-bucketed batching, pool
+  reuse).  Every batch surface in the codebase (the ``*_many`` protocol
+  methods, the evaluation harness, the experiment runners, the service
+  batch path and the bench CLI) accepts ``policy=``; the legacy
+  ``workers=``/``backend=`` keyword pair still works through
+  :func:`resolve_policy` but emits a :class:`DeprecationWarning`;
+* :class:`Executor` — a backend-pluggable mapper (``"serial"``,
+  ``"thread"``, ``"process"``) with contiguous dataset sharding, ordered
+  result gathering, chunked streaming gather
+  (:meth:`Executor.map_broadcast_stream`) and shared-memory model
+  broadcast;
+* the persistent-pool machinery (:mod:`repro.runtime.pool`) — one warm
+  :class:`~concurrent.futures.ProcessPoolExecutor` per worker count for
+  the life of the interpreter, with content-addressed shared-memory
+  broadcast segments and :func:`shutdown_pools` for explicit teardown
+  (also registered with :mod:`atexit`);
 * :class:`DerivedStateCache` — a bounded, thread-safe LRU for expensive
   derived state (prepared sequences with their potential tables), keyed by
   content fingerprints so repeated decodes of the same model skip rebuilds;
 * the fingerprint helpers (:func:`config_fingerprint`,
   :func:`sequence_fingerprint`, :func:`weights_fingerprint`) used to build
   those keys.
-
-The ``*_many`` batch methods, the evaluation harness, the experiment
-runners and the service layer all accept a ``backend=`` selecting the
-execution strategy; :func:`map_with_workers` (formerly the
-``repro.core.parallel`` shim, now retired) is the thread-first one-shot
-mapper for anything else.
 """
 
 from repro.runtime.cache import (
@@ -38,19 +45,37 @@ from repro.runtime.executor import (
     shard_indices,
     validate_workers,
 )
+from repro.runtime.policy import (
+    DEFAULT_BUCKET_SIZE,
+    UNSET,
+    ExecutionPolicy,
+    resolve_policy,
+)
+from repro.runtime.pool import (
+    active_broadcast_epochs,
+    active_pool_workers,
+    shutdown_pools,
+)
 
 __all__ = [
     "BACKEND_NAMES",
     "CacheStats",
+    "DEFAULT_BUCKET_SIZE",
     "DerivedStateCache",
+    "ExecutionPolicy",
     "Executor",
+    "UNSET",
+    "active_broadcast_epochs",
+    "active_pool_workers",
     "config_fingerprint",
     "fingerprint",
     "map_sharded",
     "map_with_workers",
     "resolve_backend",
+    "resolve_policy",
     "sequence_fingerprint",
     "shard_indices",
+    "shutdown_pools",
     "space_fingerprint",
     "validate_workers",
     "weights_fingerprint",

@@ -11,23 +11,43 @@ Three backends cover the practical execution regimes of this codebase:
     decoding gains little.  This is the pre-runtime behaviour of
     ``workers=N`` and remains the default backend everywhere.
 ``"process"``
-    A :class:`~concurrent.futures.ProcessPoolExecutor` over contiguous
-    shards of the input.  The only backend that scales GIL-bound decoding
-    across cores.  :meth:`Executor.map_broadcast` pickles the target object
-    (e.g. a fitted annotator) to each worker **once per pool** through the
-    pool initializer — per-item tasks ship only the items.
+    A persistent :class:`~concurrent.futures.ProcessPoolExecutor` over
+    contiguous shards of the input (see :mod:`repro.runtime.pool`).  The
+    only backend that scales GIL-bound decoding across cores.  The target
+    object (e.g. a fitted annotator) is broadcast through a content-
+    addressed shared-memory segment: one pickle per distinct payload, one
+    unpickle per worker — per-shard tasks ship only the items.
+
+An :class:`Executor` is configured by an
+:class:`~repro.runtime.policy.ExecutionPolicy`; the historical
+``backend=``/``workers=`` constructor keywords keep working through the
+policy deprecation shim.
 
 Every backend returns results in input order regardless of completion
-order, and every backend produces bit-identical results for deterministic
-functions — the process backend merely moves the computation, it never
-changes it (asserted by the protocol conformance suite).
+order (:meth:`Executor.map_broadcast_stream` additionally exposes chunks
+in *completion* order, tagged with their input position), and every
+backend produces bit-identical results for deterministic functions — the
+process backend merely moves the computation, it never changes it
+(asserted by the protocol conformance suite).
 """
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (policy imports us)
+    from repro.runtime.policy import ExecutionPolicy
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -84,60 +104,47 @@ def shard_indices(n_items: int, shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-# --------------------------------------------------------------------------
-# Process-backend worker plumbing.  The broadcast payload is delivered to
-# each worker exactly once through the pool initializer and stashed in a
-# module global; shard tasks then reference it implicitly, so a task ships
-# only its slice of the items.
-# --------------------------------------------------------------------------
-_BROADCAST: Dict[str, Any] = {}
-
-
-def _broadcast_initializer(payload: bytes) -> None:
-    """Install the pickled ``(obj, method, kwargs)`` broadcast in this worker.
-
-    Unpickling happens here, in the worker, even under the ``fork`` start
-    method — so behaviour matches ``spawn`` platforms and the broadcast
-    cost is paid once per worker process, not once per item.
-    """
-    obj, method, kwargs = pickle.loads(payload)
-    _BROADCAST["call"] = getattr(obj, method)
-    _BROADCAST["kwargs"] = kwargs
-
-
-def _broadcast_shard(items: Sequence) -> List:
-    """Map the broadcast callable over one shard inside a worker."""
-    call = _BROADCAST["call"]
-    kwargs = _BROADCAST["kwargs"]
-    return [call(item, **kwargs) for item in items]
-
-
-def _function_shard(payload: Tuple[bytes, Sequence]) -> List:
-    """Map a per-task pickled function over one shard inside a worker."""
-    blob, items = payload
-    func = pickle.loads(blob)
-    return [func(item) for item in items]
-
-
 class Executor:
     """Maps functions over datasets through a selectable execution backend.
 
-    An :class:`Executor` is cheap to construct and holds no pool between
-    calls — each :meth:`map`/:meth:`map_broadcast` creates, uses and
-    disposes its pool, so there is no lifecycle to manage and no state to
-    leak between batches.
+    An :class:`Executor` is cheap to construct: it is a thin view over an
+    :class:`~repro.runtime.policy.ExecutionPolicy`.  Serial and thread
+    backends hold no state between calls; the process backend borrows the
+    interpreter-wide persistent pool from :mod:`repro.runtime.pool` when
+    ``policy.reuse_pool`` is set (the default), so repeated batches reuse
+    warm workers — call :func:`repro.runtime.pool.shutdown_pools` to
+    reclaim them early, or let the :mod:`atexit` hook do it.
 
     ``workers`` follows the historical convention: ``None`` or 1 runs
     serially whatever the backend (there is nothing to fan out), values
     below 1 raise :class:`ValueError` unconditionally.
     """
 
-    def __init__(self, backend: str = "serial", workers: Optional[int] = None):
-        self.backend = resolve_backend(backend)
-        self.workers = validate_workers(workers)
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        *,
+        policy: Optional["ExecutionPolicy"] = None,
+    ):
+        from repro.runtime.policy import ExecutionPolicy, resolve_policy, UNSET
+
+        if policy is None and backend is None and workers is None:
+            policy = ExecutionPolicy(backend="serial")
+        else:
+            policy = resolve_policy(
+                policy,
+                backend=UNSET if backend is None else backend,
+                workers=UNSET if workers is None else workers,
+                default=ExecutionPolicy(backend="serial"),
+                owner="Executor()",
+            )
+        self.policy = policy
+        self.backend = policy.backend
+        self.workers = policy.effective_workers
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Executor(backend={self.backend!r}, workers={self.workers})"
+        return f"Executor(policy={self.policy!r})"
 
     # ------------------------------------------------------------- execution
     def _effective_workers(self, n_items: int) -> int:
@@ -149,23 +156,32 @@ class Executor:
         """Map ``func`` over ``items``; results come back in input order.
 
         With the process backend ``func`` and the items must be picklable;
-        ``func`` is shipped once per shard.  Prefer :meth:`map_broadcast`
-        when the callable is a method of a heavy object — it ships the
-        object once per worker instead.
+        ``func`` is broadcast once through shared memory (as the
+        ``__call__`` target).  Prefer :meth:`map_broadcast` when the
+        callable is a method of a heavy object — same mechanism, clearer
+        intent.
         """
+        items = list(items)
         workers = self._effective_workers(len(items))
         if workers == 1 or self.backend == "serial":
             return [func(item) for item in items]
         if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(func, items))
-        blob = pickle.dumps(func)
-        payloads = [
-            (blob, [items[i] for i in range(start, stop)])
+            with ThreadPoolExecutor(max_workers=workers) as tpool:
+                return list(tpool.map(func, items))
+        from repro.runtime import pool as pool_mod
+
+        shards = [
+            items[start:stop]
             for start, stop in shard_indices(len(items), workers * _SHARDS_PER_WORKER)
         ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            gathered = list(pool.map(_function_shard, payloads))
+        gathered = pool_mod.run_broadcast_shards(
+            func,
+            "__call__",
+            {},
+            shards,
+            workers=workers,
+            reuse_pool=self.policy.reuse_pool,
+        )
         return [result for shard in gathered for result in shard]
 
     def map_broadcast(
@@ -178,32 +194,81 @@ class Executor:
         """Map ``getattr(obj, method)(item, **kwargs)`` over ``items``.
 
         The workhorse of the batch annotation paths.  For the process
-        backend, ``obj`` (typically a fitted annotator), the method name and
-        the keyword arguments are pickled **once** and broadcast to every
-        worker through the pool initializer; the per-shard tasks carry only
-        their slice of ``items``.  Results keep input order.
+        backend, ``obj`` (typically a fitted annotator), the method name
+        and the keyword arguments are published to a shared-memory
+        broadcast segment **once per distinct payload**; per-shard tasks
+        carry only their slice of ``items`` and warm workers cache the
+        unpickled object across calls.  Results keep input order.
         """
-        getattr(obj, method)  # fail fast on typos, before any pool spins up
+        items = list(items)
+        results: List[ResultT] = [None] * len(items)  # type: ignore[list-item]
+        for start, stop, chunk in self.map_broadcast_stream(
+            obj, method, items, **kwargs
+        ):
+            results[start:stop] = chunk
+        return results
+
+    def map_broadcast_stream(
+        self,
+        obj: Any,
+        method: str,
+        items: Sequence[ItemT],
+        **kwargs: Any,
+    ) -> Iterator[Tuple[int, int, List[ResultT]]]:
+        """Stream ``map_broadcast`` results chunk by chunk as they finish.
+
+        Yields ``(start, stop, results)`` triples where ``results`` covers
+        ``items[start:stop]``.  Chunks arrive in *completion* order (input
+        order under the serial backend), so a consumer can publish partial
+        results while later shards are still computing — the chunked
+        streaming gather behind :meth:`AnnotationService.annotate_batch`.
+        Every input position is covered exactly once.
+        """
+        # Validate eagerly (this is not a generator function) so typos and
+        # bad arguments surface at the call, before any pool spins up.
+        call = getattr(obj, method)
+        items = list(items)
+        return self._stream(call, obj, method, items, kwargs)
+
+    def _stream(
+        self,
+        call: Callable[..., ResultT],
+        obj: Any,
+        method: str,
+        items: List[ItemT],
+        kwargs: dict,
+    ) -> Iterator[Tuple[int, int, List[ResultT]]]:
+        if not items:
+            return
         workers = self._effective_workers(len(items))
+        bounds = shard_indices(len(items), workers * _SHARDS_PER_WORKER)
         if workers == 1 or self.backend == "serial":
-            call = getattr(obj, method)
-            return [call(item, **kwargs) for item in items]
+            for start, stop in bounds:
+                yield start, stop, [call(items[i], **kwargs) for i in range(start, stop)]
+            return
         if self.backend == "thread":
-            call = getattr(obj, method)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(lambda item: call(item, **kwargs), items))
-        payload = pickle.dumps((obj, method, kwargs))
-        shards = [
-            [items[i] for i in range(start, stop)]
-            for start, stop in shard_indices(len(items), workers * _SHARDS_PER_WORKER)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_broadcast_initializer,
-            initargs=(payload,),
-        ) as pool:
-            gathered = list(pool.map(_broadcast_shard, shards))
-        return [result for shard in gathered for result in shard]
+
+            def _run(start: int, stop: int) -> List[ResultT]:
+                return [call(items[i], **kwargs) for i in range(start, stop)]
+
+            with ThreadPoolExecutor(max_workers=workers) as tpool:
+                futures = {
+                    tpool.submit(_run, start, stop): (start, stop)
+                    for start, stop in bounds
+                }
+                for future in as_completed(futures):
+                    start, stop = futures[future]
+                    yield start, stop, future.result()
+            return
+        from repro.runtime import pool as pool_mod
+
+        shards = [items[start:stop] for start, stop in bounds]
+        for index, shard_result in pool_mod.iter_broadcast_shards(
+            obj, method, kwargs, shards, workers=workers,
+            reuse_pool=self.policy.reuse_pool,
+        ):
+            start, stop = bounds[index]
+            yield start, stop, shard_result
 
 
 def map_sharded(
@@ -214,7 +279,10 @@ def map_sharded(
     backend: str = "serial",
 ) -> List[ResultT]:
     """One-shot convenience wrapper: ``Executor(backend, workers).map(...)``."""
-    return Executor(backend=backend, workers=workers).map(func, items)
+    from repro.runtime.policy import ExecutionPolicy
+
+    policy = ExecutionPolicy(backend=backend, workers=workers)
+    return Executor(policy=policy).map(func, items)
 
 
 def map_with_workers(
@@ -235,4 +303,7 @@ def map_with_workers(
     thread-safe for the thread backend and picklable for the process
     backend.
     """
-    return Executor(backend=backend, workers=workers).map(func, items)
+    from repro.runtime.policy import ExecutionPolicy
+
+    policy = ExecutionPolicy(backend=backend, workers=workers)
+    return Executor(policy=policy).map(func, items)

@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.mobility.preprocessing import normalize_report_stream, preprocess
 from repro.mobility.records import EVENT_PASS, EVENT_STAY, LabeledSequence
+from repro.runtime import ExecutionPolicy
 from repro.scenarios.spec import (
     MOBILITY_PROFILES,
     VENUE_ARCHETYPES,
@@ -97,7 +98,8 @@ class FuzzContext:
         """Per-object m-semantics from the serial batch decode (reference)."""
         if self._semantics is None:
             self._semantics = self.annotator().annotate_many(
-                [labeled.sequence for labeled in self.sequences], backend="serial"
+                [labeled.sequence for labeled in self.sequences],
+                policy=ExecutionPolicy.serial(),
             )
         return self._semantics
 
@@ -227,10 +229,12 @@ def oracle_backends(ctx: FuzzContext) -> List[str]:
     if not sequences:
         return []
     annotator = ctx.annotator()
-    serial = annotator.predict_labels_many(sequences, backend="serial")
+    serial = annotator.predict_labels_many(sequences, policy=ExecutionPolicy.serial())
     violations: List[str] = []
     for backend in ("thread", "process"):
-        other = annotator.predict_labels_many(sequences, workers=2, backend=backend)
+        other = annotator.predict_labels_many(
+            sequences, policy=ExecutionPolicy(backend=backend, workers=2)
+        )
         if other != serial:
             violations.append(f"{backend} backend disagrees with serial decode")
     return violations

@@ -24,15 +24,23 @@ runtime state (persist a store separately with ``service.store.save(path)``).
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.protocol import Annotator
+from repro.crf.batch import bucket_indices
 from repro.index import SemanticsIndex
 from repro.mobility.records import MSemantics, PositioningSequence
-from repro.runtime import resolve_backend
+from repro.runtime import (
+    ExecutionPolicy,
+    Executor,
+    UNSET,
+    resolve_policy,
+    sequence_fingerprint,
+)
 from repro.queries.tkfrpq import RegionPair, TkFRPQ
 from repro.queries.tkprq import TkPRQ
 from repro.service.session import StreamSession
@@ -55,7 +63,8 @@ class AnnotationService:
         store: Optional[SemanticsStore] = None,
         window: int = DEFAULT_WINDOW,
         guard: Optional[int] = None,
-        backend: str = "thread",
+        policy: Optional[ExecutionPolicy] = None,
+        backend: str = UNSET,
         indexed: bool = False,
     ):
         if not annotator.is_fitted:
@@ -69,7 +78,11 @@ class AnnotationService:
         self.store = store if store is not None else SemanticsStore()
         self.window = window
         self.guard = guard
-        self.backend = resolve_backend(backend)
+        self.policy = resolve_policy(
+            policy, backend=backend, owner="AnnotationService()"
+        )
+        # Legacy attribute, mirrored from the policy for older callers.
+        self.backend = self.policy.backend
         self._sessions: Dict[str, StreamSession] = {}
         # Guards the service-level mutable state (the session registry and
         # index toggling) against concurrent callers — the HTTP front door
@@ -153,31 +166,83 @@ class AnnotationService:
         self,
         sequences: Sequence[PositioningSequence],
         *,
-        workers: Optional[int] = None,
-        backend: Optional[str] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        workers: Optional[int] = UNSET,
+        backend: Optional[str] = UNSET,
     ) -> List[List[MSemantics]]:
         """Annotate complete p-sequences and publish them to the store.
 
-        The batch counterpart of the streaming path — same store, same query
-        surface — for backfilling historical traffic.  ``backend`` defaults
-        to the service-level setting; ``backend="process"`` shards the
-        decode across worker processes (the annotator is broadcast to each
-        worker once per pool), which is how large backfills use every core.
+        The batch counterpart of the streaming path — same store, same
+        query surface — for backfilling historical traffic.  ``policy``
+        defaults to the service-level :class:`ExecutionPolicy`; a process
+        policy shards length buckets across the persistent worker pool
+        (the annotator is broadcast through shared memory), which is how
+        large backfills use every core.  Results are published through a
+        **chunked streaming gather**: each bucket's m-semantics land in the
+        store as soon as that bucket finishes decoding, so queries see a
+        long backfill progressively instead of after one big barrier.
         Streaming sessions always decode in-process: their incremental
         windows are far too small to amortise inter-process dispatch.
+
+        The legacy ``workers=``/``backend=`` keywords still work but emit
+        a :class:`DeprecationWarning`.
         """
-        semantics = self.annotator.annotate_many(
-            sequences,
+        policy = resolve_policy(
+            policy,
             workers=workers,
-            backend=self.backend if backend is None else backend,
+            backend=backend,
+            default=self.policy,
+            owner="annotate_batch()",
         )
-        # Decoding above runs unlocked (it is pure compute); the publishes
-        # are grouped under the service lock so one batch lands atomically
-        # with respect to enable_index/disable_index and other batches.
-        with self._lock:
-            for sequence, entries in zip(sequences, semantics):
-                self.store.publish(sequence.object_id, entries)
-        return semantics
+        sequences = list(sequences)
+        results: List[List[MSemantics]] = [[] for _ in sequences]
+        executor = Executor(policy=policy)
+
+        def publish(position: int, entries: List[MSemantics]) -> None:
+            results[position] = entries
+            self.store.publish(sequences[position].object_id, entries)
+
+        if policy.batch:
+            # Coalesce identical sequences (replayed traffic decodes once),
+            # then bucket the distinct ones by length for dispatch.
+            keys = [sequence_fingerprint(sequence) for sequence in sequences]
+            slot_of: Dict[str, int] = {}
+            positions_of: List[List[int]] = []
+            for position, key in enumerate(keys):
+                if key not in slot_of:
+                    slot_of[key] = len(positions_of)
+                    positions_of.append([])
+                positions_of[slot_of[key]].append(position)
+            uniques = [sequences[group[0]] for group in positions_of]
+            buckets = bucket_indices(
+                [len(unique) for unique in uniques],
+                policy.effective_bucket_size(len(uniques)),
+            )
+            items = [[uniques[slot] for slot in bucket] for bucket in buckets]
+            for start, stop, chunk in executor.map_broadcast_stream(
+                self.annotator, "annotate_bucket", items
+            ):
+                # Decoding runs unlocked (it is pure compute); each
+                # completed bucket's publishes are grouped under the
+                # service lock so they land atomically with respect to
+                # enable/disable_index and other batches.
+                with self._lock:
+                    for bucket, bucket_result in zip(buckets[start:stop], chunk):
+                        for slot, entries in zip(bucket, bucket_result):
+                            for extra, position in enumerate(positions_of[slot]):
+                                publish(
+                                    position,
+                                    entries if extra == 0
+                                    else copy.deepcopy(entries),
+                                )
+        else:
+            for start, stop, chunk in executor.map_broadcast_stream(
+                self.annotator, "annotate", sequences
+            ):
+                with self._lock:
+                    for position, entries in zip(range(start, stop), chunk):
+                        publish(position, entries)
+        return results
 
     # ---------------------------------------------------------- live queries
     def enable_index(self) -> SemanticsIndex:
@@ -242,7 +307,10 @@ class AnnotationService:
             "format": SERVICE_FORMAT,
             "window": self.window,
             "guard": self.guard,
+            # "backend" is kept alongside the full policy so files written
+            # by this version still load on pre-policy code.
             "backend": self.backend,
+            "policy": self.policy.to_dict(),
             "indexed": self.store.live_index is not None,
             "annotator": annotator_to_dict(self.annotator),
         }
@@ -271,12 +339,16 @@ class AnnotationService:
         if payload.get("format") != SERVICE_FORMAT:
             raise ValueError(f"not an annotation-service file: {path}")
         annotator = annotator_from_dict(payload["annotator"], space, oracle=oracle)
+        if "policy" in payload:
+            policy = ExecutionPolicy.from_dict(payload["policy"])
+        else:  # pre-policy file: only the backend name was persisted
+            policy = ExecutionPolicy(backend=payload.get("backend", "thread"))
         return cls(
             annotator,
             store=store,
             window=payload.get("window", cls.DEFAULT_WINDOW),
             guard=payload.get("guard"),
-            backend=payload.get("backend", "thread"),
+            policy=policy,
             indexed=payload.get("indexed", False),
         )
 

@@ -1,0 +1,230 @@
+"""Unit tests of the unified :class:`repro.runtime.ExecutionPolicy`.
+
+Covers construction/validation, the convenience constructors, the
+load-balancing bucket cap, persistence (``to_dict``/``from_dict`` and the
+service save/load round trip), and the :func:`repro.runtime.resolve_policy`
+deprecation shim that keeps the legacy ``workers=``/``backend=`` keywords
+alive on every migrated surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    DEFAULT_BUCKET_SIZE,
+    ExecutionPolicy,
+    UNSET,
+    resolve_policy,
+)
+from repro.service import AnnotationService
+
+
+# --------------------------------------------------------------------------
+# Construction and validation
+# --------------------------------------------------------------------------
+class TestConstruction:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.backend == "thread"
+        assert policy.workers is None
+        assert policy.batch is True
+        assert policy.bucket_size == DEFAULT_BUCKET_SIZE
+        assert policy.reuse_pool is True
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionPolicy().backend = "process"
+
+    def test_hashable_and_comparable(self):
+        assert ExecutionPolicy() == ExecutionPolicy()
+        assert len({ExecutionPolicy(), ExecutionPolicy()}) == 1
+        assert ExecutionPolicy() != ExecutionPolicy(backend="serial")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backend="gpu")
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_rejects_non_positive_workers(self, bad):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(workers=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_non_positive_bucket_size(self, bad):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(bucket_size=bad)
+
+    @pytest.mark.parametrize("bad", ["8", 2.5, True])
+    def test_rejects_non_int_bucket_size(self, bad):
+        with pytest.raises(TypeError):
+            ExecutionPolicy(bucket_size=bad)
+
+    @pytest.mark.parametrize("flag", ["batch", "reuse_pool"])
+    def test_rejects_non_bool_flags(self, flag):
+        with pytest.raises(TypeError):
+            ExecutionPolicy(**{flag: 1})
+
+    def test_serial_constructor(self):
+        policy = ExecutionPolicy.serial()
+        assert policy.backend == "serial"
+        assert policy.effective_workers == 1
+
+    def test_threads_and_processes_constructors(self):
+        assert ExecutionPolicy.threads(3) == ExecutionPolicy(
+            backend="thread", workers=3
+        )
+        assert ExecutionPolicy.processes(2) == ExecutionPolicy(
+            backend="process", workers=2
+        )
+
+    def test_constructor_overrides_forward(self):
+        policy = ExecutionPolicy.serial(batch=False, bucket_size=4)
+        assert policy.batch is False
+        assert policy.bucket_size == 4
+
+    def test_with_replaces_and_revalidates(self):
+        policy = ExecutionPolicy().with_(backend="process", workers=2)
+        assert policy == ExecutionPolicy(backend="process", workers=2)
+        with pytest.raises(ValueError):
+            ExecutionPolicy().with_(workers=0)
+
+
+# --------------------------------------------------------------------------
+# The load-balancing bucket cap
+# --------------------------------------------------------------------------
+class TestEffectiveBucketSize:
+    def test_serial_keeps_configured_size(self):
+        policy = ExecutionPolicy.serial(bucket_size=32)
+        assert policy.effective_bucket_size(1000) == 32
+
+    def test_single_worker_keeps_configured_size(self):
+        policy = ExecutionPolicy(backend="process", workers=1, bucket_size=32)
+        assert policy.effective_bucket_size(1000) == 32
+
+    def test_parallel_shrinks_for_load_balance(self):
+        policy = ExecutionPolicy.processes(4, bucket_size=32)
+        # 24 items over 4 workers x 4 shards -> at most 2 items per bucket.
+        assert policy.effective_bucket_size(24) == 2
+
+    def test_configured_size_stays_the_upper_bound(self):
+        policy = ExecutionPolicy.processes(2, bucket_size=3)
+        assert policy.effective_bucket_size(10_000) == 3
+
+    def test_never_below_one(self):
+        policy = ExecutionPolicy.processes(8, bucket_size=32)
+        assert policy.effective_bucket_size(2) == 1
+
+
+# --------------------------------------------------------------------------
+# Persistence
+# --------------------------------------------------------------------------
+class TestPersistence:
+    def test_round_trip(self):
+        policy = ExecutionPolicy.processes(3, batch=False, bucket_size=7)
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = ExecutionPolicy.serial().to_dict()
+        payload["from_the_future"] = 42
+        assert ExecutionPolicy.from_dict(payload) == ExecutionPolicy.serial()
+
+    def test_from_dict_defaults_missing_keys(self):
+        assert ExecutionPolicy.from_dict({}) == ExecutionPolicy()
+        assert ExecutionPolicy.from_dict({"backend": "serial"}).backend == "serial"
+
+    def test_service_save_load_round_trips_policy(
+        self, fitted_annotator, tmp_path
+    ):
+        policy = ExecutionPolicy.threads(2, bucket_size=8)
+        service = AnnotationService(fitted_annotator, policy=policy)
+        path = tmp_path / "service.json"
+        service.save(path)
+        reloaded = AnnotationService.load(path, fitted_annotator.space)
+        assert reloaded.policy == policy
+        assert reloaded.backend == policy.backend  # legacy mirror survives
+
+    def test_service_load_accepts_legacy_backend_only_payload(
+        self, fitted_annotator, tmp_path
+    ):
+        import json
+
+        service = AnnotationService(fitted_annotator)
+        path = tmp_path / "service.json"
+        service.save(path)
+        payload = json.loads(path.read_text())
+        del payload["policy"]  # a pre-policy file only carries "backend"
+        payload["backend"] = "serial"
+        path.write_text(json.dumps(payload))
+        reloaded = AnnotationService.load(path, fitted_annotator.space)
+        assert reloaded.policy.backend == "serial"
+
+
+# --------------------------------------------------------------------------
+# The deprecation shim
+# --------------------------------------------------------------------------
+class TestResolvePolicy:
+    def test_policy_passes_through(self):
+        policy = ExecutionPolicy.processes(2)
+        assert resolve_policy(policy) is policy
+
+    def test_default_when_nothing_given(self):
+        assert resolve_policy(None) == ExecutionPolicy()
+        default = ExecutionPolicy.serial()
+        assert resolve_policy(None, default=default) is default
+
+    def test_rejects_non_policy(self):
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            resolve_policy({"backend": "serial"})
+
+    def test_mixing_policy_and_legacy_kwargs_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_policy(ExecutionPolicy(), workers=2)
+        with pytest.raises(TypeError, match="not both"):
+            resolve_policy(ExecutionPolicy(), backend="serial")
+
+    def test_legacy_kwargs_warn_and_convert(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            policy = resolve_policy(None, workers=2, backend="process")
+        assert policy.backend == "process"
+        assert policy.workers == 2
+
+    def test_legacy_workers_none_is_meaningful(self):
+        default = ExecutionPolicy.threads(4)
+        with pytest.warns(DeprecationWarning):
+            policy = resolve_policy(None, workers=None, default=default)
+        assert policy.workers is None  # explicit None overrides the default
+
+    def test_unset_sentinel_means_not_passed(self):
+        assert resolve_policy(None, workers=UNSET, backend=UNSET) == (
+            ExecutionPolicy()
+        )
+
+    def test_owner_appears_in_warning(self):
+        with pytest.warns(DeprecationWarning, match="my_api"):
+            resolve_policy(None, workers=2, owner="my_api()")
+
+    def test_annotate_many_legacy_kwargs_warn_but_work(
+        self, fitted_annotator, small_split
+    ):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences[:3]]
+        expected = fitted_annotator.annotate_many(
+            sequences, policy=ExecutionPolicy.serial()
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = fitted_annotator.annotate_many(sequences, backend="serial")
+        assert legacy == expected
+
+    def test_service_annotate_batch_legacy_kwargs_warn_but_work(
+        self, fitted_annotator, small_split
+    ):
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences[:3]]
+        service = AnnotationService(fitted_annotator)
+        expected = AnnotationService(fitted_annotator).annotate_batch(
+            sequences, policy=ExecutionPolicy.serial()
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = service.annotate_batch(sequences, backend="serial")
+        assert legacy == expected

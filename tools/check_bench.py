@@ -21,12 +21,21 @@ check fails when a metric regresses beyond ``--tolerance``:
 * result rows present in the baseline must still exist (keyed by
   ``(name, backend, workers)``); new rows in the current report are fine.
 
+Suites may be gated tighter than the default with
+``--suite-tolerance SUITE=TOL`` (repeatable) — the batched runtime suite
+reports steady-state warm-pool numbers that are far less noisy than the
+original cold-pool timings, so CI holds it to a tighter band.  Rows whose
+``phase`` is ``"warmup"`` (cold pool / cold cache) always use the looser
+default ``--tolerance``: first-touch costs are the one thing that *is*
+machine-noise-bound.
+
 Usage::
 
     python tools/check_bench.py BENCH_runtime.json [more.json ...]
     python tools/check_bench.py                # every BENCH_*.json in cwd
     python tools/check_bench.py BENCH_runtime.json BENCH_queries.json \
-        --compare benchmarks/baselines --tolerance 0.5
+        --compare benchmarks/baselines --tolerance 0.5 \
+        --suite-tolerance runtime=0.3
 
 Exit status is 0 when every file validates (and, with ``--compare``, shows
 no regression), 1 otherwise.  Wall-clock *floors* are deliberately not
@@ -70,6 +79,15 @@ _TOP_TYPES = {
 #: by sharding), so it only needs the serial rows.  The service suite
 #: measures the HTTP front door, whose backend is server configuration.
 _PROCESS_BACKED_SUITES = {"runtime", "scenarios"}
+
+#: Suites produced by the batched ``annotate_many`` pipeline.  Their rows
+#: must carry a ``phase`` marker, their process rows must record the
+#: post-coalescing ``bucket_sizes`` layout, and their workload must state
+#: how many distinct sequences survived duplicate coalescing.
+_BATCHED_SUITES = {"runtime", "scenarios"}
+
+#: Valid values of a result row's ``phase`` marker.
+_PHASES = {"warmup", "steady"}
 
 #: Columns every service-suite loadtest entry must carry (the run_table.csv
 #: shape of ``repro.net.loadgen``).
@@ -138,17 +156,32 @@ def validate_report(report: object, origin: str) -> list:
             f"{origin}: unknown schema {report['schema']!r} "
             f"(this validator understands {BENCH_SCHEMA!r})"
         )
+    suite = report["suite"]
+    batched_suite = suite in _BATCHED_SUITES
     workload = report["workload"]
     for key in ("sequences", "records"):
         value = workload.get(key)
         if not isinstance(value, int) or value < 1:
             problems.append(f"{origin}: workload.{key} must be a positive int")
+    if batched_suite or "unique_sequences" in workload:
+        unique = workload.get("unique_sequences")
+        if not isinstance(unique, int) or unique < 1:
+            problems.append(
+                f"{origin}: workload.unique_sequences must be a positive int"
+            )
+        elif isinstance(workload.get("sequences"), int) \
+                and unique > workload["sequences"]:
+            problems.append(
+                f"{origin}: workload.unique_sequences ({unique}) exceeds "
+                f"workload.sequences ({workload['sequences']})"
+            )
     if report["workers"] < 1:
         problems.append(f"{origin}: workers must be at least 1")
     if not report["results"]:
         problems.append(f"{origin}: results must not be empty")
 
     backends_seen = set()
+    process_phases = set()
     for index, entry in enumerate(report["results"]):
         where = f"{origin}: results[{index}]"
         if not isinstance(entry, dict):
@@ -176,13 +209,49 @@ def validate_report(report: object, origin: str) -> list:
                 f"{where}: agreement must be true — an accelerated path "
                 "disagreeing with the reference answers is a correctness bug"
             )
+        if batched_suite and "phase" not in entry:
+            problems.append(f"{where} missing key 'phase'")
+        if "phase" in entry and entry["phase"] not in _PHASES:
+            problems.append(
+                f"{where}: phase must be one of {sorted(_PHASES)}, "
+                f"got {entry['phase']!r}"
+            )
+        needs_buckets = batched_suite and entry.get("backend") == "process"
+        if needs_buckets and "bucket_sizes" not in entry:
+            problems.append(
+                f"{where}: process rows of the {suite} suite must record "
+                "their post-coalescing bucket_sizes layout"
+            )
+        if "bucket_sizes" in entry:
+            buckets = entry["bucket_sizes"]
+            if (
+                not isinstance(buckets, list)
+                or not buckets
+                or not all(
+                    isinstance(size, int) and not isinstance(size, bool) and size >= 1
+                    for size in buckets
+                )
+            ):
+                problems.append(
+                    f"{where}: bucket_sizes must be a non-empty list of "
+                    f"positive ints, got {buckets!r}"
+                )
+        if entry.get("backend") == "process":
+            process_phases.add(entry.get("phase"))
         backends_seen.add(entry.get("backend"))
 
     if "serial" not in backends_seen:
         problems.append(f"{origin}: no serial baseline entry in results")
-    if report["suite"] in _PROCESS_BACKED_SUITES and "process" not in backends_seen:
+    if suite in _PROCESS_BACKED_SUITES and "process" not in backends_seen:
         problems.append(f"{origin}: no process-backend entry in results")
-    if report["suite"] == "service":
+    if suite == "runtime" and "process" in backends_seen \
+            and not _PHASES <= process_phases:
+        problems.append(
+            f"{origin}: the runtime suite must record both a 'warmup' "
+            "(cold pool) and a 'steady' (warm pool) process row, "
+            f"found phases {sorted(p for p in process_phases if p)}"
+        )
+    if suite == "service":
         problems.extend(_validate_service_section(report, origin))
     return problems
 
@@ -193,15 +262,28 @@ def _result_key(entry: dict) -> Tuple[str, str, int]:
 
 
 def compare_reports(
-    current: dict, baseline: dict, tolerance: float, origin: str
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    origin: str,
+    *,
+    warmup_tolerance: Optional[float] = None,
 ) -> list:
-    """Return regression problems of ``current`` against ``baseline``."""
+    """Return regression problems of ``current`` against ``baseline``.
+
+    ``tolerance`` gates steady-state rows; rows marked ``phase: "warmup"``
+    use ``warmup_tolerance`` (never tighter than ``tolerance``) because
+    cold-start costs are dominated by machine noise.
+    """
     problems = []
     if current.get("suite") != baseline.get("suite"):
         return [
             f"{origin}: suite {current.get('suite')!r} does not match "
             f"baseline suite {baseline.get('suite')!r}"
         ]
+    if warmup_tolerance is None:
+        warmup_tolerance = tolerance
+    warmup_tolerance = max(tolerance, warmup_tolerance)
     current_rows: Dict[Tuple, dict] = {
         _result_key(entry): entry for entry in current.get("results", [])
     }
@@ -220,12 +302,17 @@ def compare_reports(
         if isinstance(base_speedup, (int, float)) and isinstance(
             speedup, (int, float)
         ):
-            floor = base_speedup * (1.0 - tolerance)
+            row_tolerance = (
+                warmup_tolerance
+                if (row.get("phase") == "warmup" or entry.get("phase") == "warmup")
+                else tolerance
+            )
+            floor = base_speedup * (1.0 - row_tolerance)
             if speedup < floor:
                 problems.append(
                     f"{where}: speedup_vs_serial {speedup:.2f}x regressed "
                     f"below {floor:.2f}x (baseline {base_speedup:.2f}x, "
-                    f"tolerance {tolerance:.0%})"
+                    f"tolerance {row_tolerance:.0%})"
                 )
     return problems
 
@@ -278,9 +365,30 @@ def main(argv: list) -> int:
         help="allowed fractional speedup regression vs the baseline "
         "(default: 0.25; agreement is always compared at zero tolerance)",
     )
+    parser.add_argument(
+        "--suite-tolerance",
+        action="append",
+        default=None,
+        metavar="SUITE=TOL",
+        help="override the tolerance for one suite (repeatable, e.g. "
+        "runtime=0.3); warmup-phase rows always use the looser --tolerance",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    suite_tolerances: Dict[str, float] = {}
+    for spec in args.suite_tolerance or ():
+        suite, _, raw = spec.partition("=")
+        try:
+            value = float(raw)
+        except ValueError:
+            value = -1.0
+        if not suite or not 0.0 <= value < 1.0:
+            parser.error(
+                f"--suite-tolerance must look like SUITE=TOL with TOL in "
+                f"[0, 1), got {spec!r}"
+            )
+        suite_tolerances[suite] = value
 
     paths: List[Path] = list(args.files)
     if not paths:
@@ -302,7 +410,13 @@ def main(argv: list) -> int:
             problems.extend(baseline_problems)
             if baseline is not None:
                 problems.extend(
-                    compare_reports(report, baseline, args.tolerance, str(path))
+                    compare_reports(
+                        report,
+                        baseline,
+                        suite_tolerances.get(report.get("suite"), args.tolerance),
+                        str(path),
+                        warmup_tolerance=args.tolerance,
+                    )
                 )
         if problems:
             failures += 1
