@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf bench-json bench-check bench-compare queries scenarios serve loadtest fuzz fuzz-smoke coverage docs-check hygiene-check all
+.PHONY: test bench perf bench-json bench-check bench-compare queries store crash-smoke scenarios serve loadtest fuzz fuzz-smoke coverage docs-check hygiene-check all
 
 # Tier-1 suite: unit/integration tests plus the benchmark reproductions
 # at tiny scale (same command CI runs).
@@ -26,6 +26,17 @@ queries:
 	$(PYTHON) examples/query_tour.py
 	$(PYTHON) -m repro.bench --tiny --queries --out BENCH_queries.json
 
+# Sharded-store smoke: the durability/sharding example tour plus the
+# machine-readable store suite -> BENCH_store.json.
+store:
+	$(PYTHON) examples/shard_tour.py
+	$(PYTHON) -m repro.bench --store --tiny --out BENCH_store.json
+
+# SIGKILL a real publishing process mid-stream, recover from the WALs,
+# diff against the acknowledged publishes (the CI durability smoke).
+crash-smoke:
+	$(PYTHON) tools/crash_recovery_smoke.py
+
 # Validate BENCH_*.json against the bench schema.
 bench-check:
 	$(PYTHON) tools/check_bench.py
@@ -38,8 +49,10 @@ bench-compare:
 	$(PYTHON) -m repro.bench --tiny --out BENCH_runtime.json
 	$(PYTHON) -m repro.bench --tiny --queries --out BENCH_queries.json
 	$(PYTHON) -m repro.bench --service --out BENCH_service.json
+	$(PYTHON) -m repro.bench --store --tiny --out BENCH_store.json
 	$(PYTHON) tools/check_bench.py BENCH_runtime.json BENCH_queries.json --compare benchmarks/baselines --tolerance 0.5
 	$(PYTHON) tools/check_bench.py BENCH_service.json --compare benchmarks/baselines --tolerance 0.75
+	$(PYTHON) tools/check_bench.py BENCH_store.json --compare benchmarks/baselines --suite-tolerance store=0.6
 
 # List the scenario catalogue, then materialise the smallest scenario
 # end-to-end (simulate -> corrupt -> preprocess -> fit -> annotate).

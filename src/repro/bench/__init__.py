@@ -31,8 +31,18 @@ from repro.bench.queries import (
     run_query_benchmarks,
 )
 from repro.bench.service import run_service_benchmarks
+from repro.bench.store import (
+    SHARD_COUNTS,
+    STORE_OBJECTS,
+    build_store_workload,
+    run_store_benchmarks,
+)
 
 __all__ = [
+    "SHARD_COUNTS",
+    "STORE_OBJECTS",
+    "build_store_workload",
+    "run_store_benchmarks",
     "BENCH_SCHEMA",
     "REPLICATION",
     "REQUIRED_RESULT_KEYS",

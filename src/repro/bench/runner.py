@@ -473,6 +473,15 @@ def format_summary(report: Dict[str, Any]) -> str:
             f"p95 {loadtest['p95_latency_ms']:7.1f}ms  "
             f"failures {loadtest['failures']}"
         )
+    store = report.get("store")
+    if isinstance(store, dict):
+        recovery = store["recovery"]
+        lines.append(
+            f"  store: shards={store['shards']}  scatter over {store['shard_counts']}  "
+            f"recovery exact={'ok' if recovery['exact'] else 'FAIL'} "
+            f"(replayed {recovery['replayed_records']})  "
+            f"pending after flush={store['pending_after_flush']}"
+        )
     for entry in report["results"]:
         line = (
             f"  {entry['name']:28s} {entry['backend']:8s} x{entry['workers']:<2d} "
@@ -533,6 +542,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: mall-tiny)",
     )
     parser.add_argument(
+        "--store",
+        action="store_true",
+        help="run the store suite (sharded ingest, WAL durability + recovery, "
+        "scatter-gather top-k vs the single store); --scale sets the object "
+        "count and --workers the shard count of the ingest rows",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -551,17 +567,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "BENCH_scenarios.json with --scenario)",
     )
     args = parser.parse_args(argv)
-    if args.queries and args.service:
-        parser.error("--queries and --service are mutually exclusive")
+    if sum(1 for flag in (args.queries, args.service, args.store) if flag) > 1:
+        parser.error("--queries, --service and --store are mutually exclusive")
     if args.scenario and args.scale is not None and not args.queries:
         parser.error("--scale/--tiny do not apply to --scenario runs")
     if args.service and args.scale is not None:
         parser.error("--scale/--tiny do not apply to --service runs")
+    if args.store and args.scenario:
+        parser.error("--scenario does not apply to --store runs "
+                     "(the store workload is synthetic)")
     if args.out is None:
         if args.queries:
             args.out = "BENCH_queries.json"
         elif args.service:
             args.out = "BENCH_service.json"
+        elif args.store:
+            args.out = "BENCH_store.json"
         elif args.scenario:
             args.out = "BENCH_scenarios.json"
         else:
@@ -577,6 +598,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         report = run_service_benchmarks(
             names if args.scenario else None, repeats=args.repeats
+        )
+    elif args.store:
+        from repro.bench.store import run_store_benchmarks
+
+        report = run_store_benchmarks(
+            args.scale or "tiny", shards=args.workers, repeats=args.repeats
         )
     elif args.queries:
         from repro.bench.queries import run_query_benchmarks

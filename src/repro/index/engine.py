@@ -71,6 +71,22 @@ class _RegionBucket:
         self._ends = None
         self._objects = None
 
+    def remove_object(self, object_id: str) -> int:
+        """Drop every posting of one object; return how many were removed.
+
+        O(bucket) — only the buckets of regions the object actually visited
+        are touched, which is what makes :meth:`SemanticsIndex.remove`
+        incremental instead of a full rebuild.
+        """
+        kept = [posting for posting in self.postings if posting[2] != object_id]
+        removed = len(self.postings) - len(kept)
+        if removed:
+            self.postings = kept
+            self._starts = None
+            self._ends = None
+            self._objects = None
+        return removed
+
     def _ensure(self) -> None:
         if self._starts is None:
             self.postings.sort()
@@ -140,6 +156,13 @@ class SemanticsIndex:
         self._transitions: Counter = Counter()
         self._last_stay: Dict[str, int] = {}
         self._entries = 0
+        # Per-object contribution ledgers: what :meth:`remove` must undo.
+        # The stay chain is the collapsed sequence of stayed-at regions
+        # (consecutive duplicates merged), so consecutive chain pairs are
+        # exactly the transitions the object contributed.
+        self._object_stays: Dict[str, Counter] = {}
+        self._object_passes: Dict[str, Counter] = {}
+        self._object_chain: Dict[str, List[int]] = {}
         # Pair counters memoised per (start, end, filter) between mutations:
         # the expensive per-object set expansion runs once per distinct
         # interval, and every publish invalidates the lot.
@@ -155,6 +178,9 @@ class SemanticsIndex:
                 self._entries += 1
                 if ms.event != EVENT_STAY:
                     self._pass_counts[ms.region_id] += 1
+                    self._object_passes.setdefault(object_id, Counter())[
+                        ms.region_id
+                    ] += 1
                     continue
                 region = ms.region_id
                 self._stay_counts[region] += 1
@@ -163,7 +189,10 @@ class SemanticsIndex:
                     bucket = self._regions[region] = _RegionBucket()
                 bucket.add((ms.start_time, ms.end_time, object_id))
                 self._object_regions.setdefault(object_id, set()).add(region)
+                self._object_stays.setdefault(object_id, Counter())[region] += 1
                 last = self._last_stay.get(object_id)
+                if last is None or last != region:
+                    self._object_chain.setdefault(object_id, []).append(region)
                 if last is not None and last != region:
                     self._transitions[(last, region)] += 1
                 self._last_stay[object_id] = region
@@ -187,8 +216,59 @@ class SemanticsIndex:
             self._transitions.clear()
             self._last_stay.clear()
             self._entries = 0
+            self._object_stays.clear()
+            self._object_passes.clear()
+            self._object_chain.clear()
             self._pair_cache.clear()
             self.add_many(items)
+
+    def remove(self, object_id: str) -> bool:
+        """Incrementally drop one object's contribution — O(object), not O(total).
+
+        Every structure the object touched is unwound from the per-object
+        ledgers recorded at :meth:`add` time: its postings leave only the
+        buckets of regions it visited, the stay/pass/transition counters are
+        decremented (and deleted at zero, so counter equality with a fresh
+        rebuild holds bitwise), and the memoised pair counters are
+        invalidated.  Returns ``True`` when the object was present.
+        ``SemanticsStore.clear(object_id)`` calls this instead of rebuilding
+        the whole index.
+        """
+        with self._lock:
+            stays = self._object_stays.pop(object_id, None)
+            passes = self._object_passes.pop(object_id, None)
+            chain = self._object_chain.pop(object_id, ())
+            if stays is None and passes is None:
+                return False
+            for region, count in (passes or {}).items():
+                self._entries -= count
+                remaining = self._pass_counts[region] - count
+                if remaining:
+                    self._pass_counts[region] = remaining
+                else:
+                    del self._pass_counts[region]
+            for region, count in (stays or {}).items():
+                self._entries -= count
+                remaining = self._stay_counts[region] - count
+                if remaining:
+                    self._stay_counts[region] = remaining
+                else:
+                    del self._stay_counts[region]
+                bucket = self._regions.get(region)
+                if bucket is not None:
+                    bucket.remove_object(object_id)
+                    if not bucket.postings:
+                        del self._regions[region]
+            for pair in zip(chain, chain[1:]):
+                remaining = self._transitions[pair] - 1
+                if remaining:
+                    self._transitions[pair] = remaining
+                else:
+                    del self._transitions[pair]
+            self._object_regions.pop(object_id, None)
+            self._last_stay.pop(object_id, None)
+            self._pair_cache.clear()
+            return True
 
     @classmethod
     def from_semantics(cls, semantics_per_object) -> "SemanticsIndex":
@@ -241,6 +321,42 @@ class SemanticsIndex:
                 if visits:
                     counts[region] = visits
             return counts
+
+    def count_region(
+        self,
+        region: int,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> int:
+        """Exact visit count of one region within the interval (0 if absent).
+
+        The random-access half of the scatter-gather threshold merge
+        (:mod:`repro.store.gather`): once a region surfaces in any shard's
+        bound stream, every other shard answers this point lookup in
+        O(log postings).
+        """
+        with self._lock:
+            bucket = self._regions.get(region)
+            if bucket is None:
+                return 0
+            return bucket.count_in(start, end)
+
+    def region_bounds(
+        self, query_regions: Optional[Set[int]] = None
+    ) -> List[Tuple[int, int]]:
+        """``(total_postings, region)`` pairs, descending total then ascending id.
+
+        A region's total posting count upper-bounds its count under any
+        interval restriction, so this ordered list is the shard-local bound
+        stream that drives threshold-style early termination — both in
+        :meth:`top_k_regions` (single index) and in the per-shard merge of
+        :mod:`repro.store.gather`.
+        """
+        with self._lock:
+            candidates = self._candidate_regions(query_regions)
+            candidates.sort(key=lambda region: (-self._regions[region].total, region))
+            return [(self._regions[region].total, region) for region in candidates]
 
     def count_pairs(
         self,

@@ -2,15 +2,21 @@
 
 The rule is deliberately small and explicit:
 
-1. If the query input *is* a :class:`~repro.index.engine.SemanticsIndex`,
+1. If the query input is sharded (anything exposing a ``shard_stores``
+   callable — a :class:`repro.store.ShardedSemanticsStore`), the query
+   scatters to the shards and the merge in :mod:`repro.store.gather`
+   gathers the global answer (per-shard indexes drive a threshold merge
+   when attached; per-shard scans otherwise).
+2. If the query input *is* a :class:`~repro.index.engine.SemanticsIndex`,
    or is a store with a live attached index (anything exposing a
    ``live_index`` attribute holding one), the index answers the query.
-2. A degenerate interval (``start > end``) falls back to the scan when the
+3. A degenerate interval (``start > end``) falls back to the scan when the
    input can be scanned: the index's fast disjoint-exclusion counting only
    holds for well-formed intervals, and the scan defines the semantics.
    A *bare* index has nothing to scan, so it answers degenerate intervals
-   itself through the slow-but-equivalent direct filter.
-3. Everything else — plain lists, mappings, stores without an index — is
+   itself through the slow-but-equivalent direct filter.  (The gather
+   merge applies the same rule per shard.)
+4. Everything else — plain lists, mappings, stores without an index — is
    scanned.
 
 Both routes return bit-identical answers (asserted across the whole
@@ -21,7 +27,7 @@ physical plan, never a different logical one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.index.engine import SemanticsIndex
 
@@ -33,6 +39,22 @@ class QueryPlan:
     use_index: bool
     reason: str
     index: Optional[SemanticsIndex] = None
+    #: Per-shard stores for a scatter-gather plan (None for single-input
+    #: plans).  Queries lazy-import :mod:`repro.store.gather` to merge.
+    shards: Optional[Tuple] = None
+
+
+def resolve_shards(semantics_per_object) -> Optional[Tuple]:
+    """The input's shard stores, when it is sharded (else ``None``).
+
+    Duck-typed on a ``shard_stores`` callable — the planner must not import
+    :mod:`repro.store` (which imports the service store, which queries
+    import through this module).
+    """
+    getter = getattr(semantics_per_object, "shard_stores", None)
+    if callable(getter):
+        return tuple(getter())
+    return None
 
 
 def resolve_index(semantics_per_object) -> Optional[SemanticsIndex]:
@@ -55,7 +77,14 @@ def plan_query(
     start: Optional[float] = None,
     end: Optional[float] = None,
 ) -> QueryPlan:
-    """Choose between the index engine and the scan for one evaluation."""
+    """Choose between scatter-gather, the index engine and the scan."""
+    shards = resolve_shards(semantics_per_object)
+    if shards is not None:
+        return QueryPlan(
+            use_index=False,
+            reason=f"scatter-gather across {len(shards)} shard(s)",
+            shards=shards,
+        )
     index = resolve_index(semantics_per_object)
     if index is None:
         return QueryPlan(use_index=False, reason="no index attached to the input")

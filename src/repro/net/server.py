@@ -13,7 +13,7 @@ POST      ``/v1/sessions/{id}/records``   push records into a session
 POST      ``/v1/sessions/{id}/finish``    close a session, flush its semantics
 GET       ``/v1/queries/popular-regions`` TkPRQ over everything published
 GET       ``/v1/queries/frequent-pairs``  TkFRPQ over everything published
-GET       ``/healthz``                    liveness + live-session gauge
+GET       ``/healthz``                    liveness, sessions, shard + WAL lag
 GET       ``/metrics``                    request counts, latency histograms
 ========  =============================== ======================================
 
@@ -436,12 +436,18 @@ class AnnotationHTTPServer:
             return self._session_locks.setdefault(object_id, threading.Lock())
 
     async def _handle_healthz(self, params, body) -> Tuple[int, Any]:
-        return 200, {
+        payload = {
             "status": "ok",
             "live_sessions": len(self.service.live_sessions()),
             "published_objects": len(self.service.store),
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
         }
+        # Sharded stores report their layout and WAL lag (the async-mode
+        # crash window) so operators can alarm on a stalled shard writer.
+        health_stats = getattr(self.service.store, "health_stats", None)
+        if callable(health_stats):
+            payload["store"] = health_stats()
+        return 200, payload
 
     async def _handle_metrics(self, params, body) -> Tuple[int, Any]:
         snapshot = self.metrics.snapshot()

@@ -4,8 +4,12 @@ A downstream user needs to move data in and out of the library: load their own
 positioning logs, store annotated m-semantics for later analytics, and save a
 trained model's weights so annotation can run without re-training.  All
 formats are plain JSON so they are diff-able and language-neutral.
+
+Every save path goes through :func:`atomic_write_text` (temp file +
+``os.replace``), so a crash mid-write never destroys the previous good file.
 """
 
+from repro.persistence.atomic import atomic_write_text
 from repro.persistence.serializers import (
     annotator_from_dict,
     annotator_to_dict,
@@ -24,6 +28,7 @@ from repro.persistence.serializers import (
 )
 
 __all__ = [
+    "atomic_write_text",
     "annotator_from_dict",
     "annotator_to_dict",
     "labeled_sequence_from_dict",

@@ -1,0 +1,59 @@
+"""Crash-safe file replacement: write to a temp file, then ``os.replace``.
+
+Every JSON artifact this repository persists (stores, services, annotators,
+datasets, WAL snapshots) used to be written with a bare ``Path.write_text``,
+which truncates the target before writing — a crash mid-write leaves a
+corrupt file *and* has already destroyed the previous good one.
+:func:`atomic_write_text` closes that window: the bytes land in a uniquely
+named temp file in the same directory (same filesystem, so the final rename
+cannot cross devices) and the target is swapped in with ``os.replace``,
+which POSIX guarantees is atomic.  A reader therefore always observes
+either the complete old content or the complete new content, never a torn
+mix, and a crash at any point leaves the previous file untouched.
+
+``fsync=True`` additionally flushes the temp file to stable storage before
+the rename — the durability mode the snapshot writer of
+:mod:`repro.store.wal` uses, where "the snapshot exists" must survive power
+loss, not just process death.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, fsync: bool = False, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text``; return the target path.
+
+    The previous file (if any) survives every failure mode: an exception
+    while writing, a crash before the rename, or a crash during the rename
+    (``os.replace`` is all-or-nothing).  The temp file is unlinked on
+    failure so aborted writes do not litter the directory.
+    """
+    target = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as tmp:
+            tmp.write(text)
+            if fsync:
+                tmp.flush()
+                os.fsync(tmp.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return target

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.config import C2MNConfig
+from repro.persistence.atomic import atomic_write_text
 from repro.geometry.point import IndoorPoint
 from repro.indoor.floorplan import IndoorSpace
 from repro.mobility.dataset import AnnotationDataset
@@ -77,7 +78,7 @@ def save_dataset(dataset: AnnotationDataset, path: PathLike) -> None:
         "name": dataset.name,
         "sequences": [labeled_sequence_to_dict(labeled) for labeled in dataset.sequences],
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_dataset(path: PathLike, space: IndoorSpace) -> AnnotationDataset:
@@ -120,7 +121,7 @@ def semantics_from_dicts(payload: Sequence[Dict]) -> List[MSemantics]:
 
 def save_semantics(semantics: Sequence[MSemantics], path: PathLike) -> None:
     """Write one object's annotated m-semantics to a JSON file."""
-    Path(path).write_text(json.dumps(semantics_to_dicts(semantics)))
+    atomic_write_text(path, json.dumps(semantics_to_dicts(semantics)))
 
 
 def load_semantics(path: PathLike) -> List[MSemantics]:
@@ -174,7 +175,7 @@ def annotator_from_dict(payload: Dict, space: IndoorSpace, *, oracle=None, annot
 
 def save_annotator(annotator, path: PathLike) -> None:
     """Write a trained annotator (weights + config + name) to a JSON file."""
-    Path(path).write_text(json.dumps(annotator_to_dict(annotator)))
+    atomic_write_text(path, json.dumps(annotator_to_dict(annotator)))
 
 
 def load_annotator(path: PathLike, space: IndoorSpace, *, oracle=None, annotator_cls=None):
@@ -193,7 +194,7 @@ def save_model_weights(
     payload: Dict = {"weights": [float(value) for value in np.asarray(weights).ravel()]}
     if config is not None:
         payload["config"] = dataclasses.asdict(config)
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_model_weights(path: PathLike) -> tuple[np.ndarray, Optional[C2MNConfig]]:

@@ -84,6 +84,16 @@ class TkFRPQ:
         fallback and the semantic reference.  Both are bit-identical.
         """
         plan = plan_query(semantics_per_object, self.start, self.end)
+        if plan.shards is not None:
+            from repro.store.gather import scatter_top_k_pairs
+
+            return scatter_top_k_pairs(
+                plan.shards,
+                self.k,
+                start=self.start,
+                end=self.end,
+                query_regions=self.query_regions,
+            )
         if plan.use_index:
             return plan.index.top_k_pairs(
                 self.k,

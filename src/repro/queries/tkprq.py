@@ -97,6 +97,16 @@ class TkPRQ:
         fallback and the semantic reference.
         """
         plan = plan_query(semantics_per_object, self.start, self.end)
+        if plan.shards is not None:
+            from repro.store.gather import scatter_top_k_regions
+
+            return scatter_top_k_regions(
+                plan.shards,
+                self.k,
+                start=self.start,
+                end=self.end,
+                query_regions=self.query_regions,
+            )
         if plan.use_index:
             return plan.index.top_k_regions(
                 self.k,

@@ -18,8 +18,13 @@ together with a :class:`repro.service.store.SemanticsStore` and exposes:
   persistence of the trained model and service settings (built on
   :mod:`repro.persistence`), so a trained service ships without retraining.
 
-Only the model and settings are persisted; the store and active sessions are
-runtime state (persist a store separately with ``service.store.save(path)``).
+Only the model and settings are persisted; the store *contents* and active
+sessions are runtime state (persist a plain store separately with
+``service.store.save(path)``).  The store *shape* is persisted: a service
+backed by a :class:`repro.store.ShardedSemanticsStore` records its shard
+count, partitioner and durability config, so :meth:`AnnotationService.load`
+reopens the same sharded layout — and, when the store is durable, recovers
+its contents from the per-shard WAL + snapshots.
 """
 
 from __future__ import annotations
@@ -262,8 +267,9 @@ class AnnotationService:
 
     @property
     def index(self) -> Optional[SemanticsIndex]:
-        """The store's live index, if enabled."""
-        return self.store.live_index
+        """The store's live index, if enabled (None for sharded stores,
+        which carry one index per shard instead of a single one)."""
+        return getattr(self.store, "live_index", None)
 
     def query_popular_regions(
         self,
@@ -301,6 +307,7 @@ class AnnotationService:
         service wrapping a baseline raises ``TypeError`` (baselines are
         parameter-light — refit them instead).
         """
+        from repro.persistence.atomic import atomic_write_text
         from repro.persistence.serializers import annotator_to_dict
 
         payload = {
@@ -311,10 +318,13 @@ class AnnotationService:
             # by this version still load on pre-policy code.
             "backend": self.backend,
             "policy": self.policy.to_dict(),
-            "indexed": self.store.live_index is not None,
+            "indexed": getattr(self.store, "is_indexed", False),
             "annotator": annotator_to_dict(self.annotator),
         }
-        Path(path).write_text(json.dumps(payload))
+        store_config = getattr(self.store, "to_config", None)
+        if callable(store_config):
+            payload["store"] = store_config()
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(
@@ -324,6 +334,7 @@ class AnnotationService:
         *,
         oracle=None,
         store: Optional[SemanticsStore] = None,
+        store_root: Optional[PathLike] = None,
     ) -> "AnnotationService":
         """Rebuild a service written by :meth:`save`.
 
@@ -332,6 +343,13 @@ class AnnotationService:
         bitwise-identically to the one that was saved.  C2MN-family models
         round-trip this way; baselines are parameter-light and are simply
         refit instead.
+
+        When the save file records a sharded store and no explicit
+        ``store`` is passed, the same layout is rebuilt — and a durable
+        layout *recovers*: each shard replays its snapshot + WAL tail, so a
+        service that died mid-stream comes back with everything it had
+        durably published.  ``store_root`` relocates the durability root
+        (for save files that moved between machines).
         """
         from repro.persistence.serializers import annotator_from_dict
 
@@ -343,6 +361,13 @@ class AnnotationService:
             policy = ExecutionPolicy.from_dict(payload["policy"])
         else:  # pre-policy file: only the backend name was persisted
             policy = ExecutionPolicy(backend=payload.get("backend", "thread"))
+        store_config = payload.get("store")
+        if store is None and store_config is not None and store_config.get("kind") == "sharded":
+            # Imported lazily: repro.store imports this package's store
+            # module, so a top-level import would be circular.
+            from repro.store import ShardedSemanticsStore
+
+            store = ShardedSemanticsStore.from_config(store_config, root=store_root)
         return cls(
             annotator,
             store=store,

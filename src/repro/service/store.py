@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.index import SemanticsIndex
 from repro.mobility.records import MSemantics
+from repro.persistence.atomic import atomic_write_text
 from repro.persistence.serializers import semantics_from_dicts, semantics_to_dicts
 
 PathLike = Union[str, Path]
@@ -58,14 +59,21 @@ class SemanticsStore:
                 self._index.add(object_id, entries)
 
     def clear(self, object_id: Optional[str] = None) -> None:
-        """Drop one object's sequence (or everything when no id is given)."""
+        """Drop one object's sequence (or everything when no id is given).
+
+        A single-object clear unwinds only that object from an attached
+        index (:meth:`SemanticsIndex.remove` — O(object), not a full
+        O(total) rebuild); clearing everything resets the index outright.
+        """
         with self._lock:
             if object_id is None:
                 self._semantics.clear()
+                if self._index is not None:
+                    self._index.rebuild(())
             else:
                 self._semantics.pop(object_id, None)
-            if self._index is not None:
-                self._index.rebuild(self._semantics.items())
+                if self._index is not None:
+                    self._index.remove(object_id)
 
     # ----------------------------------------------------------------- index
     def attach_index(self) -> SemanticsIndex:
@@ -90,8 +98,19 @@ class SemanticsStore:
 
     @property
     def live_index(self) -> Optional[SemanticsIndex]:
-        """The attached index, if any — what the query planner looks for."""
-        return self._index
+        """The attached index, if any — what the query planner looks for.
+
+        Read under the store lock: the planner's ``resolve_index`` races
+        concurrent :meth:`attach_index`/:meth:`detach_index` callers, and an
+        unlocked read could observe a half-published index reference.
+        """
+        with self._lock:
+            return self._index
+
+    @property
+    def is_indexed(self) -> bool:
+        """Whether queries over this store are answered from an index."""
+        return self.live_index is not None
 
     # --------------------------------------------------------------- reading
     def objects(self) -> List[str]:
@@ -131,7 +150,7 @@ class SemanticsStore:
             object_id: semantics_to_dicts(entries)
             for object_id, entries in snapshot.items()
         }
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(cls, path: PathLike, *, indexed: bool = False) -> "SemanticsStore":

@@ -1,0 +1,40 @@
+"""Durable, sharded semantics storage.
+
+This package scales the single in-memory
+:class:`repro.service.store.SemanticsStore` out (N shards, pluggable
+placement) and down to disk (per-shard WAL + snapshots):
+
+* :mod:`repro.store.partition` — deterministic ``object_id -> shard``
+  placement (hash by default, venue/prefix affinity as the alternative).
+* :mod:`repro.store.sharded` — :class:`ShardedSemanticsStore`, the
+  store-compatible facade with sync/async durability.
+* :mod:`repro.store.wal` — one shard's append-only log, snapshot and
+  crash recovery.
+* :mod:`repro.store.gather` — scatter-gather TkPRQ/TkFRPQ merges that are
+  bit-identical to a single-store evaluation.
+"""
+
+from repro.store.gather import (
+    merge_region_counts,
+    scatter_top_k_pairs,
+    scatter_top_k_regions,
+)
+from repro.store.partition import (
+    HashPartitioner,
+    PrefixPartitioner,
+    partitioner_from_dict,
+)
+from repro.store.sharded import DurabilityConfig, ShardedSemanticsStore
+from repro.store.wal import ShardLog
+
+__all__ = [
+    "DurabilityConfig",
+    "HashPartitioner",
+    "PrefixPartitioner",
+    "ShardLog",
+    "ShardedSemanticsStore",
+    "merge_region_counts",
+    "partitioner_from_dict",
+    "scatter_top_k_pairs",
+    "scatter_top_k_regions",
+]

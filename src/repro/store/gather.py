@@ -1,0 +1,168 @@
+"""Scatter-gather top-k over shard stores — bit-identical to one big scan.
+
+TkPRQ and TkFRPQ route here (via :mod:`repro.index.planner`) when their
+input exposes ``shard_stores``.  The merge exploits the partitioning
+invariant — every object lives in exactly one shard — so per-shard results
+compose exactly:
+
+* **Regions (TkPRQ).**  A region's global visit count is the *sum* of its
+  per-shard counts.  When every shard carries a live index the merge runs
+  the Threshold Algorithm: each shard streams its regions in descending
+  total-posting-count order (:meth:`SemanticsIndex.region_bounds`, an upper
+  bound on any interval-restricted count), newly surfaced regions get their
+  exact global count by random access (:meth:`SemanticsIndex.count_region`
+  on every shard), and the scan stops once the sum of the streams' current
+  bounds falls strictly below the weakest held top-k count — strictly,
+  because a tie is broken by the smaller region id and could still
+  displace.  Unindexed or degenerate-interval inputs fall back to merging
+  the per-shard scan counters, the semantic reference.
+* **Pairs (TkFRPQ).**  A pair's frequency counts *objects*; objects never
+  split across shards, so per-shard pair counters are additive and the
+  merge is a counter sum followed by the canonical ranking.
+
+Both paths end in the canonical ``sorted(counts.items(),
+key=(-count, key))[:k]`` ranking, so the answer is bit-identical to
+evaluating the same query over a single unsharded store (asserted across
+the whole scenario catalogue and by a property test over random streams).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from heapq import heappush, heapreplace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.queries.tkfrpq import count_region_pairs
+from repro.queries.tkprq import count_region_visits
+
+RegionPair = Tuple[int, int]
+
+__all__ = ["scatter_top_k_regions", "scatter_top_k_pairs", "merge_region_counts"]
+
+
+def _degenerate(start: Optional[float], end: Optional[float]) -> bool:
+    """start > end is defined by the scan (see the planner's rule 2)."""
+    return start is not None and end is not None and start > end
+
+
+def merge_region_counts(
+    shards: Sequence,
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    query_regions: Optional[Set[int]] = None,
+) -> Counter:
+    """Global per-region visit counts: the sum of per-shard scan counts."""
+    totals: Counter = Counter()
+    for shard in shards:
+        totals.update(
+            count_region_visits(
+                shard, start=start, end=end, query_regions=query_regions
+            )
+        )
+    return totals
+
+
+def scatter_top_k_regions(
+    shards: Sequence,
+    k: int,
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    query_regions: Optional[Set[int]] = None,
+) -> List[Tuple[int, int]]:
+    """Global TkPRQ answer from per-shard stores.
+
+    Indexed shards (all of them) take the threshold merge; otherwise the
+    per-shard scan counters are summed.  Either way the result equals the
+    single-store evaluation exactly, ties and all.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    indexes = [shard.live_index for shard in shards]
+    if any(index is None for index in indexes) or _degenerate(start, end):
+        totals = merge_region_counts(
+            shards, start=start, end=end, query_regions=query_regions
+        )
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+    return _threshold_merge(indexes, k, start, end, query_regions)
+
+
+def _threshold_merge(
+    indexes: Sequence,
+    k: int,
+    start: Optional[float],
+    end: Optional[float],
+    query_regions: Optional[Set[int]],
+) -> List[Tuple[int, int]]:
+    """Threshold Algorithm over per-shard bound streams.
+
+    Invariant: a region not yet surfaced by *any* stream has, in each
+    shard, a bound no larger than that shard's current stream head (the
+    streams are sorted descending), so its global count is at most the sum
+    of the active heads — the threshold.  Once k answers are held and the
+    threshold is strictly below the weakest of them, no unseen region can
+    enter the top-k.
+    """
+    streams = [index.region_bounds(query_regions) for index in indexes]
+    positions = [0] * len(streams)
+    seen: Set[int] = set()
+    # Min-heap of the running top-k; the root is the weakest member
+    # ((count, -region): lowest count first, largest id among ties).
+    heap: List[Tuple[int, int]] = []
+    while True:
+        active = [i for i in range(len(streams)) if positions[i] < len(streams[i])]
+        if not active:
+            break
+        threshold = sum(streams[i][positions[i]][0] for i in active)
+        if len(heap) == k and threshold < heap[0][0]:
+            break
+        for i in active:
+            _, region = streams[i][positions[i]]
+            positions[i] += 1
+            if region in seen:
+                continue
+            seen.add(region)
+            count = sum(
+                index.count_region(region, start=start, end=end) for index in indexes
+            )
+            if count == 0:
+                continue
+            entry = (count, -region)
+            if len(heap) < k:
+                heappush(heap, entry)
+            elif entry > heap[0]:
+                heapreplace(heap, entry)
+    ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
+    return [(-negated, count) for count, negated in ranked]
+
+
+def scatter_top_k_pairs(
+    shards: Sequence,
+    k: int,
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    query_regions: Optional[Set[int]] = None,
+) -> List[Tuple[RegionPair, int]]:
+    """Global TkFRPQ answer: per-shard pair counters are additive because
+    an object's visited-region set never splits across shards."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    degenerate = _degenerate(start, end)
+    totals: Counter = Counter()
+    for shard in shards:
+        index = shard.live_index
+        if index is None or degenerate:
+            totals.update(
+                count_region_pairs(
+                    shard, start=start, end=end, query_regions=query_regions
+                )
+            )
+        else:
+            totals.update(
+                index.count_pairs(start=start, end=end, query_regions=query_regions)
+            )
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]

@@ -1,0 +1,111 @@
+"""Shard partitioners: deterministic ``object_id -> shard`` placement.
+
+A partitioner decides which shard of a :class:`repro.store.ShardedSemanticsStore`
+owns an object.  Two properties are load-bearing:
+
+* **Determinism across processes.**  Recovery replays WAL records into the
+  same shard layout that wrote them, so the mapping must not depend on
+  process state (which rules out the builtin ``hash`` — it is salted per
+  interpreter).  :class:`HashPartitioner` therefore hashes with blake2b.
+* **Totality over object ids.**  Every object lives in *exactly one* shard.
+  That is what makes TkFRPQ pair counts additive across shards (an object's
+  visited-region set never splits), which the scatter-gather merge in
+  :mod:`repro.store.gather` relies on.
+
+:class:`PrefixPartitioner` is the pluggable venue/region flavour: object ids
+of the form ``"<venue>/<rest>"`` are placed by their prefix, so one venue's
+traffic stays on one shard (locality for venue-scoped queries) while the
+prefix itself is still hashed for balance across venues.
+
+Partitioners serialise to plain dicts (``to_dict`` / :func:`partitioner_from_dict`)
+so a sharded store's layout can be persisted in service save files and in
+the store's on-disk ``meta.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+__all__ = [
+    "HashPartitioner",
+    "PrefixPartitioner",
+    "partitioner_from_dict",
+]
+
+
+def _stable_bucket(key: str, shards: int) -> int:
+    """Deterministic bucket of ``key`` in ``[0, shards)`` via blake2b."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class HashPartitioner:
+    """Hash the whole object id — the balanced default placement."""
+
+    kind = "hash"
+
+    def shard_for(self, object_id: str, shards: int) -> int:
+        return _stable_bucket(object_id, shards)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind}
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:  # pragma: no cover - set/dict membership only
+        return hash(self.kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "HashPartitioner()"
+
+
+class PrefixPartitioner:
+    """Place by the id's prefix up to ``separator`` — venue/region affinity.
+
+    ``"mall-3/visitor-17"`` and ``"mall-3/visitor-94"`` land on the same
+    shard; ids without the separator fall back to whole-id hashing, so the
+    partitioner is total over arbitrary ids.
+    """
+
+    kind = "prefix"
+
+    def __init__(self, separator: str = "/"):
+        if not separator:
+            raise ValueError("separator must be a non-empty string")
+        self.separator = separator
+
+    def shard_for(self, object_id: str, shards: int) -> int:
+        prefix, found, _ = object_id.partition(self.separator)
+        return _stable_bucket(prefix if found else object_id, shards)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "separator": self.separator}
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.separator == self.separator
+
+    def __hash__(self) -> int:  # pragma: no cover - set/dict membership only
+        return hash((self.kind, self.separator))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PrefixPartitioner(separator={self.separator!r})"
+
+
+_KINDS = {
+    HashPartitioner.kind: lambda payload: HashPartitioner(),
+    PrefixPartitioner.kind: lambda payload: PrefixPartitioner(
+        payload.get("separator", "/")
+    ),
+}
+
+
+def partitioner_from_dict(payload: Dict):
+    """Rebuild a partitioner from its ``to_dict`` payload."""
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown partitioner kind {kind!r} (expected one of {sorted(_KINDS)})"
+        )
+    return _KINDS[kind](payload)

@@ -1,0 +1,557 @@
+"""Durable, sharded semantics store.
+
+:class:`ShardedSemanticsStore` partitions objects across N independent
+:class:`repro.service.store.SemanticsStore` shards.  Placement is a pure
+function of the object id (:mod:`repro.store.partition`), so every object
+lives in exactly one shard — the property that makes per-shard query
+results mergeable (:mod:`repro.store.gather`) and per-shard WALs
+independent.
+
+The store mirrors the single-store read/write surface (``publish`` /
+``clear`` / ``objects`` / ``semantics_for`` / ``as_dict`` / iteration /
+``attach_index``), so sessions, services and queries use it unchanged.
+Instead of a single ``live_index`` it exposes :meth:`shard_stores`, which
+the query planner (:mod:`repro.index.planner`) recognises and routes to
+the scatter-gather merge.
+
+**Durability** is optional and per shard (:class:`DurabilityConfig`): each
+shard owns a WAL + snapshot directory (:class:`repro.store.wal.ShardLog`)
+under one root::
+
+    root/
+        meta.json        shard count + partitioner (layout must not drift)
+        shard-00/        wal.jsonl + snapshot.json
+        shard-01/        ...
+
+Two durability modes:
+
+* ``"sync"`` — the WAL append (and fsync) happens inside ``publish``;
+  when ``publish`` returns, the record is durable.
+* ``"async"`` — ``publish`` applies to memory and enqueues the record on
+  the shard's ingestion queue; a per-shard background writer drains the
+  queue, batching appends under one fsync.  Queries never block on disk;
+  the crash window is the queue depth (reported by :meth:`wal_stats`, and
+  closeable with :meth:`flush`).  A snapshot covers every *assigned*
+  sequence number — including queued-but-unwritten records, whose state is
+  already in memory — so snapshotting also shrinks the crash window.
+
+:meth:`open` (or constructing with the same root) recovers: each shard
+loads its snapshot and replays its WAL tail, tolerating a torn final
+record.  Sequence numbers are per shard and monotonic; records that a
+crashed compaction left behind (seq at or below the snapshot) are skipped
+on replay, so recovery is exactly-once.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.mobility.records import MSemantics
+from repro.persistence.atomic import atomic_write_text
+from repro.persistence.serializers import semantics_from_dicts, semantics_to_dicts
+from repro.service.store import SemanticsStore
+from repro.store.partition import HashPartitioner, partitioner_from_dict
+from repro.store.wal import ShardLog
+
+PathLike = Union[str, Path]
+
+META_FORMAT = "repro.sharded-store/1"
+
+#: Durability modes: "sync" fsyncs inside publish, "async" defers to a
+#: per-shard background writer.
+MODES = ("sync", "async")
+
+__all__ = ["DurabilityConfig", "ShardedSemanticsStore", "META_FORMAT"]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how a sharded store persists itself.
+
+    ``snapshot_every`` is the compaction trigger: after that many WAL
+    records a shard snapshots its full state and truncates its log
+    (0 disables automatic snapshots; :meth:`ShardedSemanticsStore.snapshot`
+    still works).  ``fsync=False`` trades durability for speed — useful in
+    tests and benchmarks where the filesystem is a tmpdir anyway.
+    """
+
+    root: Path
+    mode: str = "async"
+    snapshot_every: int = 256
+    fsync: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "root", Path(self.root))
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0 (0 disables)")
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": str(self.root),
+            "mode": self.mode,
+            "snapshot_every": self.snapshot_every,
+            "fsync": self.fsync,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict, *, root: Optional[PathLike] = None) -> "DurabilityConfig":
+        return cls(
+            root=Path(root if root is not None else payload["root"]),
+            mode=payload.get("mode", "async"),
+            snapshot_every=int(payload.get("snapshot_every", 256)),
+            fsync=bool(payload.get("fsync", True)),
+        )
+
+
+class ShardedSemanticsStore:
+    """N-way sharded semantics store with optional WAL+snapshot durability."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        partitioner=None,
+        durability: Optional[DurabilityConfig] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shard_count = shards
+        self.partitioner = partitioner if partitioner is not None else HashPartitioner()
+        self.durability = durability
+        self._shards = [SemanticsStore() for _ in range(shards)]
+        self._ingest_locks = [threading.Lock() for _ in range(shards)]
+        #: Per shard, the last sequence number handed to an operation.
+        self._assigned_seq = [0] * shards
+        self._logs: List[ShardLog] = []
+        self._queues: List[queue_module.SimpleQueue] = []
+        self._writers: List[threading.Thread] = []
+        self._closed = False
+        #: Set by recovery: how much the WALs contributed beyond snapshots.
+        self.last_recovery: Optional[Dict] = None
+        if durability is not None:
+            self._open_durable()
+
+    # ------------------------------------------------------------ open/close
+    @classmethod
+    def open(
+        cls,
+        root: PathLike,
+        *,
+        shards: Optional[int] = None,
+        partitioner=None,
+        mode: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
+        fsync: Optional[bool] = None,
+    ) -> "ShardedSemanticsStore":
+        """Open (and recover) a durable store rooted at ``root``.
+
+        An existing ``meta.json`` pins the shard count and partitioner —
+        the on-disk layout must be read back by the layout that wrote it —
+        and explicit arguments that contradict it raise.  A fresh root
+        takes the arguments (default: 4 hash-partitioned shards).
+        """
+        root = Path(root)
+        meta = _read_meta(root / "meta.json")
+        if meta is not None:
+            shards = shards if shards is not None else meta["shards"]
+            if partitioner is None:
+                partitioner = partitioner_from_dict(meta["partitioner"])
+        durability_kwargs = {}
+        if mode is not None:
+            durability_kwargs["mode"] = mode
+        if snapshot_every is not None:
+            durability_kwargs["snapshot_every"] = snapshot_every
+        if fsync is not None:
+            durability_kwargs["fsync"] = fsync
+        return cls(
+            shards if shards is not None else 4,
+            partitioner=partitioner,
+            durability=DurabilityConfig(root=root, **durability_kwargs),
+        )
+
+    def _open_durable(self) -> None:
+        root = self.durability.root
+        root.mkdir(parents=True, exist_ok=True)
+        meta_path = root / "meta.json"
+        meta = _read_meta(meta_path)
+        if meta is None:
+            atomic_write_text(
+                meta_path,
+                json.dumps(
+                    {
+                        "format": META_FORMAT,
+                        "shards": self.shard_count,
+                        "partitioner": self.partitioner.to_dict(),
+                    }
+                ),
+                fsync=self.durability.fsync,
+            )
+        else:
+            if meta["shards"] != self.shard_count:
+                raise ValueError(
+                    f"store at {root} has {meta['shards']} shards; "
+                    f"asked to open with {self.shard_count} — resharding is "
+                    "not supported in place"
+                )
+            persisted = partitioner_from_dict(meta["partitioner"])
+            if persisted != self.partitioner:
+                raise ValueError(
+                    f"store at {root} was partitioned by {persisted!r}; "
+                    f"asked to open with {self.partitioner!r}"
+                )
+        replayed_total = 0
+        truncated_total = 0
+        for sid in range(self.shard_count):
+            log = ShardLog(root / f"shard-{sid:02d}", fsync=self.durability.fsync)
+            objects, replayed = log.recover()
+            for object_id, entries in objects.items():
+                self._shards[sid].publish(object_id, semantics_from_dicts(entries))
+            self._assigned_seq[sid] = log.appended_seq
+            replayed_total += replayed
+            truncated_total += log.truncated_bytes
+            self._logs.append(log)
+        self.last_recovery = {
+            "replayed_records": replayed_total,
+            "truncated_bytes": truncated_total,
+        }
+        if self.durability.mode == "async":
+            for sid in range(self.shard_count):
+                self._queues.append(queue_module.SimpleQueue())
+                writer = threading.Thread(
+                    target=self._writer_loop,
+                    args=(sid,),
+                    name=f"shard-writer-{sid:02d}",
+                    daemon=True,
+                )
+                self._writers.append(writer)
+                writer.start()
+
+    def close(self) -> None:
+        """Drain writers, stop them, and close the WAL handles."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.durability is None:
+            return
+        if self.durability.mode == "async":
+            for shard_queue in self._queues:
+                shard_queue.put(None)
+            for writer in self._writers:
+                writer.join()
+        for log in self._logs:
+            log.close()
+
+    def __enter__(self) -> "ShardedSemanticsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ publishing
+    def shard_for(self, object_id: str) -> int:
+        """The shard owning ``object_id`` (deterministic across processes)."""
+        return self.partitioner.shard_for(object_id, self.shard_count)
+
+    def publish(self, object_id: str, semantics: Iterable[MSemantics]) -> None:
+        """Route one object's finalized m-semantics to its shard.
+
+        With sync durability the WAL append (fsync included) happens here;
+        with async durability the record is queued for the shard's writer
+        and this call never blocks on disk.
+        """
+        entries = list(semantics)
+        if not entries:
+            return
+        sid = self.shard_for(object_id)
+        if self.durability is None:
+            self._shards[sid].publish(object_id, entries)
+            return
+        self._ensure_open()
+        payload = semantics_to_dicts(entries)
+        with self._ingest_locks[sid]:
+            self._assigned_seq[sid] += 1
+            seq = self._assigned_seq[sid]
+            if self.durability.mode == "sync":
+                self._logs[sid].append(seq, "publish", object_id, payload)
+                self._shards[sid].publish(object_id, entries)
+                self._maybe_snapshot_locked(sid)
+            else:
+                self._shards[sid].publish(object_id, entries)
+                self._queues[sid].put(("append", seq, "publish", object_id, payload))
+
+    def clear(self, object_id: Optional[str] = None) -> None:
+        """Drop one object (routed to its shard) or everything (all shards)."""
+        shard_ids = (
+            range(self.shard_count) if object_id is None else [self.shard_for(object_id)]
+        )
+        for sid in shard_ids:
+            if self.durability is None:
+                self._shards[sid].clear(object_id)
+                continue
+            self._ensure_open()
+            with self._ingest_locks[sid]:
+                self._assigned_seq[sid] += 1
+                seq = self._assigned_seq[sid]
+                if self.durability.mode == "sync":
+                    self._logs[sid].append(seq, "clear", object_id)
+                    self._shards[sid].clear(object_id)
+                    self._maybe_snapshot_locked(sid)
+                else:
+                    self._shards[sid].clear(object_id)
+                    self._queues[sid].put(("append", seq, "clear", object_id, None))
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    # ------------------------------------------------------- durability ops
+    def flush(self) -> None:
+        """Block until every record published so far is durable on disk."""
+        if self.durability is None or self.durability.mode == "sync":
+            return
+        self._ensure_open()
+        events = []
+        for shard_queue in self._queues:
+            event = threading.Event()
+            shard_queue.put(("barrier", event))
+            events.append(event)
+        for event in events:
+            event.wait()
+
+    def snapshot(self) -> None:
+        """Force a snapshot + WAL compaction on every shard, synchronously."""
+        if self.durability is None:
+            return
+        self._ensure_open()
+        if self.durability.mode == "sync":
+            for sid in range(self.shard_count):
+                with self._ingest_locks[sid]:
+                    self._write_snapshot_locked(sid)
+            return
+        events = []
+        for shard_queue in self._queues:
+            event = threading.Event()
+            shard_queue.put(("snapshot", event))
+            events.append(event)
+        for event in events:
+            event.wait()
+
+    def _writer_loop(self, sid: int) -> None:
+        """Async mode: drain the shard queue, batching appends per fsync."""
+        log = self._logs[sid]
+        shard_queue = self._queues[sid]
+        while True:
+            commands = [shard_queue.get()]
+            while True:
+                try:
+                    commands.append(shard_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+            wrote = False
+            stop = False
+            for command in commands:
+                if command is None:
+                    stop = True
+                    continue
+                kind = command[0]
+                if kind == "append":
+                    _, seq, op, object_id, payload = command
+                    log.append(seq, op, object_id, payload, sync=False)
+                    wrote = True
+                elif kind == "barrier":
+                    if wrote:
+                        log.sync()
+                        wrote = False
+                    command[1].set()
+                else:  # "snapshot"
+                    if wrote:
+                        log.sync()
+                        wrote = False
+                    self._snapshot_shard(sid)
+                    command[1].set()
+            if wrote:
+                log.sync()
+            every = self.durability.snapshot_every
+            if every and log.records_since_snapshot >= every and not stop:
+                self._snapshot_shard(sid)
+            if stop:
+                break
+
+    def _snapshot_shard(self, sid: int) -> None:
+        with self._ingest_locks[sid]:
+            self._write_snapshot_locked(sid)
+
+    def _maybe_snapshot_locked(self, sid: int) -> None:
+        every = self.durability.snapshot_every
+        if every and self._logs[sid].records_since_snapshot >= every:
+            self._write_snapshot_locked(sid)
+
+    def _write_snapshot_locked(self, sid: int) -> None:
+        """Snapshot one shard; caller holds the shard's ingest lock.
+
+        The snapshot covers the last *assigned* sequence number: every
+        assigned operation is already applied in memory (both modes apply
+        before or at assignment), so state and watermark agree even while
+        async records are still queued — the snapshot simply makes them
+        durable early, and their late WAL appends are skipped on replay.
+        """
+        payload = {
+            object_id: semantics_to_dicts(entries)
+            for object_id, entries in self._shards[sid].as_dict().items()
+        }
+        self._logs[sid].write_snapshot(payload, self._assigned_seq[sid])
+
+    # --------------------------------------------------------------- reading
+    def shard_stores(self) -> Tuple[SemanticsStore, ...]:
+        """The per-shard stores — what the query planner scatters over."""
+        return tuple(self._shards)
+
+    def objects(self) -> List[str]:
+        found: List[str] = []
+        for shard in self._shards:
+            found.extend(shard.objects())
+        return found
+
+    def semantics_for(self, object_id: str) -> List[MSemantics]:
+        return self._shards[self.shard_for(object_id)].semantics_for(object_id)
+
+    def as_dict(self) -> Dict[str, List[MSemantics]]:
+        merged: Dict[str, List[MSemantics]] = {}
+        for shard in self._shards:
+            merged.update(shard.as_dict())
+        return merged
+
+    def __iter__(self) -> Iterator[List[MSemantics]]:
+        """Yield one m-semantics sequence per object (the query input shape)."""
+        return iter(self.as_dict().values())
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def total_semantics(self) -> int:
+        return sum(shard.total_semantics for shard in self._shards)
+
+    # ----------------------------------------------------------------- index
+    def attach_index(self) -> Tuple:
+        """Attach a live index to every shard (scatter queries then use the
+        per-shard threshold merge instead of per-shard scans)."""
+        return tuple(shard.attach_index() for shard in self._shards)
+
+    def detach_index(self) -> None:
+        for shard in self._shards:
+            shard.detach_index()
+
+    @property
+    def is_indexed(self) -> bool:
+        """True when every shard carries a live index."""
+        return all(shard.is_indexed for shard in self._shards)
+
+    # ----------------------------------------------------------------- stats
+    def wal_stats(self) -> Optional[Dict]:
+        """Per-shard durability lag (None for a purely in-memory store).
+
+        ``pending`` is the number of assigned-but-not-yet-durable records —
+        the async crash window.  Sync mode reports 0 by construction.
+        """
+        if self.durability is None:
+            return None
+        shards = []
+        pending_total = 0
+        for sid in range(self.shard_count):
+            log = self._logs[sid]
+            durable = max(log.appended_seq, log.snapshot_seq)
+            pending = max(0, self._assigned_seq[sid] - durable)
+            pending_total += pending
+            shards.append(
+                {
+                    "shard": sid,
+                    "assigned_seq": self._assigned_seq[sid],
+                    "durable_seq": durable,
+                    "pending": pending,
+                    "snapshot_seq": log.snapshot_seq,
+                    "records_since_snapshot": log.records_since_snapshot,
+                }
+            )
+        return {
+            "mode": self.durability.mode,
+            "pending_records": pending_total,
+            "shards": shards,
+        }
+
+    def health_stats(self) -> Dict:
+        """Shard + WAL summary for the HTTP front door's ``/healthz``."""
+        stats: Dict = {
+            "shards": self.shard_count,
+            "partitioner": self.partitioner.kind,
+            "objects_per_shard": [len(shard) for shard in self._shards],
+            "indexed": self.is_indexed,
+        }
+        wal = self.wal_stats()
+        if wal is not None:
+            stats["durability"] = {
+                "mode": wal["mode"],
+                "pending_records": wal["pending_records"],
+                "max_shard_pending": max(
+                    (entry["pending"] for entry in wal["shards"]), default=0
+                ),
+            }
+        else:
+            stats["durability"] = None
+        return stats
+
+    # ------------------------------------------------------------- interop
+    def to_config(self) -> Dict:
+        """The layout + durability payload service save files persist."""
+        config: Dict = {
+            "kind": "sharded",
+            "shards": self.shard_count,
+            "partitioner": self.partitioner.to_dict(),
+        }
+        if self.durability is not None:
+            config["durability"] = self.durability.to_dict()
+        return config
+
+    @classmethod
+    def from_config(cls, config: Dict, *, root: Optional[PathLike] = None) -> "ShardedSemanticsStore":
+        """Rebuild (and, when durable, recover) a store from :meth:`to_config`.
+
+        ``root`` overrides the persisted durability root, for save files
+        that moved between machines.
+        """
+        durability_payload = config.get("durability")
+        durability = (
+            DurabilityConfig.from_dict(durability_payload, root=root)
+            if durability_payload is not None
+            else None
+        )
+        return cls(
+            int(config["shards"]),
+            partitioner=partitioner_from_dict(config["partitioner"]),
+            durability=durability,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        durable = self.durability.mode if self.durability else "none"
+        return (
+            f"ShardedSemanticsStore(shards={self.shard_count}, "
+            f"objects={len(self)}, durability={durable})"
+        )
+
+
+def _read_meta(path: Path) -> Optional[Dict]:
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != META_FORMAT:
+        raise ValueError(
+            f"not a sharded-store meta file: {path} (format {payload.get('format')!r})"
+        )
+    return payload

@@ -1,0 +1,259 @@
+"""Per-shard durability: append-only JSON-lines WAL + atomic snapshots.
+
+Each shard of a :class:`repro.store.ShardedSemanticsStore` owns one
+directory::
+
+    shard-03/
+        wal.jsonl       append-only log, one JSON record per line
+        snapshot.json   atomic full-state snapshot (temp file + os.replace)
+
+**WAL records** carry a shard-monotonic sequence number and one operation::
+
+    {"seq": 17, "op": "publish", "oid": "mall/visitor-4", "entries": [...]}
+    {"seq": 18, "op": "clear",   "oid": "mall/visitor-4"}
+    {"seq": 19, "op": "clear",   "oid": null}
+
+``entries`` uses the same m-semantics dict shape as every other persistence
+surface (:func:`repro.persistence.serializers.semantics_to_dicts`), so WAL
+lines, snapshots, store save files and the HTTP wire format all agree.
+
+**Snapshots and compaction.**  Every ``snapshot_every`` applied records the
+shard serialises its full state with the sequence number it covers, writes
+it atomically (:func:`repro.persistence.atomic.atomic_write_text` with
+``fsync``), then *compacts* — atomically swaps an empty file over the WAL.
+A crash between those two steps is harmless: the stale WAL records carry
+``seq <= snapshot.seq`` and recovery skips them, so no operation is ever
+applied twice.
+
+**Recovery** (:meth:`ShardLog.recover`) loads the snapshot (if any) and
+replays the WAL tail — records with ``seq`` beyond the snapshot — in order.
+A torn final record (the process died mid-append, or mid-``fsync``) is
+detected by its failed JSON parse or missing newline; replay stops at the
+last intact record and the file is truncated back to that boundary so
+subsequent appends start clean.  Recovery is therefore *prefix-consistent*:
+the store comes back exactly as of the last durable record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.persistence.atomic import atomic_write_text
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_FORMAT = "repro.store-snapshot/1"
+
+#: WAL operations understood by replay.
+_OPS = {"publish", "clear"}
+
+__all__ = ["ShardLog", "SNAPSHOT_FORMAT", "scan_wal"]
+
+
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory (persists renames on POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all filesystems support it
+        pass
+    finally:
+        os.close(fd)
+
+
+def scan_wal(path: Path) -> Tuple[List[Dict[str, Any]], int, bool]:
+    """Parse a WAL file; return ``(records, good_bytes, torn)``.
+
+    ``records`` are the intact records in file order; ``good_bytes`` is the
+    offset just past the last intact line — where a recovery truncates the
+    file — and ``torn`` says whether trailing bytes were discarded (a
+    crash mid-append).  A record is intact when its line ends in a newline,
+    parses as a JSON object, and carries an integer ``seq`` plus a known
+    ``op``; scanning stops at the first record that is not.
+    """
+    if not path.exists():
+        return [], 0, False
+    raw = path.read_bytes()
+    records: List[Dict[str, Any]] = []
+    good_bytes = 0
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break  # no terminator: the append never completed
+        line = raw[offset:newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("seq"), int)
+            or record.get("op") not in _OPS
+        ):
+            break
+        records.append(record)
+        offset = newline + 1
+        good_bytes = offset
+    return records, good_bytes, good_bytes < len(raw)
+
+
+class ShardLog:
+    """One shard's WAL + snapshot pair, with recovery and compaction."""
+
+    def __init__(self, directory: PathLike, *, fsync: bool = True):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.directory / "wal.jsonl"
+        self.snapshot_path = self.directory / "snapshot.json"
+        self.fsync = fsync
+        self._handle = None
+        #: Last sequence number physically durable (WAL or snapshot).
+        self.appended_seq = 0
+        #: Sequence number the current snapshot covers (0 = no snapshot).
+        self.snapshot_seq = 0
+        #: WAL records appended since the last snapshot (compaction trigger).
+        self.records_since_snapshot = 0
+        #: Bytes discarded by the last recovery (torn tail), for stats.
+        self.truncated_bytes = 0
+
+    # -------------------------------------------------------------- recovery
+    def recover(self) -> Tuple[Dict[str, List[Dict]], int]:
+        """Rebuild shard state from snapshot + WAL tail.
+
+        Returns ``(objects, replayed)`` where ``objects`` maps object id to
+        its m-semantics entry dicts and ``replayed`` counts the WAL records
+        applied on top of the snapshot.  Updates the log's sequence
+        counters so subsequent appends continue the same monotonic stream,
+        and truncates a torn tail off the WAL file.
+        """
+        objects: Dict[str, List[Dict]] = {}
+        seq = 0
+        snapshot = self._read_snapshot()
+        if snapshot is not None:
+            objects = {
+                object_id: list(entries)
+                for object_id, entries in snapshot["objects"].items()
+            }
+            seq = snapshot["seq"]
+        self.snapshot_seq = seq if snapshot is not None else 0
+        records, good_bytes, torn = scan_wal(self.wal_path)
+        replayed = 0
+        for record in records:
+            if record["seq"] <= self.snapshot_seq:
+                continue  # compaction raced a crash; already in the snapshot
+            self._apply(record, objects)
+            seq = record["seq"]
+            replayed += 1
+        if torn:
+            size = self.wal_path.stat().st_size
+            self.truncated_bytes = size - good_bytes
+            with open(self.wal_path, "ab") as handle:
+                handle.truncate(good_bytes)
+        self.appended_seq = max(seq, self.snapshot_seq)
+        self.records_since_snapshot = replayed
+        return objects, replayed
+
+    @staticmethod
+    def _apply(record: Dict[str, Any], objects: Dict[str, List[Dict]]) -> None:
+        if record["op"] == "publish":
+            objects.setdefault(record["oid"], []).extend(record["entries"])
+        elif record["oid"] is None:
+            objects.clear()
+        else:
+            objects.pop(record["oid"], None)
+
+    def _read_snapshot(self) -> Optional[Dict[str, Any]]:
+        if not self.snapshot_path.exists():
+            return None
+        payload = json.loads(self.snapshot_path.read_text(encoding="utf-8"))
+        if payload.get("format") != SNAPSHOT_FORMAT or not isinstance(
+            payload.get("seq"), int
+        ):
+            raise ValueError(
+                f"not a shard snapshot: {self.snapshot_path} "
+                f"(format {payload.get('format')!r})"
+            )
+        return payload
+
+    # --------------------------------------------------------------- writing
+    def append(
+        self,
+        seq: int,
+        op: str,
+        object_id: Optional[str],
+        entries: Optional[List[Dict]] = None,
+        *,
+        sync: Optional[bool] = None,
+    ) -> None:
+        """Append one record; with ``fsync`` it is durable on return.
+
+        ``sync=False`` defers the fsync so a batch of appends can share one
+        (the async writer's path — it calls :meth:`sync` after the batch).
+        """
+        record: Dict[str, Any] = {"seq": seq, "op": op, "oid": object_id}
+        if entries is not None:
+            record["entries"] = entries
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        handle = self._writer()
+        handle.write(line.encode("utf-8"))
+        handle.flush()
+        if self.fsync if sync is None else (sync and self.fsync):
+            os.fsync(handle.fileno())
+        # max(): post-compaction re-appends of already-snapshotted records
+        # (seq <= snapshot_seq) must not regress the durable watermark.
+        self.appended_seq = max(self.appended_seq, seq)
+        self.records_since_snapshot += 1
+
+    def sync(self) -> None:
+        """Flush + fsync any appends written with ``sync=False``."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def write_snapshot(self, objects: Dict[str, List[Dict]], seq: int) -> None:
+        """Atomically persist a full-state snapshot covering ``seq``, then
+        compact the WAL (swap in an empty file — old records are covered)."""
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "seq": seq,
+            "objects": objects,
+        }
+        atomic_write_text(
+            self.snapshot_path, json.dumps(payload, separators=(",", ":")),
+            fsync=self.fsync,
+        )
+        self.snapshot_seq = seq
+        self._compact()
+
+    def _compact(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        atomic_write_text(self.wal_path, "", fsync=self.fsync)
+        if self.fsync:
+            _fsync_directory(self.directory)
+        self.records_since_snapshot = 0
+
+    def _writer(self):
+        if self._handle is None:
+            self._handle = open(self.wal_path, "ab")
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardLog({str(self.directory)!r}, appended_seq={self.appended_seq}, "
+            f"snapshot_seq={self.snapshot_seq})"
+        )

@@ -1,0 +1,156 @@
+"""Atomic persistence: a partial write must never destroy the previous file.
+
+The old code path (bare ``Path.write_text``) truncated the target before
+writing, so a crash mid-write corrupted the file *and* lost the last good
+version.  These tests stage that crash — an exploding serialiser, a failed
+``os.replace`` — against :func:`repro.persistence.atomic.atomic_write_text`
+and every save surface that now routes through it, asserting the previous
+content always survives byte-for-byte and no temp files are left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.mobility.records import EVENT_STAY, MSemantics
+from repro.persistence import atomic_write_text
+from repro.service.store import SemanticsStore
+
+
+def _leftovers(directory):
+    return [path for path in directory.iterdir() if path.suffix == ".tmp"]
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_target(self, tmp_path):
+        target = tmp_path / "out.json"
+        returned = atomic_write_text(target, '{"ok": true}')
+        assert returned == target
+        assert target.read_text() == '{"ok": true}'
+        assert _leftovers(tmp_path) == []
+
+    def test_replaces_existing_content_atomically(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert _leftovers(tmp_path) == []
+
+    def test_failed_replace_preserves_previous_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("the last good version")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk pulled mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk pulled"):
+            atomic_write_text(target, "half-written garbage")
+        monkeypatch.undo()
+        assert target.read_text() == "the last good version"
+        assert _leftovers(tmp_path) == []  # aborted temp file was unlinked
+
+    def test_fsync_mode_still_writes(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "durable", fsync=True)
+        assert target.read_text() == "durable"
+
+    def test_temp_file_lands_in_target_directory(self, tmp_path, monkeypatch):
+        """Same-directory temp file: the final rename can't cross devices."""
+        target = tmp_path / "deep" / "out.json"
+        target.parent.mkdir()
+        observed = {}
+        original_replace = os.replace
+
+        def spying_replace(src, dst):
+            observed["src_dir"] = os.path.dirname(src)
+            return original_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        atomic_write_text(target, "x")
+        assert observed["src_dir"] == str(target.parent)
+
+
+class TestStoreSaveIsAtomic:
+    @pytest.fixture()
+    def populated_store(self):
+        store = SemanticsStore()
+        store.publish(
+            "obj-a",
+            [MSemantics(region_id=1, start_time=0.0, end_time=5.0, event=EVENT_STAY)],
+        )
+        return store
+
+    def test_save_round_trips(self, populated_store, tmp_path):
+        path = tmp_path / "store.json"
+        populated_store.save(path)
+        assert SemanticsStore.load(path).as_dict() == populated_store.as_dict()
+
+    def test_crash_mid_save_keeps_previous_good_file(
+        self, populated_store, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "store.json"
+        populated_store.save(path)
+        good_bytes = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        populated_store.publish(
+            "obj-b",
+            [MSemantics(region_id=2, start_time=6.0, end_time=9.0, event=EVENT_STAY)],
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            populated_store.save(path)
+        monkeypatch.undo()
+        # The file on disk is still the previous complete version — it
+        # parses, loads, and contains exactly the old objects.
+        assert path.read_bytes() == good_bytes
+        reloaded = SemanticsStore.load(path)
+        assert sorted(reloaded.objects()) == ["obj-a"]
+        assert _leftovers(tmp_path) == []
+
+    def test_every_save_surface_routes_through_atomic_write(self):
+        """Greppable regression guard: no persistence module writes JSON
+        with bare ``write_text`` anymore (truncate-then-write is the bug
+        this PR removes)."""
+        import inspect
+
+        import repro.persistence.serializers as serializers
+        import repro.service.service as service_module
+        import repro.service.store as store_module
+        import repro.store.wal as wal_module
+
+        for module in (serializers, service_module, store_module, wal_module):
+            source = inspect.getsource(module)
+            for line in source.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("#") or '"""' in stripped:
+                    continue
+                assert ".write_text(" not in stripped, (module.__name__, stripped)
+
+
+class TestServiceSaveIsAtomic:
+    def test_service_save_crash_preserves_previous(
+        self, fitted_annotator, tmp_path, monkeypatch
+    ):
+        from repro.service import AnnotationService
+
+        service = AnnotationService(fitted_annotator)
+        path = tmp_path / "service.json"
+        service.save(path)
+        good = json.loads(path.read_text())
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            service.save(path)
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == good
+        assert _leftovers(tmp_path) == []

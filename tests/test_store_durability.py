@@ -1,0 +1,484 @@
+"""Crash-recovery tests of the WAL + snapshot durability layer.
+
+Every failure mode the design claims to survive is staged for real here:
+a torn final WAL record, a half-written snapshot temp file, a compaction
+that crashed between snapshot and WAL truncation (stale records must not
+double-apply), and an actual ``SIGKILL`` of a publishing subprocess whose
+acknowledged objects must all come back.  Plus the config plumbing around
+it: ``meta.json`` layout pinning, ``DurabilityConfig`` validation, and the
+``AnnotationService`` save/load round-trip through a durable store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, MSemantics
+from repro.queries import TkPRQ
+from repro.service import AnnotationService
+from repro.store import (
+    DurabilityConfig,
+    PrefixPartitioner,
+    ShardedSemanticsStore,
+    ShardLog,
+)
+from repro.store.wal import scan_wal
+
+
+def _stay(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_STAY)
+
+
+def _workload(count=40):
+    return {
+        f"obj-{position}": [
+            _stay(position % 5, 10.0 * position, 10.0 * position + 4.0),
+            MSemantics(
+                region_id=(position * 3) % 7,
+                start_time=10.0 * position + 5.0,
+                end_time=10.0 * position + 6.0,
+                event=EVENT_PASS,
+            ),
+        ]
+        for position in range(count)
+    }
+
+
+def _key(store):
+    return {
+        object_id: [
+            (ms.region_id, ms.start_time, ms.end_time, ms.event, ms.record_count)
+            for ms in entries
+        ]
+        for object_id, entries in store.as_dict().items()
+    }
+
+
+def _durable(root, mode, *, shards=3, snapshot_every=0, fsync=True):
+    return ShardedSemanticsStore(
+        shards,
+        durability=DurabilityConfig(
+            root=root, mode=mode, snapshot_every=snapshot_every, fsync=fsync
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# DurabilityConfig
+# --------------------------------------------------------------------------
+class TestDurabilityConfig:
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            DurabilityConfig(root=tmp_path, mode="eventually")
+
+    def test_negative_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            DurabilityConfig(root=tmp_path, snapshot_every=-1)
+
+    def test_dict_round_trip_and_root_override(self, tmp_path):
+        config = DurabilityConfig(
+            root=tmp_path / "a", mode="sync", snapshot_every=7, fsync=False
+        )
+        assert DurabilityConfig.from_dict(config.to_dict()) == config
+        moved = DurabilityConfig.from_dict(config.to_dict(), root=tmp_path / "b")
+        assert moved.root == tmp_path / "b"
+        assert moved.mode == "sync"
+
+
+# --------------------------------------------------------------------------
+# Round trips
+# --------------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["sync", "async"])
+    def test_publish_close_reopen_is_exact(self, tmp_path, mode):
+        per_object = _workload()
+        store = _durable(tmp_path / "root", mode)
+        for object_id, entries in per_object.items():
+            store.publish(object_id, entries)
+        store.clear("obj-3")
+        expected = _key(store)
+        store.flush()
+        if mode == "async":
+            assert store.wal_stats()["pending_records"] == 0
+        store.close()
+
+        with ShardedSemanticsStore.open(tmp_path / "root") as recovered:
+            assert _key(recovered) == expected
+            assert "obj-3" not in recovered.objects()
+            assert recovered.last_recovery["replayed_records"] > 0
+            assert recovered.last_recovery["truncated_bytes"] == 0
+
+    @pytest.mark.parametrize("mode", ["sync", "async"])
+    def test_snapshot_compacts_and_recovery_still_exact(self, tmp_path, mode):
+        store = _durable(tmp_path / "root", mode)
+        for object_id, entries in _workload().items():
+            store.publish(object_id, entries)
+        expected = _key(store)
+        store.snapshot()
+        for sid, log in enumerate(store._logs):
+            assert log.snapshot_seq > 0, sid
+            assert (tmp_path / "root" / f"shard-{sid:02d}" / "wal.jsonl").stat().st_size == 0
+        store.close()
+        with ShardedSemanticsStore.open(tmp_path / "root") as recovered:
+            assert _key(recovered) == expected
+            assert recovered.last_recovery["replayed_records"] == 0  # all in snapshots
+
+    def test_auto_snapshot_triggers_at_threshold(self, tmp_path):
+        store = _durable(tmp_path / "root", "sync", snapshot_every=5)
+        for object_id, entries in _workload(30).items():
+            store.publish(object_id, entries)
+        assert any(log.snapshot_seq > 0 for log in store._logs)
+        expected = _key(store)
+        store.close()
+        with ShardedSemanticsStore.open(tmp_path / "root") as recovered:
+            assert _key(recovered) == expected
+
+    def test_clear_all_is_durable(self, tmp_path):
+        store = _durable(tmp_path / "root", "sync")
+        for object_id, entries in _workload(10).items():
+            store.publish(object_id, entries)
+        store.clear()
+        store.close()
+        with ShardedSemanticsStore.open(tmp_path / "root") as recovered:
+            assert len(recovered) == 0
+
+    def test_publish_after_close_raises(self, tmp_path):
+        store = _durable(tmp_path / "root", "async")
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.publish("obj", [_stay(1, 0, 1)])
+        store.close()  # idempotent
+
+    def test_queries_match_after_recovery(self, tmp_path):
+        per_object = _workload()
+        store = _durable(tmp_path / "root", "async")
+        for object_id, entries in per_object.items():
+            store.publish(object_id, entries)
+        expected = TkPRQ(5).evaluate(store)
+        store.close()
+        with ShardedSemanticsStore.open(tmp_path / "root") as recovered:
+            assert TkPRQ(5).evaluate(recovered) == expected
+            recovered.attach_index()
+            assert TkPRQ(5).evaluate(recovered) == expected
+
+
+# --------------------------------------------------------------------------
+# Crash shapes
+# --------------------------------------------------------------------------
+class TestTornTail:
+    def _seed(self, root):
+        store = _durable(root, "sync")
+        for object_id, entries in _workload().items():
+            store.publish(object_id, entries)
+        expected = _key(store)
+        store.close()
+        return expected
+
+    def _busiest_wal(self, root):
+        wals = sorted(root.glob("shard-*/wal.jsonl"), key=lambda p: -p.stat().st_size)
+        assert wals and wals[0].stat().st_size > 0
+        return wals[0]
+
+    def test_unterminated_final_record_is_dropped(self, tmp_path):
+        root = tmp_path / "root"
+        expected = self._seed(root)
+        wal = self._busiest_wal(root)
+        with open(wal, "ab") as handle:
+            handle.write(b'{"seq": 9999, "op": "publish", "oid": "torn", "entr')
+        with ShardedSemanticsStore.open(root) as recovered:
+            assert _key(recovered) == expected
+            assert "torn" not in recovered.objects()
+            assert recovered.last_recovery["truncated_bytes"] > 0
+        # The torn bytes are gone: the next recovery is clean.
+        with ShardedSemanticsStore.open(root) as again:
+            assert _key(again) == expected
+            assert again.last_recovery["truncated_bytes"] == 0
+
+    def test_garbage_line_stops_replay_at_last_good_record(self, tmp_path):
+        root = tmp_path / "root"
+        expected = self._seed(root)
+        wal = self._busiest_wal(root)
+        with open(wal, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(
+                b'{"seq": 10000, "op": "publish", "oid": "after-garbage", "entries": []}\n'
+            )
+        with ShardedSemanticsStore.open(root) as recovered:
+            # Prefix consistency: everything before the corruption survives,
+            # nothing after it is applied.
+            assert _key(recovered) == expected
+            assert "after-garbage" not in recovered.objects()
+            assert recovered.last_recovery["truncated_bytes"] > 0
+
+    def test_scan_wal_reports_offsets(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        good = b'{"seq": 1, "op": "publish", "oid": "a", "entries": []}\n'
+        wal.write_bytes(good + b'{"seq": 2, "op"')
+        records, good_bytes, torn = scan_wal(wal)
+        assert [record["seq"] for record in records] == [1]
+        assert good_bytes == len(good)
+        assert torn
+        assert scan_wal(tmp_path / "missing.jsonl") == ([], 0, False)
+
+    def test_unknown_op_and_bad_seq_stop_the_scan(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        wal.write_bytes(
+            b'{"seq": 1, "op": "publish", "oid": "a", "entries": []}\n'
+            b'{"seq": 2, "op": "merge", "oid": "b"}\n'
+            b'{"seq": 3, "op": "publish", "oid": "c", "entries": []}\n'
+        )
+        records, _, torn = scan_wal(wal)
+        assert [record["seq"] for record in records] == [1]
+        assert torn
+
+
+class TestSnapshotCrashes:
+    def test_leftover_snapshot_temp_file_is_ignored(self, tmp_path):
+        root = tmp_path / "root"
+        store = _durable(root, "sync")
+        for object_id, entries in _workload(12).items():
+            store.publish(object_id, entries)
+        expected = _key(store)
+        store.snapshot()
+        store.close()
+        # A crash mid-``atomic_write_text`` leaves only the temp file; the
+        # real snapshot.json is never torn because the swap is os.replace.
+        shard_dir = root / "shard-00"
+        (shard_dir / ".snapshot.json.abc123.tmp").write_text('{"half": "writt')
+        with ShardedSemanticsStore.open(root) as recovered:
+            assert _key(recovered) == expected
+
+    def test_corrupt_snapshot_is_loud_not_silent(self, tmp_path):
+        root = tmp_path / "root"
+        store = _durable(root, "sync")
+        store.publish("obj", [_stay(1, 0, 1)])
+        store.snapshot()
+        store.close()
+        (root / "shard-00" / "snapshot.json").write_text(json.dumps({"format": "bogus/9"}))
+        with pytest.raises(ValueError, match="not a shard snapshot"):
+            ShardedSemanticsStore.open(root)
+
+    def test_compaction_crash_does_not_double_apply(self, tmp_path):
+        """Snapshot written, WAL truncation lost: the stale records carry
+        seq <= snapshot_seq and replay must skip every one of them."""
+        root = tmp_path / "root"
+        store = _durable(root, "sync")
+        for object_id, entries in _workload(20).items():
+            store.publish(object_id, entries)
+        stale = {
+            path.parent.name: path.read_bytes()
+            for path in root.glob("shard-*/wal.jsonl")
+        }
+        expected = _key(store)
+        store.snapshot()  # writes snapshots AND truncates the WALs
+        store.close()
+        for shard_name, raw in stale.items():  # undo the truncation half
+            (root / shard_name / "wal.jsonl").write_bytes(raw)
+        with ShardedSemanticsStore.open(root) as recovered:
+            assert _key(recovered) == expected
+            assert recovered.last_recovery["replayed_records"] == 0
+            # And the sequence stream continues past the stale records, so
+            # post-recovery publishes don't collide with skipped seqs.
+            recovered.publish("fresh", [_stay(9, 0, 1)])
+        with ShardedSemanticsStore.open(root) as again:
+            assert "fresh" in again.objects()
+            assert _key(again)["fresh"] == [(9, 0.0, 1.0, EVENT_STAY, 1)]
+
+    def test_shardlog_append_after_recovery_continues_sequence(self, tmp_path):
+        log = ShardLog(tmp_path / "shard")
+        log.append(1, "publish", "a", [{"region_id": 1}])
+        log.append(2, "clear", "a")
+        log.close()
+        reopened = ShardLog(tmp_path / "shard")
+        objects, replayed = reopened.recover()
+        assert objects == {}
+        assert replayed == 2
+        assert reopened.appended_seq == 2
+        reopened.close()
+
+
+class TestMetaPinning:
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "root"
+        _durable(root, "sync", shards=3).close()
+        with pytest.raises(ValueError, match="resharding is not supported"):
+            _durable(root, "sync", shards=5)
+
+    def test_partitioner_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "root"
+        _durable(root, "sync", shards=3).close()
+        with pytest.raises(ValueError, match="partitioned by"):
+            ShardedSemanticsStore(
+                3,
+                partitioner=PrefixPartitioner(),
+                durability=DurabilityConfig(root=root, mode="sync"),
+            )
+
+    def test_open_reads_layout_from_meta(self, tmp_path):
+        root = tmp_path / "root"
+        store = ShardedSemanticsStore(
+            5,
+            partitioner=PrefixPartitioner(),
+            durability=DurabilityConfig(root=root, mode="sync"),
+        )
+        store.publish("venue-1/a", [_stay(1, 0, 1)])
+        store.close()
+        with ShardedSemanticsStore.open(root) as recovered:
+            assert recovered.shard_count == 5
+            assert recovered.partitioner == PrefixPartitioner()
+
+    def test_foreign_meta_file_rejected(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "meta.json").write_text(json.dumps({"format": "something-else/1"}))
+        with pytest.raises(ValueError, match="not a sharded-store meta file"):
+            ShardedSemanticsStore.open(root)
+
+
+# --------------------------------------------------------------------------
+# The real thing: SIGKILL mid-stream
+# --------------------------------------------------------------------------
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.mobility.records import EVENT_STAY, MSemantics
+    from repro.store import DurabilityConfig, ShardedSemanticsStore
+
+    root = sys.argv[1]
+    store = ShardedSemanticsStore(
+        3,
+        durability=DurabilityConfig(root=root, mode="sync", snapshot_every=16),
+    )
+    for position in range(100_000):
+        store.publish(
+            f"obj-{position}",
+            [
+                MSemantics(
+                    region_id=position % 7,
+                    start_time=float(position),
+                    end_time=float(position) + 1.0,
+                    event=EVENT_STAY,
+                )
+            ],
+        )
+        # Sync mode: when publish returns the record is durable, so this
+        # acknowledgement is a promise recovery must honour.
+        print(position, flush=True)
+    """
+)
+
+
+class TestSigkillRecovery:
+    def test_acknowledged_publishes_survive_sigkill(self, tmp_path):
+        root = tmp_path / "root"
+        script = tmp_path / "publisher.py"
+        script.write_text(_CHILD_SCRIPT)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, str(script), str(root)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        acknowledged = []
+        try:
+            for line in child.stdout:
+                acknowledged.append(int(line))
+                if len(acknowledged) >= 60:
+                    break
+        finally:
+            child.kill()  # SIGKILL: no atexit, no flush, no close()
+            child.wait()
+        assert len(acknowledged) >= 60, child.stderr.read()
+
+        with ShardedSemanticsStore.open(root) as recovered:
+            contents = _key(recovered)
+            for position in acknowledged:
+                assert contents[f"obj-{position}"] == [
+                    (position % 7, float(position), float(position) + 1.0, EVENT_STAY, 1)
+                ], position
+            # Anything extra must be a valid prefix continuation (records
+            # durable but not yet acknowledged through stdout), never junk.
+            for object_id in contents:
+                assert object_id.startswith("obj-")
+            # And the recovered store keeps working.
+            recovered.publish("post-crash", [_stay(1, 0.0, 1.0)])
+        with ShardedSemanticsStore.open(root) as again:
+            assert "post-crash" in again.objects()
+
+
+# --------------------------------------------------------------------------
+# Service round trip through a durable store
+# --------------------------------------------------------------------------
+class TestServiceDurability:
+    def test_save_load_recovers_published_semantics(
+        self, fitted_annotator, small_space, small_split, tmp_path
+    ):
+        store_root = tmp_path / "store"
+        service = AnnotationService(
+            fitted_annotator,
+            store=_durable(store_root, "async", snapshot_every=64),
+        )
+        _, test = small_split
+        sequences = [labeled.sequence for labeled in test.sequences[:4]]
+        published = service.annotate_batch(sequences)
+        assert any(published)
+        expected = service.query_popular_regions(5)
+        expected_contents = _key(service.store)
+        save_path = tmp_path / "service.json"
+        service.save(save_path)
+        service.store.close()
+
+        reloaded = AnnotationService.load(save_path, small_space)
+        assert isinstance(reloaded.store, ShardedSemanticsStore)
+        assert reloaded.store.shard_count == 3
+        assert _key(reloaded.store) == expected_contents
+        assert reloaded.query_popular_regions(5) == expected
+        reloaded.store.close()
+
+    def test_store_root_override_relocates_durability(
+        self, fitted_annotator, small_space, tmp_path
+    ):
+        original_root = tmp_path / "old-machine"
+        service = AnnotationService(
+            fitted_annotator, store=_durable(original_root, "sync")
+        )
+        service.store.publish("obj-a", [_stay(2, 0.0, 5.0)])
+        save_path = tmp_path / "service.json"
+        service.save(save_path)
+        service.store.close()
+        moved_root = tmp_path / "new-machine"
+        shutil.copytree(original_root, moved_root)
+
+        reloaded = AnnotationService.load(
+            save_path, small_space, store_root=moved_root
+        )
+        assert reloaded.store.durability.root == moved_root
+        assert reloaded.store.semantics_for("obj-a") == [_stay(2, 0.0, 5.0)]
+        reloaded.store.close()
+
+    def test_in_memory_sharded_store_round_trips_layout_only(
+        self, fitted_annotator, small_space, tmp_path
+    ):
+        service = AnnotationService(
+            fitted_annotator, store=ShardedSemanticsStore(6), indexed=True
+        )
+        save_path = tmp_path / "service.json"
+        service.save(save_path)
+        reloaded = AnnotationService.load(save_path, small_space)
+        assert isinstance(reloaded.store, ShardedSemanticsStore)
+        assert reloaded.store.shard_count == 6
+        assert reloaded.store.durability is None
+        assert reloaded.store.is_indexed  # "indexed" flag re-attaches

@@ -1,0 +1,451 @@
+"""Tests of the sharded store: partitioning, scatter-gather, store fixes.
+
+The central contract — scatter-gather TkPRQ/TkFRPQ answers over any shard
+count are bit-identical to the single-store evaluation — is asserted over
+the whole scenario catalogue (2/4/8 shards, indexed and scan paths), over
+hand-built edge cases, and by a hypothesis property over random streams
+with shard counts 1–8.  Alongside live the tests of this PR's store
+fixes: incremental index removal under interleaved publish/clear, and the
+lock-safe ``live_index`` read under concurrent attach/detach.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.harness import ground_truth_semantics
+from repro.index import SemanticsIndex, plan_query
+from repro.mobility.records import EVENT_PASS, EVENT_STAY, MSemantics
+from repro.queries import TkFRPQ, TkPRQ
+from repro.scenarios import scenario_names
+from repro.service.store import SemanticsStore
+from repro.store import (
+    HashPartitioner,
+    PrefixPartitioner,
+    ShardedSemanticsStore,
+    partitioner_from_dict,
+    scatter_top_k_pairs,
+    scatter_top_k_regions,
+)
+
+
+def _stay(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_STAY)
+
+
+def _pass(region, start, end):
+    return MSemantics(region_id=region, start_time=start, end_time=end, event=EVENT_PASS)
+
+
+#: Query shapes exercising every planner-relevant case (mirrors test_index).
+QUERY_SHAPES = [
+    dict(),
+    dict(start=0.0, end=150.0),
+    dict(start=None, end=150.0),
+    dict(start=150.0, end=None),
+    dict(query_regions={1, 3}),
+    dict(start=50.0, end=450.0, query_regions={1, 2}),
+    dict(query_regions={99}),
+    dict(start=1e9, end=2e9),
+    dict(start=200.0, end=100.0),  # degenerate: defined by the scan
+]
+
+
+def _single_store(per_object):
+    store = SemanticsStore()
+    for object_id, entries in per_object.items():
+        store.publish(object_id, entries)
+    return store
+
+
+def _sharded_store(per_object, shards, *, partitioner=None, indexed=False):
+    store = ShardedSemanticsStore(shards, partitioner=partitioner)
+    for object_id, entries in per_object.items():
+        store.publish(object_id, entries)
+    if indexed:
+        store.attach_index()
+    return store
+
+
+def _assert_equivalent(sharded, reference, ks=(1, 2, 3, 10)):
+    for shape in QUERY_SHAPES:
+        for k in ks:
+            prq = TkPRQ(k, **shape)
+            frpq = TkFRPQ(k, **shape)
+            assert prq.evaluate(sharded) == prq.evaluate(reference), (shape, k)
+            assert frpq.evaluate(sharded) == frpq.evaluate(reference), (shape, k)
+
+
+# --------------------------------------------------------------------------
+# Partitioners
+# --------------------------------------------------------------------------
+class TestPartitioners:
+    def test_hash_partitioner_is_deterministic_and_total(self):
+        partitioner = HashPartitioner()
+        for shards in (1, 2, 4, 8, 13):
+            for position in range(200):
+                object_id = f"obj-{position}"
+                shard = partitioner.shard_for(object_id, shards)
+                assert 0 <= shard < shards
+                assert shard == partitioner.shard_for(object_id, shards)
+
+    def test_hash_partitioner_spreads_load(self):
+        partitioner = HashPartitioner()
+        buckets = [0] * 4
+        for position in range(2000):
+            buckets[partitioner.shard_for(f"obj-{position}", 4)] += 1
+        assert min(buckets) > 300  # roughly balanced, not pathological
+
+    def test_prefix_partitioner_groups_by_venue(self):
+        partitioner = PrefixPartitioner()
+        home = partitioner.shard_for("mall-3/visitor-17", 8)
+        assert partitioner.shard_for("mall-3/visitor-94", 8) == home
+        assert partitioner.shard_for("mall-3/anything", 8) == home
+        # Ids without the separator still place (whole-id hash).
+        assert 0 <= partitioner.shard_for("loner", 8) < 8
+
+    def test_partitioner_round_trips_through_dict(self):
+        for partitioner in (HashPartitioner(), PrefixPartitioner("::")):
+            rebuilt = partitioner_from_dict(partitioner.to_dict())
+            assert rebuilt == partitioner
+
+    def test_unknown_partitioner_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown partitioner kind"):
+            partitioner_from_dict({"kind": "round-robin"})
+
+    def test_empty_separator_rejected(self):
+        with pytest.raises(ValueError, match="separator"):
+            PrefixPartitioner("")
+
+
+# --------------------------------------------------------------------------
+# Sharded store surface
+# --------------------------------------------------------------------------
+class TestShardedStoreSurface:
+    @pytest.fixture()
+    def per_object(self):
+        return {
+            "a": [_stay(1, 0, 100), _pass(2, 100, 110), _stay(3, 110, 200)],
+            "b": [_stay(1, 0, 50), _stay(2, 60, 120)],
+            "c": [_stay(1, 300, 400), _stay(3, 420, 500), _stay(2, 510, 600)],
+            "d": [_pass(5, 10, 20)],
+        }
+
+    def test_reads_match_single_store(self, per_object):
+        reference = _single_store(per_object)
+        sharded = _sharded_store(per_object, 3)
+        assert sorted(sharded.objects()) == sorted(reference.objects())
+        assert len(sharded) == len(reference)
+        assert sharded.total_semantics == reference.total_semantics
+        assert sharded.as_dict() == reference.as_dict()
+        for object_id in per_object:
+            assert sharded.semantics_for(object_id) == reference.semantics_for(object_id)
+        assert sharded.semantics_for("missing") == []
+
+    def test_every_object_lives_in_exactly_one_shard(self, per_object):
+        sharded = _sharded_store(per_object, 4)
+        placements = {
+            object_id: [
+                sid
+                for sid, shard in enumerate(sharded.shard_stores())
+                if object_id in shard.objects()
+            ]
+            for object_id in per_object
+        }
+        assert all(len(shards) == 1 for shards in placements.values())
+        assert placements["a"] == [sharded.shard_for("a")]
+
+    def test_clear_routes_to_the_owning_shard(self, per_object):
+        sharded = _sharded_store(per_object, 4)
+        sharded.clear("b")
+        assert "b" not in sharded.objects()
+        assert len(sharded) == len(per_object) - 1
+        sharded.clear()
+        assert len(sharded) == 0
+
+    def test_attach_detach_index_covers_all_shards(self, per_object):
+        sharded = _sharded_store(per_object, 3)
+        assert not sharded.is_indexed
+        indexes = sharded.attach_index()
+        assert len(indexes) == 3
+        assert sharded.is_indexed
+        assert all(shard.is_indexed for shard in sharded.shard_stores())
+        sharded.detach_index()
+        assert not sharded.is_indexed
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedSemanticsStore(0)
+
+    def test_planner_routes_sharded_input_to_scatter(self, per_object):
+        sharded = _sharded_store(per_object, 2)
+        plan = plan_query(sharded)
+        assert plan.shards is not None
+        assert len(plan.shards) == 2
+        assert not plan.use_index
+        assert "scatter" in plan.reason
+        # explain() surfaces the same plan through the query objects.
+        assert TkPRQ(3).explain(sharded).shards is not None
+
+    def test_planner_still_routes_plain_inputs_to_scan_or_index(self, per_object):
+        assert plan_query(list(per_object.values())).shards is None
+        index = SemanticsIndex.from_semantics(per_object.values())
+        assert plan_query(index).use_index
+
+
+# --------------------------------------------------------------------------
+# Scatter-gather equivalence
+# --------------------------------------------------------------------------
+class TestScatterGatherEquivalence:
+    @pytest.fixture()
+    def per_object(self):
+        # Ties at rank k and regions present in only some shards.
+        return {
+            f"obj-{position}": [
+                _stay(position % 5, 10 * position, 10 * position + 5),
+                _stay((position * 3) % 7, 10 * position + 6, 10 * position + 9),
+            ]
+            for position in range(40)
+        }
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_handbuilt_equivalence(self, per_object, shards, indexed):
+        reference = _single_store(per_object)
+        sharded = _sharded_store(per_object, shards, indexed=indexed)
+        _assert_equivalent(sharded, reference)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_prefix_partitioned_equivalence(self, per_object, shards):
+        renamed = {
+            f"venue-{position % 3}/{object_id}": entries
+            for position, (object_id, entries) in enumerate(per_object.items())
+        }
+        reference = _single_store(renamed)
+        sharded = _sharded_store(
+            renamed, shards, partitioner=PrefixPartitioner(), indexed=True
+        )
+        _assert_equivalent(sharded, reference)
+
+    def test_mixed_index_state_falls_back_to_scan_merge(self, per_object):
+        reference = _single_store(per_object)
+        sharded = _sharded_store(per_object, 3)
+        sharded.shard_stores()[0].attach_index()  # one shard indexed, two not
+        _assert_equivalent(sharded, reference)
+
+    def test_gather_functions_reject_bad_k(self, per_object):
+        sharded = _sharded_store(per_object, 2)
+        with pytest.raises(ValueError, match="k must be"):
+            scatter_top_k_regions(sharded.shard_stores(), 0)
+        with pytest.raises(ValueError, match="k must be"):
+            scatter_top_k_pairs(sharded.shard_stores(), 0)
+
+    def test_empty_store_answers_empty(self):
+        sharded = ShardedSemanticsStore(4)
+        assert TkPRQ(5).evaluate(sharded) == []
+        assert TkFRPQ(5).evaluate(sharded) == []
+        sharded.attach_index()
+        assert TkPRQ(5).evaluate(sharded) == []
+        assert TkFRPQ(5).evaluate(sharded) == []
+
+    @pytest.mark.parametrize("scenario_name", scenario_names())
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_catalogue_equivalence(self, scenario_cache, scenario_name, shards):
+        """Scatter-gather == single store on every catalogue scenario."""
+        scenario = scenario_cache(scenario_name)
+        truth = ground_truth_semantics(scenario.dataset.sequences)
+        per_object = {
+            f"{scenario_name}/{position}": entries
+            for position, entries in enumerate(truth)
+        }
+        reference = _single_store(per_object)
+        reference.attach_index()
+        scan_sharded = _sharded_store(per_object, shards)
+        indexed_sharded = _sharded_store(per_object, shards, indexed=True)
+        _assert_equivalent(scan_sharded, reference, ks=(1, 3, 10))
+        _assert_equivalent(indexed_sharded, reference, ks=(1, 3, 10))
+
+
+# --------------------------------------------------------------------------
+# Property: random streams, shard counts 1-8
+# --------------------------------------------------------------------------
+_entry = st.tuples(
+    st.integers(min_value=0, max_value=9),        # region
+    st.floats(min_value=0, max_value=900),        # start
+    st.floats(min_value=0.1, max_value=80),       # duration
+    st.booleans(),                                # stay?
+)
+_stream = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.lists(_entry, max_size=4)),
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=_stream, shards=st.integers(min_value=1, max_value=8), k=st.integers(min_value=1, max_value=6))
+def test_property_scatter_matches_single_scan(stream, shards, k):
+    """For random publish streams, the sharded evaluation (indexed and not)
+    equals the single-store scan, for TkPRQ and TkFRPQ at any k."""
+    reference = SemanticsStore()
+    sharded = ShardedSemanticsStore(shards)
+    for object_number, raw_entries in stream:
+        object_id = f"obj-{object_number}"
+        clock = 0.0
+        entries = []
+        for region, start, duration, is_stay in raw_entries:
+            begin = clock + start
+            entries.append(
+                MSemantics(
+                    region_id=region,
+                    start_time=begin,
+                    end_time=begin + duration,
+                    event=EVENT_STAY if is_stay else EVENT_PASS,
+                )
+            )
+            clock = begin + duration
+        if not entries:
+            continue
+        reference.publish(object_id, entries)
+        sharded.publish(object_id, entries)
+    shapes = [dict(), dict(start=100.0, end=700.0), dict(query_regions={1, 2, 3})]
+    for shape in shapes:
+        prq = TkPRQ(k, **shape)
+        frpq = TkFRPQ(k, **shape)
+        expected_regions = prq.evaluate(reference)
+        expected_pairs = frpq.evaluate(reference)
+        assert prq.evaluate(sharded) == expected_regions
+        assert frpq.evaluate(sharded) == expected_pairs
+    sharded.attach_index()
+    for shape in shapes:
+        prq = TkPRQ(k, **shape)
+        frpq = TkFRPQ(k, **shape)
+        assert prq.evaluate(sharded) == prq.evaluate(reference)
+        assert frpq.evaluate(sharded) == frpq.evaluate(reference)
+
+
+# --------------------------------------------------------------------------
+# Store fixes riding along: incremental remove + locked live_index
+# --------------------------------------------------------------------------
+class TestIncrementalRemove:
+    def test_interleaved_publish_clear_matches_rebuilt_index(self):
+        """After any interleaving of publish/clear, the incrementally
+        maintained index answers bit-identically to one rebuilt from
+        scratch — and to the scan."""
+        store = SemanticsStore()
+        store.attach_index()
+        script = [
+            ("publish", "a", [_stay(1, 0, 10), _stay(2, 12, 20)]),
+            ("publish", "b", [_stay(1, 5, 15), _pass(3, 16, 18)]),
+            ("clear", "a", None),
+            ("publish", "c", [_stay(2, 30, 40), _stay(2, 50, 60), _stay(4, 70, 80)]),
+            ("publish", "a", [_stay(4, 100, 110)]),
+            ("clear", "missing", None),
+            ("publish", "d", [_stay(1, 200, 210), _stay(3, 220, 230)]),
+            ("clear", "c", None),
+            ("publish", "b", [_stay(2, 300, 310)]),
+        ]
+        for step, (action, object_id, entries) in enumerate(script):
+            if action == "publish":
+                store.publish(object_id, entries)
+            else:
+                store.clear(object_id)
+            rebuilt = SemanticsIndex.from_semantics(store.as_dict())
+            live = store.live_index
+            for shape in QUERY_SHAPES:
+                for k in (1, 2, 5):
+                    prq = TkPRQ(k, **shape)
+                    frpq = TkFRPQ(k, **shape)
+                    scan = prq.evaluate(store.as_dict())
+                    assert prq.evaluate(live) == scan, (step, shape)
+                    assert prq.evaluate(rebuilt) == scan, (step, shape)
+                    assert frpq.evaluate(live) == frpq.evaluate(rebuilt), (step, shape)
+            # Internal counters match a fresh rebuild exactly (no zombie
+            # zero-count entries left by the decrement path).
+            assert live.conversion_counters() == rebuilt.conversion_counters()
+            assert live.transition_counts() == rebuilt.transition_counts()
+            assert live.stats() == rebuilt.stats()
+
+    def test_remove_unknown_object_is_a_noop(self):
+        index = SemanticsIndex.from_semantics({"a": [_stay(1, 0, 10)]})
+        assert index.remove("missing") is False
+        assert index.remove("a") is True
+        assert index.stats() == {"regions": 0, "objects": 0, "postings": 0, "entries": 0}
+
+    def test_clear_all_resets_index(self):
+        store = SemanticsStore()
+        store.attach_index()
+        store.publish("a", [_stay(1, 0, 10)])
+        store.clear()
+        assert store.live_index.stats()["objects"] == 0
+        assert TkPRQ(3).evaluate(store) == []
+
+
+class TestLiveIndexLocking:
+    def test_concurrent_attach_detach_while_querying(self):
+        """Hammer attach/detach from one thread while another queries; no
+        crashes, and every answer matches the scan truth."""
+        store = SemanticsStore()
+        for position in range(30):
+            store.publish(
+                f"obj-{position}",
+                [_stay(position % 4, 10 * position, 10 * position + 8)],
+            )
+        expected = TkPRQ(3).evaluate(store.as_dict())
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                store.attach_index()
+                store.detach_index()
+
+        def query():
+            try:
+                while not stop.is_set():
+                    assert TkPRQ(3).evaluate(store) == expected
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [threading.Thread(target=churn) for _ in range(2)]
+        workers += [threading.Thread(target=query) for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        import time as _time
+
+        _time.sleep(0.5)
+        stop.set()
+        for worker in workers:
+            worker.join()
+        assert errors == []
+
+    def test_concurrent_publish_clear_with_live_index(self):
+        """Publish and clear concurrently against an indexed store; the
+        final index equals a fresh rebuild of the final contents."""
+        store = SemanticsStore()
+        store.attach_index()
+
+        def publisher(prefix):
+            for position in range(50):
+                store.publish(
+                    f"{prefix}-{position}",
+                    [_stay(position % 5, position, position + 1)],
+                )
+                if position % 7 == 0:
+                    store.clear(f"{prefix}-{position}")
+
+        workers = [
+            threading.Thread(target=publisher, args=(f"w{n}",)) for n in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        rebuilt = SemanticsIndex.from_semantics(store.as_dict())
+        live = store.live_index
+        assert live.stats() == rebuilt.stats()
+        for k in (1, 3, 10):
+            assert TkPRQ(k).evaluate(live) == TkPRQ(k).evaluate(rebuilt)
+            assert TkFRPQ(k).evaluate(live) == TkFRPQ(k).evaluate(rebuilt)

@@ -135,6 +135,65 @@ def _validate_service_section(report: dict, origin: str) -> list:
     return problems
 
 
+def _validate_store_section(report: dict, origin: str) -> list:
+    """Store-suite extras: shard layout + the durability invariants.
+
+    Recovery must be *exact* (the reopened store equals the pre-close one,
+    entry for entry) and a flushed store must have zero pending WAL
+    records — both are correctness properties of the WAL, not
+    performance numbers, so they gate at zero tolerance.
+    """
+    problems = []
+    section = report.get("store")
+    if not isinstance(section, dict):
+        return [f"{origin}: store suite requires a 'store' section object"]
+    for key in ("shards", "shard_counts", "recovery", "pending_after_flush"):
+        if key not in section:
+            problems.append(f"{origin}: store section missing key {key!r}")
+    shards = section.get("shards")
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        problems.append(f"{origin}: store.shards must be a positive int")
+    counts = section.get("shard_counts")
+    if (
+        not isinstance(counts, list)
+        or not counts
+        or not all(
+            isinstance(count, int) and not isinstance(count, bool) and count >= 1
+            for count in counts
+        )
+    ):
+        problems.append(
+            f"{origin}: store.shard_counts must be a non-empty list of "
+            f"positive ints, got {counts!r}"
+        )
+    if section.get("scatter_agreement") is not True:
+        problems.append(
+            f"{origin}: store.scatter_agreement must be true — a sharded "
+            "top-k differing from the single-store answer is a merge bug"
+        )
+    recovery = section.get("recovery")
+    if not isinstance(recovery, dict):
+        problems.append(f"{origin}: store.recovery must be an object")
+    else:
+        if recovery.get("exact") is not True:
+            problems.append(
+                f"{origin}: store.recovery.exact must be true — WAL+snapshot "
+                "recovery must reproduce the pre-close store exactly"
+            )
+        replayed = recovery.get("replayed_records")
+        if not isinstance(replayed, int) or isinstance(replayed, bool) or replayed < 0:
+            problems.append(
+                f"{origin}: store.recovery.replayed_records must be a "
+                "non-negative int"
+            )
+    if section.get("pending_after_flush") != 0:
+        problems.append(
+            f"{origin}: store.pending_after_flush must be 0 — flush() is a "
+            "durability barrier and may not leave queued WAL records"
+        )
+    return problems
+
+
 def validate_report(report: object, origin: str) -> list:
     """Return a list of problem strings for one parsed report (empty = valid)."""
     problems = []
@@ -253,6 +312,8 @@ def validate_report(report: object, origin: str) -> list:
         )
     if suite == "service":
         problems.extend(_validate_service_section(report, origin))
+    if suite == "store":
+        problems.extend(_validate_store_section(report, origin))
     return problems
 
 
