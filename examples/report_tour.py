@@ -1,0 +1,80 @@
+"""A tour of the report pipeline: bench corpus -> figures + trends.
+
+Run with::
+
+    python examples/report_tour.py
+
+The script builds a miniature version of the committed ``docs/report/``:
+
+1. run a *fresh* tiny query benchmark for one scenario (the "current"
+   run of the trend axis);
+2. feed it, together with the committed baselines under
+   ``benchmarks/baselines/``, through ``repro.report.build_report`` into
+   a temporary output directory;
+3. walk the artifacts — tidy CSVs, Vega-Lite specs, ``REPORT.md`` — and
+   show how the trend table compares the fresh numbers against the
+   baseline tolerance band;
+4. rebuild into a second directory and verify the output is
+   byte-identical (the determinism CI relies on to diff the committed
+   report).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.bench import run_query_benchmarks
+from repro.report import build_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def build(bench_dir: Path, out_dir: Path):
+    return build_report(
+        bench_dir=bench_dir, baselines_dir=BASELINES, out_dir=out_dir, seed=7
+    )
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="report-tour-"))
+
+    print("== 1. A fresh 'current' bench run (tiny query suite, one scenario) ==")
+    bench_dir = root / "bench"
+    bench_dir.mkdir()
+    report = run_query_benchmarks(["mall-tiny"], repeats=2, seed=3)
+    (bench_dir / "BENCH_queries.json").write_text(json.dumps(report, indent=2))
+    print(f"  {len(report['results'])} result rows, "
+          f"{len(report.get('precision', []))} precision cells")
+
+    print("\n== 2. Build the report: fresh run vs committed baselines ==")
+    build_a = build(bench_dir, root / "report")
+    for path in build_a.written:
+        print(f"  wrote {path.relative_to(root)}")
+
+    print("\n== 3. The trend axis: baseline -> current, per headline metric ==")
+    trends_header, trends_rows = build_a.tables["trends"]
+    current = [row for row in trends_rows if row["source"] == "current"]
+    for row in current[:6]:
+        flag = "REGRESSED" if row["regressed"] else "ok"
+        floor = f"{row['floor']:.3f}" if isinstance(row["floor"], float) else "n/a"
+        print(f"  {row['suite']:8s} {row['metric']:34s} "
+              f"speedup {row['speedup']:8.3f} floor {floor:>8s}  {flag}")
+    print(f"  ({len(current)} current-run metrics, "
+          f"{len(build_a.regressions)} regression(s) flagged)")
+
+    print("\n== 4. Determinism: a second build is byte-identical ==")
+    build_b = build(bench_dir, root / "report-again")
+    for path_a, path_b in zip(build_a.written, build_b.written):
+        assert path_a.read_bytes() == path_b.read_bytes(), path_a.name
+    print(f"  {len(build_a.written)} artifacts compared equal")
+
+    spec = json.loads((root / "report" / "specs" / "trends.vl.json").read_text())
+    print("\nPaste any spec into https://vega.github.io/editor/ — e.g. "
+          f"trends.vl.json encodes {spec['usermeta']['rows']} trend points.")
+
+
+if __name__ == "__main__":
+    main()

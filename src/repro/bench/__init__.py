@@ -24,10 +24,12 @@ from repro.bench.runner import (
     write_report,
 )
 from repro.bench.queries import (
+    PRECISION_SCENARIOS,
     QUERY_KS,
     QUERY_REPLICATION,
     build_query_set,
     build_query_workload,
+    evaluate_query_precision,
     run_query_benchmarks,
 )
 from repro.bench.service import run_service_benchmarks
@@ -47,11 +49,13 @@ __all__ = [
     "REPLICATION",
     "REQUIRED_RESULT_KEYS",
     "REQUIRED_TOP_KEYS",
+    "PRECISION_SCENARIOS",
     "QUERY_KS",
     "QUERY_REPLICATION",
     "build_query_set",
     "build_query_workload",
     "build_workload",
+    "evaluate_query_precision",
     "run_query_benchmarks",
     "run_runtime_benchmarks",
     "run_scenario_benchmarks",

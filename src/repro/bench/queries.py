@@ -17,6 +17,13 @@ scan-over-indexed latency ratio — the number the CI perf-regression gate
 compares against the committed baseline.  Index build time is *not* part
 of the query latency (production maintains the index incrementally on
 publish); it is reported per scenario in the ``scenarios`` section.
+
+When any of :data:`PRECISION_SCENARIOS` is among the requested names the
+report additionally carries a ``precision`` section: per (scenario, query
+kind, k), the per-query-shape precision and recall of answers computed
+from C2MN-*annotated* semantics against answers computed from the ground
+truth — the observation samples ``repro.report`` turns into bootstrap-CI
+tables.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.evaluation.harness import ground_truth_semantics
 from repro.index import SemanticsIndex
+from repro.mobility.dataset import train_test_split
 from repro.mobility.records import MSemantics
 from repro.queries import TkFRPQ, TkPRQ
 from repro.scenarios import materialize as materialize_scenario
@@ -41,6 +49,12 @@ QUERY_KS = (1, 5, 10)
 
 #: How many times one timing invocation evaluates the full query set.
 QUERY_LOOPS = 3
+
+#: Scenarios whose annotation-vs-truth answer quality is measured.  Each
+#: one costs a full C2MN fit, so the suite sticks to the tiny twins — one
+#: per venue archetype family — and skips the section entirely when none
+#: of them is among the requested names.
+PRECISION_SCENARIOS = ("mall-tiny", "office-tiny")
 
 
 def build_query_workload(
@@ -121,6 +135,81 @@ def _make_tkprq(k, start, end, query_regions):
 
 def _make_tkfrpq(k, start, end, query_regions):
     return TkFRPQ(k, query_regions=query_regions, start=start, end=end)
+
+
+def evaluate_query_precision(
+    names: Sequence[str],
+    *,
+    seed: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Precision/recall of query answers from annotations vs ground truth.
+
+    For each scenario: fit the benchmark C2MN on the training half, annotate
+    the test half, then run the deterministic query set at every ``k``
+    against both the predicted and the ground-truth semantics.  Each cell
+    records one precision and one recall observation per query shape —
+    precision = ``|predicted ∩ truth| / |predicted|``, recall =
+    ``|predicted ∩ truth| / |truth|`` over the answered region (or region
+    pair) sets — which is the sample the report's bootstrap CIs resample.
+    """
+    from repro.bench.runner import bench_annotator
+
+    section: List[Dict[str, Any]] = []
+    for name in names:
+        scenario = materialize_scenario(name, seed)
+        train, test = train_test_split(
+            scenario.dataset, train_fraction=0.5, seed=5
+        )
+        annotator = bench_annotator(scenario.space)
+        fit_start = time.perf_counter()
+        annotator.fit(train.sequences)
+        fit_seconds = time.perf_counter() - fit_start
+        truth = {
+            f"{name}/{position}": entries
+            for position, entries in enumerate(
+                ground_truth_semantics(test.sequences)
+            )
+        }
+        predicted = {
+            f"{name}/{position}": entries
+            for position, entries in enumerate(
+                annotator.annotate_many(
+                    [labeled.sequence for labeled in test.sequences]
+                )
+            )
+        }
+        queries = build_query_set(truth, scenario.space.region_ids)
+        for kind, make_query in (("tkprq", _make_tkprq), ("tkfrpq", _make_tkfrpq)):
+            for k in QUERY_KS:
+                precisions: List[float] = []
+                recalls: List[float] = []
+                for start, end, query_regions in queries:
+                    query = make_query(k, start, end, query_regions)
+                    predicted_keys = {item[0] for item in query.evaluate(predicted)}
+                    truth_keys = {item[0] for item in query.evaluate(truth)}
+                    overlap = len(predicted_keys & truth_keys)
+                    precisions.append(
+                        round(overlap / len(predicted_keys), 4)
+                        if predicted_keys
+                        else (1.0 if not truth_keys else 0.0)
+                    )
+                    recalls.append(
+                        round(overlap / len(truth_keys), 4) if truth_keys else 1.0
+                    )
+                section.append(
+                    {
+                        "scenario": name,
+                        "seed": scenario.seed,
+                        "fingerprint": scenario.fingerprint,
+                        "fit_seconds": round(fit_seconds, 6),
+                        "query": kind,
+                        "k": k,
+                        "queries": len(queries),
+                        "precision": precisions,
+                        "recall": recalls,
+                    }
+                )
+    return section
 
 
 def run_query_benchmarks(
@@ -206,7 +295,10 @@ def run_query_benchmarks(
         total_entries += stats["entries"]
 
     largest = max(details, key=lambda detail: detail["entries"])["name"]
-    return {
+    precision = evaluate_query_precision(
+        [name for name in names if name in PRECISION_SCENARIOS], seed=seed
+    )
+    report = {
         "schema": BENCH_SCHEMA,
         "suite": "queries",
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -225,3 +317,6 @@ def run_query_benchmarks(
         "scenarios": details,
         "results": results,
     }
+    if precision:
+        report["precision"] = precision
+    return report

@@ -1,0 +1,140 @@
+"""Discover and load the bench corpus for the report pipeline.
+
+Three places feed the report, ordered along one trend axis:
+
+* an optional ``--history`` directory whose *subdirectories* are labelled
+  snapshots of earlier baselines (``history/pr-7/BENCH_runtime.json`` …),
+  ordered by label — oldest label first;
+* the committed baselines (``benchmarks/baselines/BENCH_<suite>.json``),
+  labelled ``baseline``;
+* the current run (``--bench-dir``), labelled ``current`` — every
+  ``BENCH_*.json`` under it plus every ``*run_table*.csv`` the load
+  generator wrote.
+
+When ``--bench-dir`` *is* the baselines directory (the committed-report
+mode CI regenerates ``docs/report/`` from) the same files are not loaded
+twice; the baselines simply double as the primary source.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Source label of the committed baselines.
+BASELINE_SOURCE = "baseline"
+
+#: Source label of the current run.
+CURRENT_SOURCE = "current"
+
+
+@dataclass(frozen=True)
+class LoadedReport:
+    """One parsed ``BENCH_*.json`` with its provenance along the trend axis."""
+
+    source: str
+    order: int
+    suite: str
+    path: Path
+    report: dict
+
+
+@dataclass(frozen=True)
+class LoadedRunTable:
+    """One parsed ``run_table.csv`` from the open-loop load generator."""
+
+    source: str
+    path: Path
+    rows: List[dict]
+
+
+def _coerce(value: str):
+    """CSV cells back to numbers where they parse as such."""
+    for kind in (int, float):
+        try:
+            return kind(value)
+        except (TypeError, ValueError):
+            continue
+    return value
+
+
+def _read_reports(directory: Path) -> List[Tuple[Path, dict]]:
+    loaded = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"unreadable bench report {path}: {error}") from error
+        if isinstance(report, dict) and isinstance(report.get("suite"), str):
+            loaded.append((path, report))
+    return loaded
+
+
+def load_bench_reports(
+    bench_dir: Optional[Path],
+    baselines_dir: Optional[Path],
+    history_dir: Optional[Path] = None,
+) -> List[LoadedReport]:
+    """Load every report, ordered history → baseline → current.
+
+    Within one source, at most one report per suite is kept (the
+    lexicographically first path wins) so the trend axis stays a function
+    of ``(source, suite)``.
+    """
+    groups: List[Tuple[str, List[Tuple[Path, dict]]]] = []
+    if history_dir is not None and history_dir.is_dir():
+        for snapshot in sorted(p for p in history_dir.iterdir() if p.is_dir()):
+            groups.append((snapshot.name, _read_reports(snapshot)))
+    baseline_resolved = None
+    if baselines_dir is not None and baselines_dir.is_dir():
+        baseline_resolved = baselines_dir.resolve()
+        groups.append((BASELINE_SOURCE, _read_reports(baselines_dir)))
+    if bench_dir is not None and bench_dir.is_dir():
+        if bench_dir.resolve() != baseline_resolved:
+            groups.append((CURRENT_SOURCE, _read_reports(bench_dir)))
+
+    reports: List[LoadedReport] = []
+    for order, (source, found) in enumerate(groups):
+        seen: Dict[str, Path] = {}
+        for path, report in found:
+            suite = report["suite"]
+            if suite in seen:
+                continue
+            seen[suite] = path
+            reports.append(
+                LoadedReport(
+                    source=source, order=order, suite=suite, path=path, report=report
+                )
+            )
+    return reports
+
+
+def primary_source(reports: List[LoadedReport]) -> Optional[str]:
+    """The source the per-metric tables are cut from: current, else baseline."""
+    sources = {loaded.source for loaded in reports}
+    if CURRENT_SOURCE in sources:
+        return CURRENT_SOURCE
+    if BASELINE_SOURCE in sources:
+        return BASELINE_SOURCE
+    if reports:
+        return max(reports, key=lambda loaded: loaded.order).source
+    return None
+
+
+def load_run_tables(bench_dir: Optional[Path]) -> List[LoadedRunTable]:
+    """Parse every ``*run_table*.csv`` under ``bench_dir`` (recursively)."""
+    tables: List[LoadedRunTable] = []
+    if bench_dir is None or not bench_dir.is_dir():
+        return tables
+    for path in sorted(bench_dir.rglob("*run_table*.csv")):
+        with path.open(encoding="utf-8", newline="") as handle:
+            rows = [
+                {key: _coerce(value) for key, value in row.items()}
+                for row in csv.DictReader(handle)
+            ]
+        if rows:
+            tables.append(LoadedRunTable(source=CURRENT_SOURCE, path=path, rows=rows))
+    return tables

@@ -1,0 +1,171 @@
+"""Orchestrate the report build: load → normalise → figures → markdown.
+
+``build_report`` is the one entry point both the CLI (``python -m
+repro.report``) and the tests call.  Output layout::
+
+    <out>/
+      data/*.csv        tidy per-metric tables (always includes results.csv)
+      specs/*.vl.json   Vega-Lite specs, data.url -> ../data/<name>.csv
+      REPORT.md         prose + links + headline tables
+
+Every write is atomic and every artifact is a pure function of the loaded
+inputs and the seed — no wall clock, no environment — which is what lets
+CI regenerate the committed ``docs/report/`` and ``git diff`` it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.persistence.atomic import atomic_write_text
+from repro.report.figures import (
+    loadtest_frontier_spec,
+    precision_spec,
+    query_latency_spec,
+    runtime_speedup_spec,
+    store_scatter_spec,
+    trends_spec,
+)
+from repro.report.loader import (
+    LoadedReport,
+    LoadedRunTable,
+    load_bench_reports,
+    load_run_tables,
+)
+from repro.report.render import render_markdown
+from repro.report.tables import (
+    DEFAULT_SUITE_TOLERANCES,
+    DEFAULT_TOLERANCE,
+    Table,
+    loadtest_table,
+    precision_table,
+    query_latency_table,
+    results_table,
+    runtime_speedup_table,
+    store_scatter_table,
+    trends_table,
+    write_table,
+)
+
+#: Default bootstrap seed (any fixed value works; this one is the date the
+#: pipeline landed, so a regenerated report is attributable at a glance).
+DEFAULT_SEED = 20260807
+
+
+@dataclass
+class ReportBuild:
+    """What one ``build_report`` call produced."""
+
+    out_dir: Path
+    reports: List[LoadedReport]
+    run_tables: List[LoadedRunTable]
+    tables: Dict[str, Table]
+    specs: Dict[str, dict]
+    regressions: List[dict] = field(default_factory=list)
+
+    @property
+    def written(self) -> List[Path]:
+        paths = [self.out_dir / "REPORT.md"]
+        paths += [self.out_dir / "data" / f"{name}.csv" for name in sorted(self.tables)]
+        paths += [
+            self.out_dir / "specs" / f"{name}.vl.json" for name in sorted(self.specs)
+        ]
+        return paths
+
+
+def build_tables(
+    reports: List[LoadedReport],
+    run_tables: List[LoadedRunTable],
+    *,
+    seed: int = DEFAULT_SEED,
+    tolerance: float = DEFAULT_TOLERANCE,
+    suite_tolerances: Optional[Dict[str, float]] = None,
+) -> Dict[str, Table]:
+    """All tidy tables keyed by artifact stem (``<stem>.csv``)."""
+    return {
+        "results": results_table(reports),
+        "runtime_speedup": runtime_speedup_table(reports),
+        "query_latency": query_latency_table(reports),
+        "store_scatter": store_scatter_table(reports),
+        "precision": precision_table(reports, seed=seed),
+        "loadtest": loadtest_table(reports, run_tables),
+        "trends": trends_table(
+            reports, tolerance=tolerance, suite_tolerances=suite_tolerances
+        ),
+    }
+
+
+def build_specs(tables: Dict[str, Table]) -> Dict[str, dict]:
+    """Every figure whose table has rows, keyed by artifact stem."""
+    builders = {
+        "runtime_speedup": runtime_speedup_spec,
+        "query_latency": query_latency_spec,
+        "store_scatter": store_scatter_spec,
+        "precision": precision_spec,
+        "loadtest": loadtest_frontier_spec,
+        "trends": trends_spec,
+    }
+    specs = {}
+    for name, builder in builders.items():
+        spec = builder(tables[name])
+        if spec is not None:
+            specs[name] = spec
+    return specs
+
+
+def build_report(
+    *,
+    bench_dir: Optional[Path],
+    baselines_dir: Optional[Path],
+    history_dir: Optional[Path] = None,
+    out_dir: Path,
+    seed: int = DEFAULT_SEED,
+    tolerance: float = DEFAULT_TOLERANCE,
+    suite_tolerances: Optional[Dict[str, float]] = None,
+) -> ReportBuild:
+    """Build the full report under ``out_dir`` and return what was written."""
+    reports = load_bench_reports(bench_dir, baselines_dir, history_dir)
+    if not reports:
+        raise ValueError(
+            "no BENCH_*.json reports found — point --bench-dir or "
+            "--baselines at a directory holding bench output"
+        )
+    run_tables = load_run_tables(bench_dir)
+    tables = build_tables(
+        reports,
+        run_tables,
+        seed=seed,
+        tolerance=tolerance,
+        suite_tolerances=suite_tolerances,
+    )
+    specs = build_specs(tables)
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written_tables = {}
+    for name, table in tables.items():
+        if not table[1]:
+            continue
+        write_table(out_dir / "data" / f"{name}.csv", table)
+        written_tables[name] = table
+    (out_dir / "specs").mkdir(parents=True, exist_ok=True)
+    for name, spec in specs.items():
+        atomic_write_text(
+            out_dir / "specs" / f"{name}.vl.json",
+            json.dumps(spec, indent=2) + "\n",
+        )
+    atomic_write_text(
+        out_dir / "REPORT.md",
+        render_markdown(reports, run_tables, tables, seed=seed),
+    )
+    regressions = [row for row in tables["trends"][1] if row.get("regressed")]
+    return ReportBuild(
+        out_dir=out_dir,
+        reports=reports,
+        run_tables=run_tables,
+        tables=written_tables,
+        specs=specs,
+        regressions=regressions,
+    )

@@ -204,3 +204,73 @@ class TestMain:
         report = self._write(tmp_path, "BENCH_queries.json", _report())
         with pytest.raises(SystemExit):
             check_bench.main([str(report), "--tolerance", "1.5"])
+
+
+def _precision_cell(**overrides):
+    cell = {
+        "scenario": "mall-tiny",
+        "seed": 5,
+        "fingerprint": "abc",
+        "fit_seconds": 0.5,
+        "query": "tkprq",
+        "k": 5,
+        "queries": 3,
+        "precision": [0.8, 0.9, 1.0],
+        "recall": [0.7, 0.8, 0.9],
+    }
+    cell.update(overrides)
+    return cell
+
+
+class TestPrecisionSection:
+    def test_section_is_optional(self):
+        assert check_bench.validate_report(_report(), "r") == []
+
+    def test_valid_section_passes(self):
+        report = _report()
+        report["precision"] = [_precision_cell(), _precision_cell(query="tkfrpq")]
+        assert check_bench.validate_report(report, "r") == []
+
+    def test_empty_section_fails(self):
+        report = _report()
+        report["precision"] = []
+        problems = check_bench.validate_report(report, "r")
+        assert any("non-empty list" in problem for problem in problems)
+
+    def test_missing_keys_fail(self):
+        cell = _precision_cell()
+        del cell["recall"]
+        report = _report()
+        report["precision"] = [cell]
+        problems = check_bench.validate_report(report, "r")
+        assert any("missing key 'recall'" in problem for problem in problems)
+
+    def test_unknown_query_kind_fails(self):
+        report = _report()
+        report["precision"] = [_precision_cell(query="topk")]
+        problems = check_bench.validate_report(report, "r")
+        assert any("'tkprq' or 'tkfrpq'" in problem for problem in problems)
+
+    def test_non_positive_k_fails(self):
+        report = _report()
+        report["precision"] = [_precision_cell(k=0)]
+        problems = check_bench.validate_report(report, "r")
+        assert any("positive int" in problem for problem in problems)
+
+    def test_score_outside_unit_interval_fails(self):
+        report = _report()
+        report["precision"] = [_precision_cell(precision=[0.5, 1.2, 0.9])]
+        problems = check_bench.validate_report(report, "r")
+        assert any("[0, 1]" in problem for problem in problems)
+
+    def test_unequal_observation_lists_fail(self):
+        report = _report()
+        report["precision"] = [_precision_cell(recall=[0.5])]
+        problems = check_bench.validate_report(report, "r")
+        assert any("parallel lists" in problem for problem in problems)
+
+    def test_section_only_validated_for_queries_suite(self):
+        report = _report(suite="runtime")
+        report["precision"] = []  # ignored outside the queries suite
+        problems = check_bench.validate_report(report, "r")
+        assert not any("precision" in problem for problem in problems)

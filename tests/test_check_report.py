@@ -1,0 +1,105 @@
+"""Tests of the report-directory integrity checker (tools/check_report.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+import test_report
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_report",
+    Path(__file__).resolve().parent.parent / "tools" / "check_report.py",
+)
+check_report = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_report)
+
+
+@pytest.fixture()
+def report_dir(tmp_path):
+    """A freshly generated, internally consistent report directory."""
+    return test_report._build(tmp_path, "report").out_dir
+
+
+def test_generated_report_passes(report_dir):
+    assert check_report.check_report_dir(report_dir) == []
+    assert check_report.main([str(report_dir)]) == 0
+
+
+def test_missing_data_file_detected(report_dir):
+    (report_dir / "data" / "trends.csv").unlink()
+    problems = check_report.check_report_dir(report_dir)
+    assert any("does not exist" in problem for problem in problems)
+
+
+def test_renamed_column_detected(report_dir):
+    data_path = report_dir / "data" / "trends.csv"
+    lines = data_path.read_text().splitlines()
+    lines[0] = lines[0].replace("speedup", "velocity")
+    data_path.write_text("\n".join(lines) + "\n")
+    problems = check_report.check_report_dir(report_dir)
+    assert any("encodes field(s)" in problem for problem in problems)
+    assert any("usermeta.columns" in problem for problem in problems)
+
+
+def test_row_count_drift_detected(report_dir):
+    data_path = report_dir / "data" / "trends.csv"
+    lines = data_path.read_text().splitlines()
+    data_path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last row
+    problems = check_report.check_report_dir(report_dir)
+    assert any("usermeta.rows" in problem for problem in problems)
+
+
+def test_orphan_spec_detected(report_dir):
+    spec_path = report_dir / "specs" / "trends.vl.json"
+    orphan = spec_path.with_name("orphan.vl.json")
+    orphan.write_bytes(spec_path.read_bytes())
+    problems = check_report.check_report_dir(report_dir)
+    assert any("does not reference orphan.vl.json" in problem
+               for problem in problems)
+
+
+def test_dangling_markdown_link_detected(report_dir):
+    markdown_path = report_dir / "REPORT.md"
+    markdown_path.write_text(
+        markdown_path.read_text() + "\n[gone](specs/gone.vl.json)\n")
+    problems = check_report.check_report_dir(report_dir)
+    assert any("dangling link" in problem for problem in problems)
+
+
+def test_escaping_data_url_detected(report_dir, tmp_path):
+    outside = tmp_path / "outside.csv"
+    outside.write_text("a\n1\n")
+    spec_path = report_dir / "specs" / "trends.vl.json"
+    spec = json.loads(spec_path.read_text())
+    spec["data"]["url"] = "../../outside.csv"
+    spec_path.write_text(json.dumps(spec))
+    problems = check_report.check_report_dir(report_dir)
+    assert any("escapes the report directory" in problem for problem in problems)
+
+
+def test_non_rectangular_csv_detected(report_dir):
+    data_path = report_dir / "data" / "trends.csv"
+    with data_path.open("a") as handle:
+        handle.write("stray,cells\n")
+    problems = check_report.check_report_dir(report_dir)
+    assert any("cells" in problem for problem in problems)
+
+
+def test_non_vegalite_schema_detected(report_dir):
+    spec_path = report_dir / "specs" / "trends.vl.json"
+    spec = json.loads(spec_path.read_text())
+    spec["$schema"] = "https://example.com/not-a-chart.json"
+    spec_path.write_text(json.dumps(spec))
+    problems = check_report.check_report_dir(report_dir)
+    assert any("not a Vega-Lite schema" in problem for problem in problems)
+
+
+def test_committed_report_is_consistent():
+    committed = Path(__file__).resolve().parent.parent / "docs" / "report"
+    if not committed.is_dir():
+        pytest.skip("no committed docs/report in this checkout")
+    assert check_report.check_report_dir(committed) == []

@@ -135,6 +135,61 @@ def _validate_service_section(report: dict, origin: str) -> list:
     return problems
 
 
+def _validate_precision_section(report: dict, origin: str) -> list:
+    """Queries-suite extra (optional): annotation-vs-truth answer quality.
+
+    Each cell holds parallel per-query-shape observation lists; scores are
+    ratios, so anything outside [0, 1] means the producer is broken.
+    """
+    problems = []
+    section = report.get("precision")
+    if section is None:
+        return problems
+    if not isinstance(section, list) or not section:
+        return [f"{origin}: precision section must be a non-empty list"]
+    for index, cell in enumerate(section):
+        where = f"{origin}: precision[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in ("scenario", "query", "k", "precision", "recall"):
+            if key not in cell:
+                problems.append(f"{where} missing key {key!r}")
+        if cell.get("query") not in ("tkprq", "tkfrpq"):
+            problems.append(
+                f"{where}: query must be 'tkprq' or 'tkfrpq', "
+                f"got {cell.get('query')!r}"
+            )
+        k = cell.get("k")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            problems.append(f"{where}: k must be a positive int")
+        lengths = set()
+        for measure in ("precision", "recall"):
+            observations = cell.get(measure)
+            if not isinstance(observations, list) or not observations:
+                problems.append(
+                    f"{where}: {measure} must be a non-empty list of scores"
+                )
+                continue
+            lengths.add(len(observations))
+            if not all(
+                isinstance(score, (int, float))
+                and not isinstance(score, bool)
+                and 0.0 <= score <= 1.0
+                for score in observations
+            ):
+                problems.append(
+                    f"{where}: every {measure} observation must be a "
+                    "number in [0, 1]"
+                )
+        if len(lengths) > 1:
+            problems.append(
+                f"{where}: precision and recall must have one observation "
+                "per query shape (parallel lists of equal length)"
+            )
+    return problems
+
+
 def _validate_store_section(report: dict, origin: str) -> list:
     """Store-suite extras: shard layout + the durability invariants.
 
@@ -310,6 +365,8 @@ def validate_report(report: object, origin: str) -> list:
             "(cold pool) and a 'steady' (warm pool) process row, "
             f"found phases {sorted(p for p in process_phases if p)}"
         )
+    if suite == "queries":
+        problems.extend(_validate_precision_section(report, origin))
     if suite == "service":
         problems.extend(_validate_service_section(report, origin))
     if suite == "store":

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Validate a generated report directory (``docs/report/``).
+
+The report pipeline writes three artifact kinds — Vega-Lite specs, tidy
+CSVs, and ``REPORT.md`` — that reference each other by relative path.
+This checker fails the build when any cross-reference is broken:
+
+* every spec must be valid JSON with a Vega-Lite ``$schema``, and its
+  ``data.url`` must resolve to an existing CSV next to the specs;
+* every field a spec encodes, filters on, or declares in ``format.parse``
+  must exist as a CSV column (or be produced by one of the spec's own
+  transforms), so a renamed table column cannot silently blank a figure;
+* the ``usermeta.rows`` / ``usermeta.columns`` stamp the generator wrote
+  into each spec must match the CSV on disk exactly — a spec regenerated
+  against different data, or a hand-edited CSV, is caught byte-for-byte;
+* every data CSV must parse, be rectangular, and hold at least one row;
+* ``REPORT.md`` must exist and link every spec and every CSV (no orphan
+  artifacts, no dangling links).
+
+Usage::
+
+    python tools/check_report.py [REPORT_DIR]   # default: docs/report
+
+Exit status is 0 when the report directory is internally consistent,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List, Set, Tuple
+
+_DATUM_TOKEN = re.compile(r"datum\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _spec_fields(node: object) -> Set[str]:
+    """Every column name a spec fragment references (recursively)."""
+    fields: Set[str] = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "field" and isinstance(value, str):
+                fields.add(value)
+            elif key in ("filter", "calculate") and isinstance(value, str):
+                fields.update(_DATUM_TOKEN.findall(value))
+            elif key == "parse" and isinstance(value, dict):
+                fields.update(name for name in value if isinstance(name, str))
+            else:
+                fields.update(_spec_fields(value))
+    elif isinstance(node, list):
+        for item in node:
+            fields.update(_spec_fields(item))
+    return fields
+
+
+def _transform_outputs(node: object) -> Set[str]:
+    """Every field name a spec's transforms create (``as`` outputs)."""
+    outputs: Set[str] = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "as":
+                if isinstance(value, str):
+                    outputs.add(value)
+                elif isinstance(value, list):
+                    outputs.update(item for item in value if isinstance(item, str))
+            else:
+                outputs.update(_transform_outputs(value))
+    elif isinstance(node, list):
+        for item in node:
+            outputs.update(_transform_outputs(item))
+    return outputs
+
+
+def _read_csv(path: Path) -> Tuple[List[str], List[List[str]], List[str]]:
+    """``(header, rows, problems)`` of one data CSV."""
+    problems: List[str] = []
+    try:
+        with path.open(encoding="utf-8", newline="") as handle:
+            parsed = list(csv.reader(handle))
+    except (OSError, csv.Error) as error:
+        return [], [], [f"{path}: unreadable CSV ({error})"]
+    if not parsed or not parsed[0]:
+        return [], [], [f"{path}: empty CSV (no header)"]
+    header, rows = parsed[0], parsed[1:]
+    if not rows:
+        problems.append(f"{path}: no data rows (header only)")
+    for index, row in enumerate(rows):
+        if len(row) != len(header):
+            problems.append(
+                f"{path}: row {index + 1} has {len(row)} cells, "
+                f"header has {len(header)}"
+            )
+            break
+    return header, rows, problems
+
+
+def check_spec(spec_path: Path, report_dir: Path) -> List[str]:
+    """All integrity problems of one spec and the CSV it points at."""
+    problems: List[str] = []
+    try:
+        spec = json.loads(spec_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{spec_path}: unreadable or invalid JSON ({error})"]
+    if not isinstance(spec, dict):
+        return [f"{spec_path}: top level must be a JSON object"]
+    schema = spec.get("$schema", "")
+    if "vega-lite" not in str(schema):
+        problems.append(f"{spec_path}: $schema is not a Vega-Lite schema URL")
+
+    url = spec.get("data", {}).get("url") if isinstance(spec.get("data"), dict) else None
+    if not isinstance(url, str) or not url:
+        problems.append(f"{spec_path}: data.url missing")
+        return problems
+    data_path = (spec_path.parent / url).resolve()
+    try:
+        data_path.relative_to(report_dir.resolve())
+    except ValueError:
+        problems.append(
+            f"{spec_path}: data.url {url!r} escapes the report directory"
+        )
+        return problems
+    if not data_path.is_file():
+        problems.append(f"{spec_path}: data file {url!r} does not exist")
+        return problems
+
+    header, rows, csv_problems = _read_csv(data_path)
+    problems.extend(csv_problems)
+    if not header:
+        return problems
+
+    columns = set(header) | _transform_outputs(spec.get("transform", [])) | {
+        output
+        for node in (spec.get("layer", []), spec.get("spec", {}))
+        for output in _transform_outputs(node)
+    }
+    unknown = sorted(_spec_fields(spec) - columns)
+    if unknown:
+        problems.append(
+            f"{spec_path}: encodes field(s) {unknown} not present in "
+            f"{data_path.name} columns {header}"
+        )
+
+    usermeta = spec.get("usermeta", {})
+    if not isinstance(usermeta, dict):
+        problems.append(f"{spec_path}: usermeta must be an object")
+    else:
+        stamped_rows = usermeta.get("rows")
+        if stamped_rows != len(rows):
+            problems.append(
+                f"{spec_path}: usermeta.rows is {stamped_rows!r} but "
+                f"{data_path.name} holds {len(rows)} data row(s) — spec and "
+                "data were not generated together"
+            )
+        stamped_columns = usermeta.get("columns")
+        if stamped_columns != header:
+            problems.append(
+                f"{spec_path}: usermeta.columns {stamped_columns!r} does not "
+                f"match the {data_path.name} header {header}"
+            )
+    return problems
+
+
+def check_report_dir(report_dir: Path) -> List[str]:
+    """All integrity problems of one generated report directory."""
+    problems: List[str] = []
+    markdown_path = report_dir / "REPORT.md"
+    specs_dir = report_dir / "specs"
+    data_dir = report_dir / "data"
+    if not markdown_path.is_file():
+        problems.append(f"{markdown_path}: missing (run python -m repro.report)")
+    if not specs_dir.is_dir():
+        problems.append(f"{specs_dir}: missing specs directory")
+    if not data_dir.is_dir():
+        problems.append(f"{data_dir}: missing data directory")
+    if problems:
+        return problems
+
+    spec_paths = sorted(specs_dir.glob("*.vl.json"))
+    data_paths = sorted(data_dir.glob("*.csv"))
+    if not spec_paths:
+        problems.append(f"{specs_dir}: holds no *.vl.json specs")
+    if not data_paths:
+        problems.append(f"{data_dir}: holds no *.csv tables")
+
+    for spec_path in spec_paths:
+        problems.extend(check_spec(spec_path, report_dir))
+    for data_path in data_paths:
+        _, _, csv_problems = _read_csv(data_path)
+        problems.extend(csv_problems)
+
+    markdown = markdown_path.read_text(encoding="utf-8")
+    for path in spec_paths:
+        if f"specs/{path.name}" not in markdown:
+            problems.append(f"{markdown_path}: does not reference {path.name}")
+    for path in data_paths:
+        if f"data/{path.name}" not in markdown:
+            problems.append(f"{markdown_path}: does not reference {path.name}")
+    for stem in re.findall(r"\]\((specs/[^)]+|data/[^)]+)\)", markdown):
+        if not (report_dir / stem).is_file():
+            problems.append(f"{markdown_path}: dangling link to {stem}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    report_dir = Path(argv[0]) if argv else Path("docs/report")
+    if not report_dir.is_dir():
+        print(f"FAIL {report_dir}: not a directory", file=sys.stderr)
+        return 1
+    problems = check_report_dir(report_dir)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        print(f"report-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    specs = len(list((report_dir / "specs").glob("*.vl.json")))
+    tables = len(list((report_dir / "data").glob("*.csv")))
+    print(
+        f"report-check: {report_dir} ok ({specs} spec(s), {tables} table(s), "
+        "all cross-references intact)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
